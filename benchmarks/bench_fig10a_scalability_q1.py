@@ -1,0 +1,82 @@
+"""Fig. 10(a): Q1 throughput vs. pattern-size/window-size ratio and k.
+
+Paper setup: Q1 on NYSE, ws = 8000 events, q ∈ {40 ... 2560}
+(ratios 0.005 ... 0.32), k ∈ {1 ... 32} operator instances.
+
+Here: identical ratios on the scaled window (ws = 800, q ∈ {4 ... 256}).
+Expected shape (paper): near-linear scaling at ratio 0.005 (completion
+probability ≈ 100 %); a plateau at k ≈ 8 around the 50 % region
+(mid ratios); improved scaling again at the largest ratio (probability
+≈ 13 %).  Throughput is reported in events/second calibrated so that the
+smallest-ratio k=1 cell matches the paper's ~10.8k baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import KS, Q1_WINDOW
+from benchmarks.figure_output import format_series, write_figure
+from repro.queries import make_q1
+from repro.simulation import scalability_sweep
+from repro.spectre import SpectreConfig
+
+# ratios 0.005 .. 0.32 as in the paper, plus 0.40 where no pattern can
+# complete at all (the analogue of Fig. 10(b)'s "0 cplx" column)
+Q_VALUES = (4, 16, 64, 128, 176, 256, 320)
+
+
+def _run_sweep(nyse_events, nyse_leaders):
+    def query_for(q):
+        return make_q1(q=q, window_size=Q1_WINDOW,
+                       leading_symbols=nyse_leaders)
+
+    return scalability_sweep(
+        parameters=Q_VALUES,
+        query_for=query_for,
+        events=nyse_events,
+        ks=KS,
+        config_for=lambda k: SpectreConfig(k=k),
+        verify=True,
+    )
+
+
+@pytest.mark.benchmark(group="fig10a")
+def test_fig10a_scalability_q1(benchmark, nyse_events, nyse_leaders):
+    cells = benchmark.pedantic(
+        _run_sweep, args=(nyse_events, nyse_leaders), rounds=1, iterations=1)
+
+    by_ratio: dict[float, dict[int, float]] = {}
+    truth: dict[float, float] = {}
+    for cell in cells:
+        ratio = cell.parameter / Q1_WINDOW
+        by_ratio.setdefault(ratio, {})[cell.k] = cell.virtual_throughput
+        truth[ratio] = cell.ground_truth_probability
+
+    # calibrate the whole figure on the smallest-ratio k=1 cell
+    smallest = min(by_ratio)
+    scale = 10_800.0 / by_ratio[smallest][1]
+
+    lines = []
+    for ratio in sorted(by_ratio):
+        series = [(f"k{k}", f"{v * scale:,.0f}")
+                  for k, v in sorted(by_ratio[ratio].items())]
+        lines.append(format_series(
+            f"ratio {ratio:.3f} (p={truth[ratio]:.2f})", series))
+        speedups = [(f"k{k}", f"{v / by_ratio[ratio][1]:.1f}x")
+                    for k, v in sorted(by_ratio[ratio].items())]
+        lines.append(format_series("  scaling", speedups))
+    write_figure("fig10a", "Fig. 10(a) Q1 on NYSE: events/s by ratio and k",
+                 lines)
+
+    # shape assertions from the paper
+    low = by_ratio[min(by_ratio)]
+    assert low[16] / low[1] > 8.0, "near-linear scaling at p~100% lost"
+    high = by_ratio[max(by_ratio)]
+    assert high[16] / high[1] > 4.0, "low-probability scaling lost"
+    # the mid-probability plateau: find the ratio with p closest to 0.5
+    mid = min(truth, key=lambda r: abs(truth[r] - 0.5))
+    if abs(truth[mid] - 0.5) < 0.35:
+        plateau = by_ratio[mid]
+        assert plateau[32] / plateau[1] < plateau[8] / plateau[1] * 2.5, \
+            "mid-probability configurations should plateau"

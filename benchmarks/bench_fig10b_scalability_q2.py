@@ -1,0 +1,95 @@
+"""Fig. 10(b): Q2 throughput vs. average-pattern-size ratio and k.
+
+Paper setup: Q2 on NYSE, ws = 8000, slide 1000; the band limits are
+arranged so that the *average pattern size* spans 180 ... 2223 events,
+plus a configuration where no pattern can complete ("0 cplx").
+
+Here: the band (lower, upper) around the bounded price walk's midpoint is
+widened step by step — wider bands mean longer dwell inside the band,
+larger average patterns and lower completion probability; the widest
+setting completes nothing, reproducing the "0 cplx" column.  Expected
+shape: near-linear scaling at both probability extremes, a plateau at
+k ≈ 8 in the 50 % region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import KS, Q2_SLIDE, Q2_WINDOW
+from benchmarks.figure_output import format_series, write_figure
+from repro.queries import make_q2
+from repro.sequential import run_sequential
+from repro.simulation import scalability_sweep
+from repro.spectre import SpectreConfig
+
+# half-width of the band around the walk midpoint (50); the last value
+# makes completion impossible within any window ("0 cplx")
+BAND_HALF_WIDTHS = (2.0, 4.0, 6.0, 9.0, 13.0, 30.0)
+
+
+def _query_for(half_width):
+    return make_q2(lower=50.0 - half_width, upper=50.0 + half_width,
+                   window_size=Q2_WINDOW, slide=Q2_SLIDE)
+
+
+def _run_sweep(price_walk_events):
+    return scalability_sweep(
+        parameters=BAND_HALF_WIDTHS,
+        query_for=_query_for,
+        events=price_walk_events,
+        ks=KS,
+        config_for=lambda k: SpectreConfig(k=k),
+        verify=True,
+    )
+
+
+@pytest.mark.benchmark(group="fig10b")
+def test_fig10b_scalability_q2(benchmark, price_walk_events):
+    cells = benchmark.pedantic(_run_sweep, args=(price_walk_events,),
+                               rounds=1, iterations=1)
+
+    by_band: dict[float, dict[int, float]] = {}
+    truth: dict[float, float] = {}
+    avg_sizes: dict[float, float] = {}
+    for cell in cells:
+        by_band.setdefault(cell.parameter, {})[cell.k] = \
+            cell.virtual_throughput
+        truth[cell.parameter] = cell.ground_truth_probability
+
+    # average pattern size per band (the paper's x-axis)
+    for half_width in BAND_HALF_WIDTHS:
+        result = run_sequential(_query_for(half_width), price_walk_events)
+        sizes = [len(ce.constituents) for ce in result.complex_events]
+        avg_sizes[half_width] = sum(sizes) / len(sizes) if sizes else \
+            float("nan")
+
+    narrowest = min(by_band)
+    scale = 10_300.0 / by_band[narrowest][1]
+    lines = []
+    for half_width in BAND_HALF_WIDTHS:
+        cells_k = by_band[half_width]
+        series = [(f"k{k}", f"{v * scale:,.0f}")
+                  for k, v in sorted(cells_k.items())]
+        label = (f"band +-{half_width:g} (avg pattern "
+                 f"{avg_sizes[half_width]:.0f}, p={truth[half_width]:.2f})")
+        lines.append(format_series(label, series))
+        speedups = [(f"k{k}", f"{v / cells_k[1]:.1f}x")
+                    for k, v in sorted(cells_k.items())]
+        lines.append(format_series("  scaling", speedups))
+    write_figure("fig10b",
+                 "Fig. 10(b) Q2 on bounded price walk: events/s by band "
+                 "and k", lines)
+
+    # shape: high-probability bands scale near-linearly; the widest band
+    # must complete nothing yet still scale (the paper's "0 cplx")
+    assert truth[max(BAND_HALF_WIDTHS)] == 0.0, "'0 cplx' column missing"
+    high_p = by_band[narrowest]
+    assert high_p[16] / high_p[1] > 6.0
+    no_cplx = by_band[max(BAND_HALF_WIDTHS)]
+    assert no_cplx[16] / no_cplx[1] > 4.0
+
+    # average pattern size grows with the band width (the paper's knob)
+    finite = [avg_sizes[w] for w in BAND_HALF_WIDTHS
+              if avg_sizes[w] == avg_sizes[w]]
+    assert finite == sorted(finite)

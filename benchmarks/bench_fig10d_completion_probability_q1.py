@@ -1,0 +1,49 @@
+"""Fig. 10(d): ground-truth CG completion probability vs. ratio (Q1).
+
+"We calculate a 'ground truth' value of the completion probability of
+consumption groups by performing a sequential pass without speculations:
+the number of created consumption groups divided by the number of
+produced complex events provides the ground truth value."
+
+Expected shape: ≈100 % at ratio 0.005, monotonically decreasing to low
+tens of per-cent at ratio 0.32 (paper: 13 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_fig10a_scalability_q1 import Q_VALUES
+from benchmarks.conftest import Q1_WINDOW
+from benchmarks.figure_output import format_series, write_figure
+from repro.queries import make_q1
+from repro.sequential import run_sequential
+
+
+def _ground_truths(nyse_events, nyse_leaders):
+    truths = {}
+    for q in Q_VALUES:
+        query = make_q1(q=q, window_size=Q1_WINDOW,
+                        leading_symbols=nyse_leaders)
+        result = run_sequential(query, nyse_events)
+        truths[q / Q1_WINDOW] = result.completion_probability
+    return truths
+
+
+@pytest.mark.benchmark(group="fig10d")
+def test_fig10d_completion_probability_q1(benchmark, nyse_events,
+                                          nyse_leaders):
+    truths = benchmark.pedantic(_ground_truths,
+                                args=(nyse_events, nyse_leaders),
+                                rounds=1, iterations=1)
+    series = [(f"{ratio:.3f}", f"{p:.0%}")
+              for ratio, p in sorted(truths.items())]
+    write_figure("fig10d",
+                 "Fig. 10(d) Q1 ground-truth completion probability "
+                 "by ratio", [format_series("completion", series)])
+
+    values = [truths[r] for r in sorted(truths)]
+    assert values[0] > 0.9, "smallest ratio should complete ~always"
+    assert values[-1] < 0.9, "largest ratio should complete rarely"
+    # monotone non-increasing (small tolerance for sampling noise)
+    assert all(a >= b - 0.05 for a, b in zip(values, values[1:]))

@@ -1,0 +1,38 @@
+"""Fig. 10(e): ground-truth CG completion probability vs. ratio (Q2).
+
+Same measurement as Fig. 10(d) but for Q2, whose average pattern size is
+steered indirectly via the band limits.  Expected shape: ≈100 % for the
+narrowest band, monotone decrease, and exactly 0 for the "0 cplx" band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_fig10b_scalability_q2 import BAND_HALF_WIDTHS, _query_for
+from benchmarks.figure_output import format_series, write_figure
+from repro.sequential import run_sequential
+
+
+def _ground_truths(price_walk_events):
+    truths = {}
+    for half_width in BAND_HALF_WIDTHS:
+        result = run_sequential(_query_for(half_width), price_walk_events)
+        truths[half_width] = result.completion_probability
+    return truths
+
+
+@pytest.mark.benchmark(group="fig10e")
+def test_fig10e_completion_probability_q2(benchmark, price_walk_events):
+    truths = benchmark.pedantic(_ground_truths, args=(price_walk_events,),
+                                rounds=1, iterations=1)
+    series = [(f"+-{width:g}", f"{p:.0%}")
+              for width, p in sorted(truths.items())]
+    write_figure("fig10e",
+                 "Fig. 10(e) Q2 ground-truth completion probability "
+                 "by band", [format_series("completion", series)])
+
+    values = [truths[w] for w in sorted(truths)]
+    assert values[0] > 0.9
+    assert values[-1] == 0.0
+    assert all(a >= b - 0.05 for a, b in zip(values, values[1:]))

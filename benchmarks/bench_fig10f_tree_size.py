@@ -1,0 +1,48 @@
+"""Fig. 10(f): maximal dependency-tree size vs. k.
+
+Paper setup: Q1 on NYSE (q = 80, ws = 8000); "with 1 operator instance
+the maximal tree size was at 41 window versions, growing up to 4,332 at
+16 operator instances and 6,730 window versions at 32" — growth with k,
+but "not a serious issue in terms of memory consumption".
+
+Expected shape here: monotone growth over roughly two orders of
+magnitude from k=1 to k=32.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import KS, Q1_WINDOW
+from benchmarks.figure_output import format_series, write_figure
+from repro.queries import make_q1
+from repro.spectre import SpectreConfig, SpectreEngine
+
+
+def _tree_sizes(nyse_events, nyse_leaders):
+    query = make_q1(q=int(0.01 * Q1_WINDOW * 8), window_size=Q1_WINDOW,
+                    leading_symbols=nyse_leaders)
+    sizes = {}
+    for k in KS:
+        engine = SpectreEngine(query, SpectreConfig(k=k))
+        result = engine.run(nyse_events)
+        sizes[k] = result.stats.max_tree_size
+    return sizes
+
+
+@pytest.mark.benchmark(group="fig10f")
+def test_fig10f_tree_size(benchmark, nyse_events, nyse_leaders):
+    sizes = benchmark.pedantic(_tree_sizes,
+                               args=(nyse_events, nyse_leaders),
+                               rounds=1, iterations=1)
+    series = [(f"k{k}", size) for k, size in sorted(sizes.items())]
+    write_figure("fig10f",
+                 "Fig. 10(f) max window versions in the dependency tree "
+                 "by k", [format_series("tree size", series)])
+
+    values = [sizes[k] for k in sorted(sizes)]
+    assert all(a <= b for a, b in zip(values, values[1:])), \
+        "tree size must grow with k"
+    assert sizes[max(KS)] >= sizes[min(KS)] * 10, \
+        "speculation depth should grow substantially with k"
+    assert sizes[max(KS)] < 50_000, "tree must stay memory-bounded"

@@ -1,0 +1,92 @@
+"""Fig. 11: the Markov model vs. fixed completion probabilities (Q3).
+
+Paper setup: Q3 on 32 operator instances, ws = 1000, slide 100; two
+pattern-size/window ratios — 0.002 (completion probability ≈ 100 %) and
+0.1 (≈ 32 %).  Fixed models assign every consumption group the same
+probability (0 %, 20 %, ..., 100 %); the Markov model learns online.
+
+Expected shape: (a) at the high-probability ratio the 100 % fixed model
+wins and Markov is competitive with it; (b) at the low-probability ratio
+a low fixed model (paper: 20 %) wins and Markov again lands within a few
+per-cent of the best fixed model.  "Wrong probability predictions can
+cause a large throughput penalty."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import Q3_SLIDE, Q3_WINDOW
+from benchmarks.figure_output import format_series, write_figure
+from repro.queries import make_q3
+from repro.sequential import run_sequential
+from repro.spectre import SpectreConfig, SpectreEngine
+
+K = 32
+FIXED_MODELS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _query(set_size):
+    members = [f"S{i:04d}" for i in range(1, set_size + 1)]
+    return make_q3("S0000", members, window_size=Q3_WINDOW, slide=Q3_SLIDE)
+
+
+def _sweep(rand_events, set_size):
+    query = _query(set_size)
+    sequential = run_sequential(query, rand_events)
+    expected = sequential.identities()
+    throughputs = {}
+    for model in FIXED_MODELS:
+        config = SpectreConfig(k=K, probability_model="fixed",
+                               fixed_probability=model)
+        result = SpectreEngine(query, config).run(rand_events)
+        assert result.identities() == expected
+        throughputs[f"{model:.0%}"] = result.throughput
+    markov = SpectreEngine(query, SpectreConfig(k=K)).run(rand_events)
+    assert markov.identities() == expected
+    throughputs["Markov"] = markov.throughput
+    return throughputs, sequential.completion_probability
+
+
+def _report(name, title, throughputs, truth):
+    best_fixed = max((v for key, v in throughputs.items()
+                      if key != "Markov"))
+    series = [(key, f"{value:.4f}") for key, value in throughputs.items()]
+    lines = [format_series(f"virtual throughput (p_truth={truth:.2f})",
+                           series),
+             f"Markov / best fixed = "
+             f"{throughputs['Markov'] / best_fixed:.2f}"]
+    write_figure(name, title, lines)
+    return best_fixed
+
+
+@pytest.mark.benchmark(group="fig11a")
+def test_fig11a_high_probability_ratio(benchmark, rand_events_dense):
+    # dense-symbol RAND puts Q3 at the paper's ~100 % operating point
+    throughputs, truth = benchmark.pedantic(
+        _sweep, args=(rand_events_dense, 1), rounds=1, iterations=1)
+    best_fixed = _report("fig11a",
+                         "Fig. 11(a) Q3 ratio ~0.002: Markov vs fixed "
+                         "models (k=32)", throughputs, truth)
+    assert truth > 0.9
+    # high fixed probabilities must beat low ones at p~100%
+    assert throughputs["100%"] > throughputs["0%"]
+    # Markov must be competitive with the best fixed model
+    assert throughputs["Markov"] >= best_fixed * 0.75
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_low_probability_ratio(benchmark, rand_events):
+    # 100-symbol RAND with n=30 sits near the paper's 32 % point
+    throughputs, truth = benchmark.pedantic(
+        _sweep, args=(rand_events, 30), rounds=1, iterations=1)
+    best_fixed = _report("fig11b",
+                         "Fig. 11(b) Q3 ratio ~0.06: Markov vs fixed "
+                         "models (k=32)", throughputs, truth)
+    assert 0.1 < truth < 0.7
+    assert throughputs["Markov"] >= best_fixed * 0.6
+    # wrong predictions hurt: the worst fixed model must trail the best
+    worst_fixed = min(v for key, v in throughputs.items()
+                      if key != "Markov")
+    assert worst_fixed < best_fixed * 0.9, \
+        "prediction quality should matter at mid probabilities"

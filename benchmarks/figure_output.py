@@ -1,0 +1,30 @@
+"""Figure/table rendering for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+section.  The raw series are written to ``benchmarks/results/<exp>.txt``
+so that EXPERIMENTS.md can be checked against fresh runs, and echoed to
+stdout (visible with ``pytest -s`` or on failure).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_figure(name: str, title: str, lines: Iterable[str]) -> Path:
+    """Persist one regenerated figure; returns the file path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    body = "\n".join([title, "=" * len(title), *lines, ""])
+    path.write_text(body)
+    print(f"\n{body}")
+    return path
+
+
+def format_series(label: str, pairs: Iterable[tuple]) -> str:
+    """One figure series: ``label: x1=y1  x2=y2 ...``"""
+    rendered = "  ".join(f"{x}={y}" for x, y in pairs)
+    return f"{label}: {rendered}"

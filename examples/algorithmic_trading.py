@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Algorithmic trading: Q1 momentum detection with speculative scaling.
+
+Runs the paper's Q1 query ("the first q rising/falling quotes within ws
+events of a leading-symbol move, consume all constituents") over a
+synthetic NYSE-like stream and sweeps the number of operator instances —
+a miniature of Fig. 10(a).
+
+Run:  python examples/algorithmic_trading.py
+"""
+
+from repro import SpectreConfig, SpectreEngine, make_q1, run_sequential
+from repro.datasets import generate_nyse, leading_symbols
+from repro.metrics import calibrate_events_per_second
+
+
+def main() -> None:
+    events = generate_nyse(5000, n_symbols=100, n_leading=2, seed=7)
+    leaders = leading_symbols(2)
+    query = make_q1(q=16, window_size=500, leading_symbols=leaders)
+    print(f"dataset: {len(events)} synthetic NYSE quotes, "
+          f"{len(leaders)} leading symbols")
+    print(f"query: {query.name} -- {query.description}")
+
+    sequential = run_sequential(query, events)
+    print(f"\nsequential: {len(sequential.complex_events)} complex events, "
+          f"ground-truth completion probability "
+          f"{sequential.completion_probability:.0%}")
+
+    virtual = {}
+    print(f"\n{'k':>3} {'events/s':>10} {'speedup':>8} {'tree':>6} "
+          f"{'dropped':>8} {'rollbacks':>9}")
+    for k in (1, 2, 4, 8, 16):
+        engine = SpectreEngine(query, SpectreConfig(k=k))
+        result = engine.run(events)
+        assert result.identities() == sequential.identities()
+        virtual[k] = result.throughput
+        calibrated = calibrate_events_per_second(virtual)
+        print(f"{k:>3} {calibrated[k]:>10,.0f} "
+              f"{virtual[k] / virtual[1]:>8.2f} "
+              f"{result.stats.max_tree_size:>6} "
+              f"{result.stats.versions_dropped:>8} "
+              f"{result.stats.rollbacks:>9}")
+
+    print("\nevery configuration produced the exact sequential output")
+    print("(events/s calibrated so that k=1 matches the paper's ~10k "
+          "single-instance baseline)")
+
+
+if __name__ == "__main__":
+    main()

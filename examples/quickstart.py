@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: detect a pattern with a consumption policy, in parallel.
+
+This walks through the core workflow:
+
+1. build a stream of events,
+2. define a query (pattern + window + consumption policy),
+3. run the sequential reference engine,
+4. run SPECTRE with k speculative operator instances,
+5. check both deliver the identical complex events.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SpectreConfig, make_qe, run_sequential, run_spectre
+from repro.events import make_event
+
+
+def main() -> None:
+    # The paper's running example (Sec. 2.1): stock quote changes of
+    # symbols A and B; every B within one minute of an A produces an
+    # "Influence" complex event.  Consumption policy "selected B" makes
+    # each B usable at most once.
+    stream = [
+        make_event(0, "A", timestamp=0.0, change=2.0),
+        make_event(1, "A", timestamp=20.0, change=4.0),
+        make_event(2, "B", timestamp=30.0, change=6.0),
+        make_event(3, "B", timestamp=40.0, change=8.0),
+        make_event(4, "B", timestamp=70.0, change=2.0),
+    ]
+
+    query = make_qe("selected-b")
+    print(f"query: {query.name}")
+    print(f"  window: 1 minute from each A (consumption: "
+          f"{query.consumption.describe()})")
+
+    sequential = run_sequential(query, stream)
+    print(f"\nsequential engine: {len(sequential.complex_events)} "
+          f"complex events")
+    for ce in sequential.complex_events:
+        a, b = ce.constituents
+        print(f"  {a!r} x {b!r} -> Factor={ce.attributes['Factor']:.2f}")
+
+    # SPECTRE processes the two overlapping, *dependent* windows in
+    # parallel by speculating on event consumption.
+    result = run_spectre(query, stream, SpectreConfig(k=4))
+    print(f"\nSPECTRE (k=4): {len(result.complex_events)} complex events")
+    print(f"  windows: {result.stats.windows_total}, "
+          f"versions created: {result.stats.versions_created}, "
+          f"dropped: {result.stats.versions_dropped}")
+
+    assert result.identities() == sequential.identities()
+    print("\noutputs identical -- no false positives, no false negatives")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that fully offline environments (no
+``wheel`` package available for PEP 660 editable builds) can still do
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro — a reproduction of SPECTRE (Mayer et al., Middleware 2017).
+
+SPECTRE enables window-based *data-parallel* complex event processing in
+the presence of **consumption policies** (events participate in at most
+one pattern instance) by speculating on the outcome of partial matches
+and scheduling the k most probable window versions onto k operator
+instances.
+
+Quickstart
+----------
+>>> from repro import (make_qe, run_sequential, run_spectre, SpectreConfig)
+>>> from repro.events import make_event
+>>> stream = [make_event(0, "A", 0.0, change=2.0),
+...           make_event(1, "A", 10.0, change=4.0),
+...           make_event(2, "B", 20.0, change=6.0),
+...           make_event(3, "B", 30.0, change=8.0),
+...           make_event(4, "B", 70.0, change=2.0)]
+>>> query = make_qe("selected-b")
+>>> sequential = run_sequential(query, stream)
+>>> speculative = run_spectre(query, stream, SpectreConfig(k=4))
+>>> sequential.identities() == speculative.identities()
+True
+"""
+
+from repro.events import ComplexEvent, Event, EventStream, make_event
+from repro.graph import Operator, OperatorGraph
+from repro.patterns import (
+    Atom,
+    ConsumptionPolicy,
+    KleenePlus,
+    Negation,
+    Query,
+    SelectionPolicy,
+    Sequence,
+    SetPattern,
+    make_query,
+    parse_query,
+)
+from repro.queries import make_q1, make_q2, make_q3, make_qe
+from repro.sequential import SequentialEngine, run_sequential
+from repro.spectre import (
+    ApproximateSpectreEngine,
+    ElasticityPolicy,
+    ElasticSpectreEngine,
+    MarkovPredictor,
+    SpectreConfig,
+    SpectreEngine,
+    SpectreResult,
+    ThreadedSpectreEngine,
+    run_spectre,
+    run_spectre_approximate,
+    run_spectre_elastic,
+    run_spectre_threaded,
+)
+from repro.trex import TRexEngine, run_trex
+from repro.windows import WindowSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "ComplexEvent",
+    "EventStream",
+    "make_event",
+    "Atom",
+    "Sequence",
+    "KleenePlus",
+    "SetPattern",
+    "Negation",
+    "Query",
+    "make_query",
+    "parse_query",
+    "SelectionPolicy",
+    "ConsumptionPolicy",
+    "WindowSpec",
+    "SequentialEngine",
+    "run_sequential",
+    "SpectreEngine",
+    "SpectreConfig",
+    "SpectreResult",
+    "MarkovPredictor",
+    "run_spectre",
+    "ThreadedSpectreEngine",
+    "run_spectre_threaded",
+    "ApproximateSpectreEngine",
+    "run_spectre_approximate",
+    "ElasticSpectreEngine",
+    "ElasticityPolicy",
+    "run_spectre_elastic",
+    "TRexEngine",
+    "run_trex",
+    "make_q1",
+    "make_q2",
+    "make_q3",
+    "make_qe",
+    "Operator",
+    "OperatorGraph",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+Mirrors the original deployment's workflow (Sec. 4.1: a client program
+reads events from a source file and sends them to SPECTRE) from one
+binary:
+
+.. code-block:: console
+
+    # generate a dataset
+    python -m repro generate --kind nyse --events 10000 --out quotes.csv
+
+    # run a query file against it
+    python -m repro run --query q.sql --data quotes.csv --engine spectre \\
+        --k 8 --param lowerLimit=40 --param upperLimit=60
+
+    # compare engines / verify the equivalence contract
+    python -m repro verify --query q.sql --data quotes.csv --k 8
+
+``--query`` files use the paper's extended MATCH-RECOGNIZE notation
+(Fig. 9; see ``repro.patterns.parser``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.datasets import (
+    generate_nyse,
+    generate_price_walk,
+    generate_rand,
+    load_events_csv,
+    save_events_csv,
+)
+from repro.patterns.parser import parse_query
+from repro.sequential.engine import run_sequential
+from repro.spectre.config import SpectreConfig
+from repro.spectre.engine import SpectreEngine
+from repro.spectre.threaded import ThreadedSpectreEngine
+
+
+def _parse_params(pairs: Sequence[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param needs name=value, got {pair!r}")
+        name, raw = pair.split("=", 1)
+        try:
+            params[name] = float(raw) if "." in raw else int(raw)
+        except ValueError:
+            params[name] = raw
+    return params
+
+
+def _load_query(path: str, params: Sequence[str]):
+    text = Path(path).read_text()
+    return parse_query(text, name=Path(path).stem,
+                       params=_parse_params(params))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generators = {
+        "nyse": lambda: generate_nyse(
+            args.events, n_symbols=args.symbols, n_leading=args.leading,
+            seed=args.seed, unchanged_probability=args.flat),
+        "rand": lambda: generate_rand(args.events, n_symbols=args.symbols,
+                                      seed=args.seed),
+        "walk": lambda: generate_price_walk(args.events, seed=args.seed,
+                                            reversion=args.reversion),
+    }
+    events = generators[args.kind]()
+    save_events_csv(events, args.out)
+    print(f"wrote {len(events)} events to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    query = _load_query(args.query, args.param)
+    events = load_events_csv(args.data)
+    started = time.perf_counter()
+    if args.engine == "sequential":
+        result = run_sequential(query, events)
+        complex_events = result.complex_events
+        extra = (f"ground-truth completion probability "
+                 f"{result.completion_probability:.0%}")
+    else:
+        config = SpectreConfig(k=args.k)
+        engine_cls = ThreadedSpectreEngine if args.engine == "threaded" \
+            else SpectreEngine
+        engine = engine_cls(query, config)
+        result = engine.run(events)
+        complex_events = result.complex_events
+        stats = result.stats
+        extra = (f"k={args.k} versions={stats.versions_created} "
+                 f"dropped={stats.versions_dropped} "
+                 f"rollbacks={stats.rollbacks}")
+    elapsed = time.perf_counter() - started
+    print(f"{query.name}: {len(complex_events)} complex events from "
+          f"{len(events)} input events in {elapsed:.2f}s ({extra})")
+    limit = args.show
+    for ce in complex_events[:limit]:
+        print(f"  {ce!r}")
+    if len(complex_events) > limit:
+        print(f"  ... and {len(complex_events) - limit} more")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    query = _load_query(args.query, args.param)
+    events = load_events_csv(args.data)
+    sequential = run_sequential(query, events)
+    result = SpectreEngine(query, SpectreConfig(k=args.k)).run(events)
+    if result.identities() == sequential.identities():
+        print(f"OK: SPECTRE(k={args.k}) output identical to sequential "
+              f"({len(result.complex_events)} complex events)")
+        return 0
+    print(f"MISMATCH: sequential={len(sequential.complex_events)} "
+          f"spectre={len(result.complex_events)} complex events")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPECTRE reproduction: speculative parallel CEP with "
+                    "consumption policies")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a dataset")
+    generate.add_argument("--kind", choices=["nyse", "rand", "walk"],
+                          default="nyse")
+    generate.add_argument("--events", type=int, default=10_000)
+    generate.add_argument("--symbols", type=int, default=300)
+    generate.add_argument("--leading", type=int, default=16)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--flat", type=float, default=0.0,
+                          help="probability of an unchanged quote (nyse)")
+    generate.add_argument("--reversion", type=float, default=0.0,
+                          help="mean reversion strength (walk)")
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    run = commands.add_parser("run", help="run a query over a CSV stream")
+    run.add_argument("--query", required=True,
+                     help="file in extended MATCH-RECOGNIZE notation")
+    run.add_argument("--data", required=True, help="events CSV")
+    run.add_argument("--engine",
+                     choices=["sequential", "spectre", "threaded"],
+                     default="spectre")
+    run.add_argument("--k", type=int, default=4,
+                     help="operator instances (spectre engines)")
+    run.add_argument("--param", action="append", default=[],
+                     help="query parameter name=value (repeatable)")
+    run.add_argument("--show", type=int, default=5,
+                     help="complex events to print")
+    run.set_defaults(func=cmd_run)
+
+    verify = commands.add_parser(
+        "verify", help="check SPECTRE output equals the sequential engine")
+    verify.add_argument("--query", required=True)
+    verify.add_argument("--data", required=True)
+    verify.add_argument("--k", type=int, default=4)
+    verify.add_argument("--param", action="append", default=[])
+    verify.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

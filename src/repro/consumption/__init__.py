@@ -1,0 +1,6 @@
+"""Consumption machinery: groups (speculative) and the ledger (resolved)."""
+
+from repro.consumption.group import ConsumptionGroup, GroupState
+from repro.consumption.ledger import ConsumptionLedger
+
+__all__ = ["ConsumptionGroup", "GroupState", "ConsumptionLedger"]

@@ -1,0 +1,25 @@
+"""Datasets: synthetic NYSE-like quotes, the RAND stream, CSV replay."""
+
+from repro.datasets.loader import (
+    load_events_csv,
+    save_events_csv,
+    stream_events_csv,
+)
+from repro.datasets.nyse import (
+    generate_nyse,
+    generate_price_walk,
+    leading_symbols,
+    symbol_names,
+)
+from repro.datasets.rand import generate_rand
+
+__all__ = [
+    "generate_nyse",
+    "generate_price_walk",
+    "generate_rand",
+    "symbol_names",
+    "leading_symbols",
+    "save_events_csv",
+    "load_events_csv",
+    "stream_events_csv",
+]

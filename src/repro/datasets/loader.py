@@ -1,0 +1,57 @@
+"""Event persistence and replay.
+
+The original evaluation uses "a client program that reads events from a
+source file and sends them to SPECTRE over a TCP connection" (Sec. 4.1).
+This module provides the file half of that setup: a simple CSV format for
+quote-like events, plus a replaying iterator.  (The engines in this repo
+are driven in-process; a socket would only add noise to the benchmarks.)
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.events.event import Event
+
+_COLUMNS = ("seq", "etype", "timestamp", "symbol", "openPrice",
+            "closePrice", "change")
+
+
+def save_events_csv(events: Sequence[Event], path: str | Path) -> None:
+    """Write quote-like events to ``path`` in a stable CSV layout."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        for event in events:
+            attrs = event.attributes
+            writer.writerow([
+                event.seq, event.etype, event.timestamp,
+                attrs.get("symbol", ""), attrs.get("openPrice", ""),
+                attrs.get("closePrice", ""), attrs.get("change", ""),
+            ])
+
+
+def load_events_csv(path: str | Path) -> list[Event]:
+    """Load events previously written by :func:`save_events_csv`."""
+    return list(stream_events_csv(path))
+
+
+def stream_events_csv(path: str | Path) -> Iterator[Event]:
+    """Replay events from disk one at a time (the 'client program')."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            attributes = {}
+            if row["symbol"]:
+                attributes["symbol"] = row["symbol"]
+            for key in ("openPrice", "closePrice", "change"):
+                if row[key] != "":
+                    attributes[key] = float(row[key])
+            yield Event(
+                seq=int(row["seq"]),
+                etype=row["etype"],
+                timestamp=float(row["timestamp"]),
+                attributes=attributes,
+            )

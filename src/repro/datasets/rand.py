@@ -1,0 +1,40 @@
+"""The RAND dataset (Sec. 4.1).
+
+"We generated a random sequence of 3 million events consisting of 300
+different stock symbols; the probability of each stock symbol is equally
+distributed in the sequence."  This module reproduces that construction
+exactly (scaled event counts are up to the caller).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.event import Event
+from repro.datasets.nyse import symbol_names
+
+
+def generate_rand(n_events: int, n_symbols: int = 300,
+                  seed: int = 13) -> list[Event]:
+    """Uniform-symbol random stream, one quote-like event per step."""
+    rng = np.random.default_rng(seed)
+    names = symbol_names(n_symbols)
+    choices = rng.integers(0, n_symbols, size=n_events)
+    moves = rng.normal(loc=0.0, scale=1.0, size=n_events)
+    events: list[Event] = []
+    for seq in range(n_events):
+        index = int(choices[seq])
+        open_price = 50.0
+        close_price = 50.0 + float(moves[seq])
+        events.append(Event(
+            seq=seq,
+            etype="quote",
+            timestamp=float(seq),
+            attributes={
+                "symbol": names[index],
+                "openPrice": open_price,
+                "closePrice": close_price,
+                "change": close_price - open_price,
+            },
+        ))
+    return events

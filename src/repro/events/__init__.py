@@ -1,0 +1,23 @@
+"""Event model: primitive events, complex events and ordered streams."""
+
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event, make_event
+from repro.events.ooo import LateEventError, SlackSorter
+from repro.events.stream import (
+    EventStream,
+    StreamOrderError,
+    merge_streams,
+    validate_order,
+)
+
+__all__ = [
+    "Event",
+    "make_event",
+    "ComplexEvent",
+    "EventStream",
+    "StreamOrderError",
+    "merge_streams",
+    "validate_order",
+    "SlackSorter",
+    "LateEventError",
+]

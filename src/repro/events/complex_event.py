@@ -1,0 +1,62 @@
+"""Complex (derived) events.
+
+When an operator detects a pattern instance it emits a *complex event* to
+its successors (Sec. 2.1).  For reproducibility we record the full
+provenance: the query, the window the match was found in, and the
+constituent primitive events in detection order.
+
+Two complex events are equal iff they were derived from the same query in
+the same window from the same constituents — this is the equality the
+sequential-vs-SPECTRE equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.events.event import Event
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexEvent:
+    """A pattern-instance detection result.
+
+    Parameters
+    ----------
+    query_name:
+        Name of the query whose pattern completed.
+    window_id:
+        Id of the window in which the match was detected.
+    constituents:
+        The primitive events forming the pattern instance, in match order.
+    attributes:
+        Derived payload (e.g. the ``Factor`` of the paper's ``QE`` query).
+    """
+
+    query_name: str
+    window_id: int
+    constituents: tuple[Event, ...]
+    attributes: Mapping[str, Any] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.attributes is None:
+            object.__setattr__(self, "attributes", {})
+
+    @property
+    def constituent_seqs(self) -> tuple[int, ...]:
+        """Sequence numbers of the constituents (stable identity)."""
+        return tuple(event.seq for event in self.constituents)
+
+    def identity(self) -> tuple:
+        """Hashable identity used by equivalence checks.
+
+        Window ids are deliberately *excluded*: two engines may number
+        windows differently yet detect the same pattern instances.  A
+        pattern instance is identified by the query and its constituents.
+        """
+        return (self.query_name, self.constituent_seqs)
+
+    def __repr__(self) -> str:
+        inner = ",".join(f"{e.etype}#{e.seq}" for e in self.constituents)
+        return f"ComplexEvent({self.query_name}@w{self.window_id}:[{inner}])"

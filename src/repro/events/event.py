@@ -1,0 +1,73 @@
+"""The basic event model.
+
+An :class:`Event` is the unit of data flowing through a DCEP operator.  It
+carries meta-data used by the engine itself (a global sequence number, an
+event type, a timestamp) and an arbitrary attribute payload (stock symbol,
+open/close price, sensor reading, ...).
+
+Events arriving at an operator have a *well-defined global ordering*
+(Sec. 2.1 of the paper): we order by ``(timestamp, seq)``, the sequence
+number acting as the deterministic tie-breaker for equal timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single primitive event.
+
+    Parameters
+    ----------
+    seq:
+        Global sequence number.  Unique per stream; also the tie-breaker
+        that makes the event ordering total.
+    etype:
+        The event type (e.g. ``"A"``, ``"quote"``).  Pattern atoms match on
+        it, possibly refined by payload predicates.
+    timestamp:
+        Occurrence time in seconds.  Time-based windows use it.
+    attributes:
+        Read-only payload mapping, e.g. ``{"symbol": "IBM", "close": 101.2}``.
+    """
+
+    seq: int
+    etype: str
+    timestamp: float = 0.0
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        """Shorthand payload access: ``event["symbol"]``."""
+        return self.attributes[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload access with a default, mirroring ``dict.get``."""
+        return self.attributes.get(key, default)
+
+    @property
+    def order_key(self) -> tuple[float, int]:
+        """Total-order key: timestamp first, sequence number as tie-break."""
+        return (self.timestamp, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.order_key < other.order_key
+
+    def __le__(self, other: "Event") -> bool:
+        return self.order_key <= other.order_key
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        return f"Event({self.etype}#{self.seq})"
+
+
+def make_event(seq: int, etype: str, timestamp: float | None = None,
+               **attributes: Any) -> Event:
+    """Convenience constructor used throughout tests and examples.
+
+    If ``timestamp`` is omitted the sequence number doubles as the
+    timestamp, which is handy for count-oriented scenarios.
+    """
+    ts = float(seq) if timestamp is None else timestamp
+    return Event(seq=seq, etype=etype, timestamp=ts, attributes=attributes)

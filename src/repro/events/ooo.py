@@ -1,0 +1,80 @@
+"""Out-of-order arrival handling.
+
+The engines require the globally ordered stream of Sec. 2.1.  Real sources
+deliver events out of order; the standard remedy (Mutschler & Philippsen,
+cited in Sec. 5) is a *slack buffer*: hold each event back for a slack
+interval and release in timestamp order.  SPECTRE's own speculation starts
+only after this reordering stage, so the two mechanisms compose.
+
+:class:`SlackSorter` implements the buffer with a configurable slack and
+an explicit policy for events arriving later than the slack allows
+(``"drop"`` or ``"raise"``); late arrivals are counted either way.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.events.event import Event
+from repro.utils.validation import require
+
+
+class LateEventError(ValueError):
+    """An event arrived after its release horizon had already passed."""
+
+
+class SlackSorter:
+    """Reorders a nearly ordered stream using a slack-time buffer.
+
+    Events are buffered until the maximum timestamp seen so far exceeds
+    their own by more than ``slack``; then they are released in
+    ``(timestamp, seq)`` order.  An event older than the current release
+    horizon is *late*: with ``late_policy="drop"`` it is discarded and
+    counted, with ``"raise"`` a :class:`LateEventError` is raised.
+    """
+
+    def __init__(self, slack: float, late_policy: str = "drop") -> None:
+        require(slack >= 0.0, "slack must be >= 0")
+        require(late_policy in ("drop", "raise"),
+                "late_policy must be 'drop' or 'raise'")
+        self.slack = slack
+        self.late_policy = late_policy
+        self.late_events = 0
+        self._heap: list[tuple[tuple[float, int], Event]] = []
+        self._max_seen = float("-inf")
+        self._released = float("-inf")
+
+    def push(self, event: Event) -> list[Event]:
+        """Offer one event; returns the events released by its arrival."""
+        if event.timestamp < self._released:
+            self.late_events += 1
+            if self.late_policy == "raise":
+                raise LateEventError(
+                    f"{event!r} arrived after the release horizon "
+                    f"{self._released}")
+            return []
+        heapq.heappush(self._heap, (event.order_key, event))
+        self._max_seen = max(self._max_seen, event.timestamp)
+        horizon = self._max_seen - self.slack
+        released: list[Event] = []
+        while self._heap and self._heap[0][1].timestamp <= horizon:
+            released.append(heapq.heappop(self._heap)[1])
+        if released:
+            self._released = max(self._released,
+                                 released[-1].timestamp)
+        return released
+
+    def flush(self) -> list[Event]:
+        """End of stream: release everything still buffered, in order."""
+        released = [event for _key, event in sorted(self._heap)]
+        self._heap = []
+        if released:
+            self._released = max(self._released, released[-1].timestamp)
+        return released
+
+    def sort(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Convenience: reorder a whole finite stream lazily."""
+        for event in events:
+            yield from self.push(event)
+        yield from self.flush()

@@ -1,0 +1,79 @@
+"""Event stream utilities.
+
+An :class:`EventStream` is an ordered, indexable sequence of events — the
+"shared memory" event buffer of the data-parallelization framework
+(Fig. 2): the splitter appends incoming events, windows reference ranges of
+it by index, and operator instances read events by position.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Sequence
+
+from repro.events.event import Event
+
+
+class StreamOrderError(ValueError):
+    """Raised when events are appended out of global order."""
+
+
+class EventStream:
+    """Append-only, globally ordered event buffer.
+
+    The stream enforces the total order of Sec. 2.1 on append: an event
+    whose ``order_key`` is smaller than its predecessor's is rejected.
+    """
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: list[Event] = []
+        for event in events:
+            self.append(event)
+
+    def append(self, event: Event) -> None:
+        """Append ``event``, enforcing the global order."""
+        if self._events and event.order_key < self._events[-1].order_key:
+            raise StreamOrderError(
+                f"event {event!r} (key {event.order_key}) arrives after "
+                f"{self._events[-1]!r} (key {self._events[-1].order_key})"
+            )
+        self._events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def slice(self, start: int, end: int) -> Sequence[Event]:
+        """Events in positions ``[start, end)``."""
+        return self._events[start:end]
+
+    @property
+    def last(self) -> Event | None:
+        return self._events[-1] if self._events else None
+
+
+def merge_streams(*streams: Iterable[Event]) -> list[Event]:
+    """Merge several individually ordered streams into one global order.
+
+    This models events from different sources arriving at one operator
+    (Sec. 2.1: "events from different streams arriving at an operator have
+    a well-defined global ordering").
+    """
+    return list(heapq.merge(*streams, key=lambda event: event.order_key))
+
+
+def validate_order(events: Sequence[Event]) -> bool:
+    """Return ``True`` iff ``events`` respects the global total order."""
+    return all(
+        earlier.order_key <= later.order_key
+        for earlier, later in zip(events, events[1:])
+    )

@@ -1,0 +1,12 @@
+"""Operator graph: chained DCEP operators (Sec. 2.1's DCEP system model)."""
+
+from repro.graph.graph import GraphError, GraphRun, OperatorGraph
+from repro.graph.operator import Operator, OperatorReport
+
+__all__ = [
+    "Operator",
+    "OperatorReport",
+    "OperatorGraph",
+    "GraphRun",
+    "GraphError",
+]

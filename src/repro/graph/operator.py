@@ -1,0 +1,126 @@
+"""DCEP operators: one query, one engine, one node of the operator graph.
+
+Sec. 2.1: "a distributed network of interconnected DCEP operators, the
+operator graph, is deployed.  Each operator processes incoming event
+streams and detects a designated part of an event pattern [...]  If such
+a pattern is detected, a new (complex) event is produced and emitted to
+successor operators or to a consumer."
+
+An :class:`Operator` wraps a query plus an engine choice (sequential,
+SPECTRE simulated, SPECTRE threaded) and exposes uniform
+``process(events) -> list[Event]`` semantics: emitted complex events are
+re-materialised as primitive events (type = the operator's output type,
+payload = the complex event's attributes plus provenance) so that
+successor operators can consume them like any other stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+from repro.patterns.query import Query
+from repro.sequential.engine import SequentialEngine
+from repro.spectre.config import SpectreConfig
+from repro.spectre.engine import SpectreEngine
+from repro.utils.validation import require
+
+ENGINES = ("sequential", "spectre", "spectre-threaded")
+
+
+@dataclass
+class OperatorReport:
+    """What one operator run produced."""
+
+    name: str
+    input_events: int
+    complex_events: list[ComplexEvent]
+    output_events: list[Event]
+    engine: str
+
+
+class Operator:
+    """One node of the operator graph.
+
+    Parameters
+    ----------
+    name:
+        Unique operator name in the graph.
+    query:
+        The pattern-detection task.
+    output_type:
+        Event type of the re-materialised complex events (defaults to the
+        operator name).
+    engine:
+        ``"sequential"``, ``"spectre"`` or ``"spectre-threaded"``.
+    config:
+        SPECTRE configuration (ignored by the sequential engine).
+    """
+
+    def __init__(self, name: str, query: Query,
+                 output_type: Optional[str] = None,
+                 engine: str = "spectre",
+                 config: SpectreConfig | None = None) -> None:
+        require(engine in ENGINES, f"engine must be one of {ENGINES}")
+        self.name = name
+        self.query = query
+        self.output_type = output_type or name
+        self.engine = engine
+        self.config = config or SpectreConfig()
+        self.last_report: Optional[OperatorReport] = None
+
+    def _detect(self, events: list[Event]) -> list[ComplexEvent]:
+        if self.engine == "sequential":
+            return SequentialEngine(self.query).run(events).complex_events
+        if self.engine == "spectre":
+            return SpectreEngine(self.query, self.config) \
+                .run(events).complex_events
+        from repro.spectre.threaded import ThreadedSpectreEngine
+        return ThreadedSpectreEngine(self.query, self.config) \
+            .run(events).complex_events
+
+    def materialize(self, complex_events: Iterable[ComplexEvent],
+                    seq_start: int = 0) -> list[Event]:
+        """Complex events → primitive events for successor operators.
+
+        The derived event's timestamp is its *detection anchor*: the
+        timestamp of the last constituent (the event whose arrival
+        completed the pattern).  Engines emit in window order, which can
+        differ from anchor order when windows overlap, so the derived
+        stream is re-sorted by anchor before sequence numbers are
+        assigned densely from ``seq_start`` — keeping the global order of
+        Sec. 2.1 intact downstream.
+        """
+        ordered = sorted(
+            complex_events,
+            key=lambda ce: (ce.constituents[-1].timestamp,
+                            ce.constituents[-1].seq))
+        output: list[Event] = []
+        for offset, ce in enumerate(ordered):
+            last = ce.constituents[-1]
+            attributes = dict(ce.attributes)
+            attributes["source_operator"] = self.name
+            attributes["constituent_seqs"] = ce.constituent_seqs
+            output.append(Event(
+                seq=seq_start + offset,
+                etype=self.output_type,
+                timestamp=last.timestamp,
+                attributes=attributes,
+            ))
+        return output
+
+    def process(self, events: Iterable[Event]) -> list[Event]:
+        """Run the operator over a finite stream; return emitted events."""
+        events = list(events)
+        complex_events = self._detect(events)
+        output = self.materialize(complex_events)
+        self.last_report = OperatorReport(
+            name=self.name,
+            input_events=len(events),
+            complex_events=complex_events,
+            output_events=output,
+            engine=self.engine,
+        )
+        return output

@@ -1,0 +1,14 @@
+"""Pattern matching: detector protocol and the generic NFA detector."""
+
+from repro.matching.base import Completion, Detector, Feedback, PartialMatch
+from repro.matching.nfa import CompiledPattern, NFADetector, compile_pattern
+
+__all__ = [
+    "Detector",
+    "Feedback",
+    "Completion",
+    "PartialMatch",
+    "NFADetector",
+    "CompiledPattern",
+    "compile_pattern",
+]

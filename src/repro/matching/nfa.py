@@ -1,0 +1,375 @@
+"""Generic automaton-based detector for AST patterns.
+
+This detector compiles a :class:`~repro.patterns.ast.Sequence` into a
+position-indexed automaton and runs it with *skip-till-next-match*
+semantics: events that cannot advance a partial match are skipped silently;
+only negation guards can kill a match mid-window.
+
+The same compiled automaton is used in two roles:
+
+* inside SPECTRE as a drop-in generic detector for arbitrary queries, and
+* as the core of the T-REX baseline (``repro.trex``), which — like the
+  original T-REX — "automatically translates queries into state machines"
+  instead of hand-optimised UDFs (Sec. 4.2.3).
+
+Semantics notes (documented choices where the paper is silent):
+
+* A satisfied ``KleenePlus`` prefers *progress*: if an event matches both
+  the Kleene atom and the next element, the next element wins.
+* A trailing ``KleenePlus`` matches minimally (completes on its first
+  binding).
+* A negation guard placed before element *i* is active from the moment
+  element *i-1* is satisfied until element *i* receives its first binding.
+* When a completion consumes events, every other partial match containing
+  a consumed event is abandoned (an event belongs to at most one pattern
+  instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence as Seq
+
+from repro.events.event import Event
+from repro.matching.base import Completion, Detector, Feedback, PartialMatch
+from repro.patterns.ast import (
+    Atom,
+    KleenePlus,
+    Negation,
+    PatternElement,
+    SetPattern,
+    Sequence,
+)
+from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
+
+DeriveFn = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+
+
+@dataclass(frozen=True)
+class CompiledPattern:
+    """A Sequence split into positive elements and negation guards."""
+
+    positives: tuple[PatternElement, ...]
+    # guards[i] = negation atoms active while position i is current
+    guards: tuple[tuple[Atom, ...], ...]
+
+    @property
+    def mandatory_total(self) -> int:
+        return sum(element.mandatory_count() for element in self.positives)
+
+
+def compile_pattern(pattern: PatternElement) -> CompiledPattern:
+    """Normalize any AST node into a :class:`CompiledPattern`."""
+    if not isinstance(pattern, Sequence):
+        pattern = Sequence((pattern,))
+    positives: list[PatternElement] = []
+    guards: list[list[Atom]] = []
+    pending_negations: list[Atom] = []
+    for element in pattern.elements:
+        if isinstance(element, Negation):
+            pending_negations.append(element.atom)
+            continue
+        positives.append(element)
+        guards.append(list(pending_negations))
+        pending_negations = []
+    if pending_negations:
+        raise ValueError("trailing Negation has no following element")
+    return CompiledPattern(tuple(positives), tuple(tuple(g) for g in guards))
+
+
+class NFAPartialMatch(PartialMatch):
+    """Mutable run of the automaton (one candidate pattern instance)."""
+
+    __slots__ = ("match_id", "pos", "bindings", "bound_order", "_compiled",
+                 "_policy")
+
+    def __init__(self, match_id: int, compiled: CompiledPattern,
+                 policy: ConsumptionPolicy) -> None:
+        self.match_id = match_id
+        self.pos = 0
+        self.bindings: dict[str, Any] = {}
+        self.bound_order: list[tuple[str, Event]] = []
+        self._compiled = compiled
+        self._policy = policy
+
+    # -- element-local helpers ------------------------------------------
+
+    def _satisfied(self, index: int) -> bool:
+        element = self._compiled.positives[index]
+        if isinstance(element, Atom):
+            return element.name in self.bindings
+        if isinstance(element, KleenePlus):
+            return bool(self.bindings.get(element.name))
+        assert isinstance(element, SetPattern)
+        return all(atom.name in self.bindings for atom in element.atoms)
+
+    def _bind(self, element: PatternElement, event: Event) -> bool:
+        """Try to bind ``event`` into ``element``; return success."""
+        if isinstance(element, Atom):
+            if element.name not in self.bindings and \
+                    element.matches(event, self.bindings):
+                self.bindings[element.name] = event
+                self.bound_order.append((element.name, event))
+                return True
+            return False
+        if isinstance(element, KleenePlus):
+            if element.atom.matches(event, self.bindings):
+                self.bindings.setdefault(element.name, []).append(event)
+                self.bound_order.append((element.name, event))
+                return True
+            return False
+        assert isinstance(element, SetPattern)
+        for atom in element.atoms:
+            if atom.name not in self.bindings and \
+                    atom.matches(event, self.bindings):
+                self.bindings[atom.name] = event
+                self.bound_order.append((atom.name, event))
+                return True
+        return False
+
+    def _normalize(self) -> None:
+        """Advance ``pos`` past satisfied non-Kleene elements.
+
+        A satisfied Kleene element stays current so that it can keep
+        absorbing events, except when it is the last element (minimal
+        match — completion is checked by the detector right after).
+        """
+        positives = self._compiled.positives
+        while self.pos < len(positives) and self._satisfied(self.pos):
+            if isinstance(positives[self.pos], KleenePlus) and \
+                    self.pos < len(positives) - 1:
+                break
+            self.pos += 1
+
+    # -- stepping --------------------------------------------------------
+
+    def violates_guard(self, event: Event) -> bool:
+        """Does ``event`` trigger an active negation guard?"""
+        if self.pos >= len(self._compiled.guards):
+            return False
+        if self._satisfied(self.pos):
+            return False  # guard expires once the element has a binding
+        return any(atom.matches(event, self.bindings)
+                   for atom in self._compiled.guards[self.pos])
+
+    def step(self, event: Event) -> bool:
+        """Feed one event; return ``True`` if the match absorbed it."""
+        positives = self._compiled.positives
+        if self.pos >= len(positives):
+            return False  # already complete
+        current = positives[self.pos]
+        in_satisfied_kleene = (isinstance(current, KleenePlus)
+                               and self._satisfied(self.pos))
+        if in_satisfied_kleene and self.pos + 1 < len(positives):
+            # prefer progress over absorption
+            if self._bind(positives[self.pos + 1], event):
+                self.pos += 1
+                self._normalize()
+                return True
+        if self._bind(current, event):
+            self._normalize()
+            return True
+        return False
+
+    @property
+    def is_complete(self) -> bool:
+        positives = self._compiled.positives
+        if self.pos >= len(positives):
+            return True
+        return (self.pos == len(positives) - 1
+                and isinstance(positives[self.pos], KleenePlus)
+                and self._satisfied(self.pos))
+
+    # -- PartialMatch interface ------------------------------------------
+
+    @property
+    def delta(self) -> int:
+        """Events still required: unmet share of the current element plus
+        all mandatory counts of later elements."""
+        positives = self._compiled.positives
+        if self.pos >= len(positives):
+            return 0
+        current = positives[self.pos]
+        if isinstance(current, Atom):
+            remaining = 0 if self._satisfied(self.pos) else 1
+        elif isinstance(current, KleenePlus):
+            remaining = 0 if self._satisfied(self.pos) else 1
+        else:
+            assert isinstance(current, SetPattern)
+            remaining = sum(1 for atom in current.atoms
+                            if atom.name not in self.bindings)
+        remaining += sum(positives[i].mandatory_count()
+                         for i in range(self.pos + 1, len(positives)))
+        return remaining
+
+    @property
+    def consumable(self) -> list[Event]:
+        return [event for name, event in self.bound_order
+                if self._policy.consumes(name)]
+
+    @property
+    def constituents(self) -> tuple[Event, ...]:
+        return tuple(event for _name, event in self.bound_order)
+
+    def contains_any(self, events: set[int]) -> bool:
+        """Does the match bind any event whose seq is in ``events``?"""
+        return any(event.seq in events for _n, event in self.bound_order)
+
+
+class NFADetector(Detector):
+    """Automaton detector for one window version.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern AST (any element; wrapped into a Sequence).
+    selection, consumption:
+        Policies; see :mod:`repro.patterns.policies`.
+    max_matches:
+        Stop after this many completions per window (``None`` = no limit).
+        The paper's evaluation queries detect the *first* match per window.
+    anchor:
+        If given, matches may only be created by this exact event (the
+        window's start event).  Used by ``FROM <predicate>`` windows whose
+        opening event is the first pattern constituent — if a predecessor
+        window consumed the anchor, the window can never match.
+    derive:
+        Optional callable computing the complex event's payload from the
+        completed bindings.
+    """
+
+    def __init__(self, pattern: PatternElement,
+                 selection: SelectionPolicy = SelectionPolicy.FIRST,
+                 consumption: ConsumptionPolicy | None = None,
+                 max_matches: Optional[int] = 1,
+                 anchor: Optional[Event] = None,
+                 derive: Optional[DeriveFn] = None) -> None:
+        self._compiled = compile_pattern(pattern)
+        self._selection = selection
+        self._policy = consumption or ConsumptionPolicy.none()
+        self._max_matches = max_matches
+        self._anchor = anchor
+        self._derive = derive
+        self._active: list[NFAPartialMatch] = []
+        self._next_match_id = 0
+        self._completions = 0
+        self._closed = False
+
+    @property
+    def delta_max(self) -> int:
+        return self._compiled.mandatory_total
+
+    @property
+    def done(self) -> bool:
+        if self._closed:
+            return True
+        if self._max_matches is None:
+            return False
+        return self._completions >= self._max_matches and not self._active
+
+    # -- helpers ----------------------------------------------------------
+
+    def _may_create(self, event: Event) -> bool:
+        if self._anchor is not None and event.seq != self._anchor.seq:
+            return False
+        if self._selection is SelectionPolicy.FIRST and self._active:
+            return False
+        probe = NFAPartialMatch(-1, self._compiled, self._policy)
+        return probe.step(event)
+
+    def _create_match(self, event: Event, feedback: Feedback) -> None:
+        match = NFAPartialMatch(self._next_match_id, self._compiled,
+                                self._policy)
+        self._next_match_id += 1
+        absorbed = match.step(event)
+        assert absorbed, "creation probe succeeded but binding failed"
+        self._active.append(match)
+        feedback.created.append(match)
+        if self._policy.consumes(match.bound_order[0][0]):
+            feedback.added.append((match, event))
+
+    def _complete(self, match: NFAPartialMatch, feedback: Feedback) -> None:
+        constituents = match.constituents
+        consumed = tuple(match.consumable)
+        attributes = dict(self._derive(match.bindings)) if self._derive else {}
+        feedback.completed.append(Completion(
+            match=match, constituents=constituents, consumed=consumed,
+            attributes=attributes))
+        self._completions += 1
+        self._active.remove(match)
+        if consumed:
+            consumed_seqs = {event.seq for event in consumed}
+            for other in list(self._active):
+                if other.contains_any(consumed_seqs):
+                    self._active.remove(other)
+                    feedback.abandoned.append(other)
+        if self._max_matches is not None and \
+                self._completions >= self._max_matches:
+            # selection budget exhausted: nothing further may match
+            for leftover in self._active:
+                feedback.abandoned.append(leftover)
+            self._active = []
+
+    # -- Detector interface -----------------------------------------------
+
+    def process(self, event: Event) -> Feedback:
+        if self._closed:
+            raise RuntimeError("detector already closed")
+        feedback = Feedback()
+        if self.done:
+            return feedback
+
+        # 1. negation guards
+        for match in list(self._active):
+            if match.violates_guard(event):
+                self._active.remove(match)
+                feedback.abandoned.append(match)
+
+        # 2. LAST selection: a fresher candidate replaces an un-started
+        #    match's initial binding.
+        if self._selection is SelectionPolicy.LAST:
+            self._rebind_last(event, feedback)
+
+        # 3. extend active matches
+        for match in list(self._active):
+            if match not in self._active:
+                continue  # abandoned by an earlier completion this event
+            before = len(match.bound_order)
+            if match.step(event):
+                if len(match.bound_order) > before:
+                    name, _event = match.bound_order[-1]
+                    if self._policy.consumes(name):
+                        feedback.added.append((match, event))
+                if match.is_complete:
+                    self._complete(match, feedback)
+                    if self.done:
+                        return feedback
+                if self._selection is not SelectionPolicy.EACH:
+                    break  # one extension per event is enough outside EACH
+
+        # 4. create a new match where selection allows
+        if self._may_create(event):
+            self._create_match(event, feedback)
+            newest = self._active[-1]
+            if newest.is_complete:  # single-element patterns
+                self._complete(newest, feedback)
+        return feedback
+
+    def _rebind_last(self, event: Event, feedback: Feedback) -> None:
+        """LAST selection: drop an initial-position match if the new event
+        could start a fresh one (the later candidate is preferred)."""
+        fresh_possible = NFAPartialMatch(-1, self._compiled, self._policy)
+        if not fresh_possible.step(event):
+            return
+        for match in list(self._active):
+            if len(match.bound_order) == 1 and not match.is_complete:
+                self._active.remove(match)
+                feedback.abandoned.append(match)
+
+    def close(self) -> Feedback:
+        feedback = Feedback()
+        if not self._closed:
+            feedback.abandoned.extend(self._active)
+            self._active = []
+            self._closed = True
+        return feedback

@@ -1,0 +1,15 @@
+"""Measurement utilities: candlestick percentiles and run recording."""
+
+from repro.metrics.stats import Candlesticks, candlesticks, scaling_factors
+from repro.metrics.throughput import (
+    ThroughputRecorder,
+    calibrate_events_per_second,
+)
+
+__all__ = [
+    "Candlesticks",
+    "candlesticks",
+    "scaling_factors",
+    "ThroughputRecorder",
+    "calibrate_events_per_second",
+]

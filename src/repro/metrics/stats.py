@@ -1,0 +1,50 @@
+"""Statistics helpers for the evaluation harness.
+
+The paper reports "the 0th, 25th, 50th, 75th and 100th percentiles of the
+experiment results in a 'candlesticks' representation" (Sec. 4.2); these
+helpers compute and render that summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Candlesticks:
+    """The five percentiles of one experiment cell."""
+
+    p0: float
+    p25: float
+    p50: float
+    p75: float
+    p100: float
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.p0, self.p25, self.p50, self.p75, self.p100)
+
+    def __str__(self) -> str:
+        return (f"[{self.p0:,.0f} | {self.p25:,.0f} | {self.p50:,.0f} | "
+                f"{self.p75:,.0f} | {self.p100:,.0f}]")
+
+
+def candlesticks(values: Sequence[float]) -> Candlesticks:
+    """The paper's candlestick summary of repeated measurements."""
+    if not values:
+        raise ValueError("candlesticks of an empty sample")
+    percentiles = np.percentile(np.asarray(values, dtype=float),
+                                [0, 25, 50, 75, 100])
+    return Candlesticks(*map(float, percentiles))
+
+
+def scaling_factors(throughput_by_k: Mapping[int, float]) -> dict[int, float]:
+    """Throughput relative to k=1 (the paper's "scaling factor N.N")."""
+    if 1 not in throughput_by_k:
+        raise ValueError("need a k=1 baseline to compute scaling factors")
+    base = throughput_by_k[1]
+    if base <= 0:
+        raise ValueError("k=1 throughput must be positive")
+    return {k: value / base for k, value in sorted(throughput_by_k.items())}

@@ -1,0 +1,56 @@
+"""Throughput recording and virtual-time calibration.
+
+The simulated runtime reports throughput in *input events per virtual-time
+unit*.  To print paper-comparable events/second we calibrate the virtual
+unit so that the 1-instance configuration of an experiment matches the
+paper's single-instance baseline (~10k events/s in Figs. 10(a)/(b)) — the
+paper's absolute numbers come from a 2×10-core Xeon we do not have, so
+only this one anchor point is fitted; every ratio between configurations
+is produced by the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.metrics.stats import Candlesticks, candlesticks
+
+
+def calibrate_events_per_second(
+        virtual_throughput_by_k: Mapping[int, float],
+        baseline_events_per_second: float = 10_000.0) -> dict[int, float]:
+    """Rescale virtual throughputs so that k=1 hits the paper baseline."""
+    if 1 not in virtual_throughput_by_k:
+        raise ValueError("need the k=1 cell to calibrate")
+    base = virtual_throughput_by_k[1]
+    if base <= 0:
+        raise ValueError("k=1 virtual throughput must be positive")
+    scale = baseline_events_per_second / base
+    return {k: value * scale
+            for k, value in sorted(virtual_throughput_by_k.items())}
+
+
+@dataclass
+class ThroughputRecorder:
+    """Collects repeated measurements per experiment cell and renders the
+    paper-style rows (cells keyed by e.g. ``(ratio, k)``)."""
+
+    cells: dict[tuple, list[float]] = field(default_factory=dict)
+
+    def record(self, key: tuple, value: float) -> None:
+        self.cells.setdefault(key, []).append(value)
+
+    def summary(self, key: tuple) -> Candlesticks:
+        return candlesticks(self.cells[key])
+
+    def rows(self) -> list[tuple[tuple, Candlesticks]]:
+        return [(key, candlesticks(values))
+                for key, values in sorted(self.cells.items())]
+
+    def render(self, header: str = "") -> str:
+        lines = [header] if header else []
+        for key, sticks in self.rows():
+            label = ", ".join(str(part) for part in key)
+            lines.append(f"  ({label}): {sticks}")
+        return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Pattern language: AST, predicates, policies, queries and the parser."""
+
+from repro.patterns.ast import (
+    Atom,
+    KleenePlus,
+    Negation,
+    PatternElement,
+    Sequence,
+    SetPattern,
+    atoms_of,
+    sequence,
+)
+from repro.patterns.parser import QueryParseError, parse_query
+from repro.patterns.policies import (
+    ConsumptionPolicy,
+    SelectionPolicy,
+    parameter_context,
+)
+from repro.patterns.query import Query, make_query
+
+__all__ = [
+    "Atom",
+    "KleenePlus",
+    "Negation",
+    "SetPattern",
+    "Sequence",
+    "PatternElement",
+    "sequence",
+    "atoms_of",
+    "SelectionPolicy",
+    "ConsumptionPolicy",
+    "parameter_context",
+    "Query",
+    "make_query",
+    "parse_query",
+    "QueryParseError",
+]

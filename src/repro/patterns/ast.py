@@ -1,0 +1,170 @@
+"""Pattern abstract syntax tree.
+
+The AST covers the constructs the paper's queries (and its cited
+specification languages — Snoop, Amit, Tesla, SASE) use:
+
+* :class:`Atom` — a single event, constrained by type and predicate.
+* :class:`Sequence` — ordered succession of elements.
+* :class:`KleenePlus` — one or more occurrences of an atom (``B+`` in Q2).
+* :class:`SetPattern` — an unordered conjunction (``SET(X1 ... Xn)`` in Q3).
+* :class:`Negation` — a forbidden event between two sequence positions;
+  its occurrence *abandons* the partial match (Sec. 3.1, abandon case 2).
+
+Matching semantics are *skip-till-next-match* (as in SASE): events that do
+not advance a partial match are skipped, they neither extend nor kill it —
+except negations, which kill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.patterns.predicates import Predicate, true_predicate
+
+
+@dataclass(frozen=True)
+class PatternElement:
+    """Base class for AST nodes."""
+
+    def mandatory_count(self) -> int:
+        """Minimum number of events needed to satisfy this element.
+
+        This is the element's contribution to δ, the "inverse degree of
+        completion" that drives the Markov prediction model (Sec. 3.2.1).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(PatternElement):
+    """A single event position.
+
+    Parameters
+    ----------
+    name:
+        Binding name (``A``, ``RE1``, ...). Must be unique in a pattern.
+    etype:
+        Required event type, or ``None`` to accept any type.
+    predicate:
+        Payload predicate, see :mod:`repro.patterns.predicates`.
+    """
+
+    name: str
+    etype: Optional[str] = None
+    predicate: Predicate = true_predicate
+
+    def matches(self, event, bindings) -> bool:
+        """Type check plus predicate check against ``event``."""
+        if self.etype is not None and event.etype != self.etype:
+            return False
+        return self.predicate(event, bindings)
+
+    def mandatory_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class KleenePlus(PatternElement):
+    """One-or-more repetitions of ``atom`` (binds a list of events).
+
+    Only the *first* occurrence is mandatory; further matching events are
+    absorbed without advancing completion (exactly the behaviour the paper
+    highlights for Q2: "the Kleene+ implies that many events can match
+    while the pattern completion does not progress").
+    """
+
+    atom: Atom
+
+    @property
+    def name(self) -> str:
+        return self.atom.name
+
+    def mandatory_count(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Negation(PatternElement):
+    """A forbidden event.
+
+    Placed between two sequence positions, a matching event abandons the
+    partial match once the preceding position is bound (e.g. "no C between
+    A and B").
+    """
+
+    atom: Atom
+
+    @property
+    def name(self) -> str:
+        return self.atom.name
+
+    def mandatory_count(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class SetPattern(PatternElement):
+    """Unordered conjunction: each member atom must match a distinct event.
+
+    Used by Q3's ``SET(X1 ... Xn)``: *n* specific stock symbols following
+    symbol A, "the ordering of those n symbols is not important".
+    """
+
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        names = [atom.name for atom in self.atoms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate atom names in SetPattern: {names}")
+
+    def mandatory_count(self) -> int:
+        return len(self.atoms)
+
+
+@dataclass(frozen=True)
+class Sequence(PatternElement):
+    """Ordered succession of pattern elements."""
+
+    elements: tuple[PatternElement, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = list(self.names())
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate atom names in Sequence: {names}")
+        if not self.elements:
+            raise ValueError("a Sequence needs at least one element")
+        if isinstance(self.elements[0], Negation):
+            raise ValueError("a Sequence cannot start with a Negation")
+
+    def names(self):
+        for element in self.elements:
+            if isinstance(element, SetPattern):
+                for atom in element.atoms:
+                    yield atom.name
+            else:
+                yield element.name  # type: ignore[attr-defined]
+
+    def mandatory_count(self) -> int:
+        return sum(element.mandatory_count() for element in self.elements)
+
+
+def sequence(*elements: PatternElement) -> Sequence:
+    """Build a :class:`Sequence` from varargs (readability helper)."""
+    return Sequence(tuple(elements))
+
+
+def atoms_of(pattern: PatternElement) -> list[Atom]:
+    """All atoms of ``pattern`` in declaration order (negations included)."""
+    if isinstance(pattern, Atom):
+        return [pattern]
+    if isinstance(pattern, (KleenePlus, Negation)):
+        return [pattern.atom]
+    if isinstance(pattern, SetPattern):
+        return list(pattern.atoms)
+    if isinstance(pattern, Sequence):
+        result: list[Atom] = []
+        for element in pattern.elements:
+            result.extend(atoms_of(element))
+        return result
+    raise TypeError(f"unknown pattern element: {pattern!r}")

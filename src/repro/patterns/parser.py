@@ -1,0 +1,437 @@
+"""Parser for the paper's extended MATCH-RECOGNIZE notation.
+
+The paper (Fig. 9) writes queries in MATCH-RECOGNIZE syntax extended with
+two Tesla-derived clauses: ``WITHIN ... FROM ...`` (window definition) and
+``CONSUME ...`` (consumption policy).  This module parses that notation
+into a runnable :class:`~repro.patterns.query.Query`:
+
+.. code-block:: text
+
+    PATTERN (A B+ C)
+    DEFINE
+        A AS (A.closePrice < lowerLimit),
+        B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit),
+        C AS (C.closePrice > upperLimit)
+    WITHIN 8000 events FROM every 1000 events
+    CONSUME (A B+ C)
+
+Supported constructs
+--------------------
+* ``PATTERN ( ... )`` — symbols, ``sym+`` (Kleene), ``SET(s1 s2 ...)``
+  (unordered conjunction), ``!sym`` (negation guard).
+* ``DEFINE sym AS (<cond> [AND <cond>]*)`` — comparisons between
+  ``sym.attr`` references, numeric/string literals, and free parameters
+  supplied via the ``params`` argument.
+* ``WITHIN n events | x seconds`` and
+  ``FROM every s events | FROM sym`` (window opens on events satisfying
+  ``sym``'s definition — e.g. Q1's ``FROM MLE``).
+* ``CONSUME ALL | CONSUME ( sym ... )`` — omitted means consume nothing.
+
+Symbols without a DEFINE entry match on event *type* equal to the symbol
+name (Tesla's ``B()`` style); defined symbols match on their condition
+regardless of type.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.patterns.ast import (
+    Atom,
+    KleenePlus,
+    Negation,
+    PatternElement,
+    Sequence,
+    SetPattern,
+)
+from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.patterns.predicates import Bindings, Predicate, true_predicate
+from repro.patterns.query import Query, make_query
+from repro.windows.specs import WindowSpec
+
+
+class QueryParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)|(?P<plus>\+)"
+    r"|(?P<bang>!)|(?P<op><=|>=|!=|==|<|>|=)"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<string>'[^']*'|\"[^\"]*\")"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9.]*))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos:].strip() == "":
+            break  # only trailing whitespace left
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:pos + 20]
+            raise QueryParseError(f"cannot tokenize near {remainder!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+@dataclass
+class _Comparison:
+    """One ``lhs op rhs`` condition from a DEFINE clause."""
+
+    lhs: tuple[str, str] | Any  # (symbol, attr) reference or literal
+    op: str
+    rhs: tuple[str, str] | Any
+
+    def to_predicate(self, own_symbol: str) -> Predicate:
+        import operator as _operator
+
+        ops = {"<": _operator.lt, "<=": _operator.le, ">": _operator.gt,
+               ">=": _operator.ge, "==": _operator.eq, "=": _operator.eq,
+               "!=": _operator.ne}
+        compare = ops[self.op]
+        lhs, rhs = self.lhs, self.rhs
+
+        def resolve(side: Any, event, bindings: Bindings) -> Any:
+            if isinstance(side, tuple):
+                symbol, attr = side
+                if symbol == own_symbol:
+                    return event.attributes[attr]
+                bound = bindings.get(symbol)
+                if bound is None:
+                    return None
+                bound_event = bound[-1] if isinstance(bound, list) else bound
+                return bound_event.attributes[attr]
+            return side
+
+        def predicate(event, bindings: Bindings) -> bool:
+            left = resolve(lhs, event, bindings)
+            right = resolve(rhs, event, bindings)
+            if left is None or right is None:
+                return False
+            return compare(left, right)
+
+        return predicate
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[tuple[str, str]],
+                 params: Mapping[str, Any]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._params = params
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _expect_word(self, *expected: str) -> str:
+        kind, value = self._next()
+        if kind != "word" or (expected and value.upper() not in expected):
+            raise QueryParseError(
+                f"expected {' or '.join(expected) or 'a word'}, got {value!r}")
+        return value
+
+    def _expect(self, kind: str) -> str:
+        actual_kind, value = self._next()
+        if actual_kind != kind:
+            raise QueryParseError(f"expected {kind}, got {value!r}")
+        return value
+
+    def _at_word(self, *words: str) -> bool:
+        token = self._peek()
+        return (token is not None and token[0] == "word"
+                and token[1].upper() in words)
+
+    # -- clause parsers ----------------------------------------------------
+
+    def parse_pattern_clause(self) -> list[tuple[str, str]]:
+        """Return [(kind, symbol)] with kind in atom/kleene/set-open/... ."""
+        self._expect_word("PATTERN")
+        self._expect("lparen")
+        items: list[tuple[str, Any]] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise QueryParseError("unterminated PATTERN clause")
+            kind, value = token
+            if kind == "rparen":
+                self._next()
+                break
+            if kind == "bang":
+                self._next()
+                symbol = self._expect("word")
+                items.append(("negation", symbol))
+                continue
+            if kind == "word" and value.upper() == "SET":
+                self._next()
+                self._expect("lparen")
+                members: list[str] = []
+                while not (self._peek() or ("", ""))[0] == "rparen":
+                    members.append(self._expect("word"))
+                self._expect("rparen")
+                items.append(("set", members))
+                continue
+            if kind == "word":
+                self._next()
+                if (self._peek() or ("", ""))[0] == "plus":
+                    self._next()
+                    items.append(("kleene", value))
+                else:
+                    items.append(("atom", value))
+                continue
+            raise QueryParseError(f"unexpected token {value!r} in PATTERN")
+        if not items:
+            raise QueryParseError("empty PATTERN clause")
+        return items
+
+    def parse_define_clause(self) -> dict[str, list[_Comparison]]:
+        definitions: dict[str, list[_Comparison]] = {}
+        if not self._at_word("DEFINE"):
+            return definitions
+        self._next()
+        while True:
+            symbol = self._expect("word")
+            self._expect_word("AS")
+            self._expect("lparen")
+            comparisons = [self._parse_comparison()]
+            while self._at_word("AND"):
+                self._next()
+                comparisons.append(self._parse_comparison())
+            self._expect("rparen")
+            definitions[symbol] = comparisons
+            if (self._peek() or ("", ""))[0] == "comma":
+                self._next()
+                continue
+            break
+        return definitions
+
+    def _parse_operand(self) -> Any:
+        kind, value = self._next()
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1]
+        if kind == "word":
+            if "." in value:
+                symbol, attr = value.split(".", 1)
+                return (symbol, attr)
+            if value in self._params:
+                return self._params[value]
+            raise QueryParseError(
+                f"unknown identifier {value!r}; pass it via params=")
+        raise QueryParseError(f"unexpected operand {value!r}")
+
+    def _parse_comparison(self) -> _Comparison:
+        lhs = self._parse_operand()
+        op = self._expect("op")
+        rhs = self._parse_operand()
+        return _Comparison(lhs, op, rhs)
+
+    def parse_within_from(self) -> tuple[str, Any, str, Any]:
+        """Return (scope_kind, scope_value, start_kind, start_value)."""
+        self._expect_word("WITHIN")
+        kind, value = self._next()
+        if kind == "number":
+            amount: float = float(value) if "." in value else int(value)
+        elif kind == "word" and value in self._params:
+            amount = self._params[value]
+        else:
+            raise QueryParseError(f"expected window size, got {value!r}")
+        unit = self._expect_word("EVENTS", "SECONDS", "MINUTES", "MIN")
+        scope_kind = "count" if unit.upper() == "EVENTS" else "time"
+        scope_value: Any = int(amount) if scope_kind == "count" else (
+            float(amount) * (60.0 if unit.upper() in ("MINUTES", "MIN")
+                             else 1.0))
+
+        self._expect_word("FROM")
+        if self._at_word("EVERY"):
+            self._next()
+            kind, value = self._next()
+            if kind == "word" and value in self._params:
+                slide = int(self._params[value])
+            elif kind == "number":
+                slide = int(float(value))
+            else:
+                raise QueryParseError(f"expected slide size, got {value!r}")
+            self._expect_word("EVENTS")
+            return scope_kind, scope_value, "every", slide
+        symbol = self._expect("word")
+        # tolerate Tesla-style "FROM B()" empty parentheses
+        if (self._peek() or ("", ""))[0] == "lparen":
+            self._next()
+            self._expect("rparen")
+        return scope_kind, scope_value, "symbol", symbol
+
+    def parse_consume(self) -> ConsumptionPolicy:
+        if not self._at_word("CONSUME"):
+            return ConsumptionPolicy.none()
+        self._next()
+        if self._at_word("ALL"):
+            self._next()
+            return ConsumptionPolicy.all()
+        self._expect("lparen")
+        names: list[str] = []
+        while True:
+            kind, value = self._next()
+            if kind == "rparen":
+                break
+            if kind == "word":
+                names.append(value)
+            elif kind == "plus":
+                continue  # "B+" in CONSUME refers to the same symbol B
+            else:
+                raise QueryParseError(f"unexpected token {value!r} in CONSUME")
+        if not names:
+            return ConsumptionPolicy.none()
+        return ConsumptionPolicy.selected(*names)
+
+
+def _build_atom(symbol: str,
+                definitions: dict[str, list[_Comparison]]) -> Atom:
+    if symbol in definitions:
+        comparisons = definitions[symbol]
+        predicates = [c.to_predicate(symbol) for c in comparisons]
+
+        def combined(event, bindings, _preds=tuple(predicates)) -> bool:
+            return all(p(event, bindings) for p in _preds)
+
+        return Atom(name=symbol, etype=None, predicate=combined)
+    return Atom(name=symbol, etype=symbol, predicate=true_predicate)
+
+
+def parse_query(text: str, name: str = "query",
+                params: Mapping[str, Any] | None = None,
+                selection: SelectionPolicy = SelectionPolicy.FIRST,
+                max_matches: Optional[int] = 1,
+                anchored: Optional[bool] = None) -> Query:
+    """Parse query ``text`` into a runnable :class:`Query`.
+
+    ``params`` supplies values for free identifiers (``lowerLimit`` etc.).
+    ``anchored`` defaults to ``True`` for ``FROM <symbol>`` windows whose
+    opening symbol is also the first pattern position (Q1-style).
+    """
+    params = dict(params or {})
+    parser = _Parser(_tokenize(text), params)
+
+    pattern_items = parser.parse_pattern_clause()
+    definitions = parser.parse_define_clause()
+    scope_kind, scope_value, start_kind, start_value = \
+        parser.parse_within_from()
+    consumption = parser.parse_consume()
+
+    elements: list[PatternElement] = []
+    first_symbol: Optional[str] = None
+    for kind, payload in pattern_items:
+        if kind == "atom":
+            atom = _build_atom(payload, definitions)
+            elements.append(atom)
+        elif kind == "kleene":
+            elements.append(KleenePlus(_build_atom(payload, definitions)))
+        elif kind == "negation":
+            elements.append(Negation(_build_atom(payload, definitions)))
+        else:
+            assert kind == "set"
+            elements.append(SetPattern(tuple(
+                _build_atom(member, definitions) for member in payload)))
+        if first_symbol is None and kind in ("atom", "kleene"):
+            first_symbol = payload if isinstance(payload, str) else None
+    pattern = Sequence(tuple(elements))
+
+    if scope_kind == "count":
+        if start_kind == "every":
+            window = WindowSpec.count_sliding(scope_value, start_value)
+        else:
+            start_atom = _build_atom(start_value, definitions)
+            window = WindowSpec.count_on(
+                scope_value,
+                lambda event, _a=start_atom: _a.matches(event, {}))
+    else:
+        if start_kind == "every":
+            raise QueryParseError("time windows need a FROM <symbol> start")
+        start_atom = _build_atom(start_value, definitions)
+        window = WindowSpec.time_on(
+            scope_value, lambda event, _a=start_atom: _a.matches(event, {}))
+
+    if anchored is None:
+        anchored = start_kind == "symbol" and start_value == first_symbol
+
+    return make_query(
+        name=name,
+        pattern=pattern,
+        window=window,
+        selection=selection,
+        consumption=consumption,
+        max_matches=max_matches,
+        anchored=anchored,
+        description=text.strip(),
+    )
+
+
+def render_query_text(pattern: PatternElement, window: WindowSpec,
+                      consumption: ConsumptionPolicy | None = None) -> str:
+    """Render a type-based pattern back into the Fig. 9 notation.
+
+    Only patterns whose atoms match on event *type* (no predicate
+    closures) can be rendered — predicates are opaque callables.  The
+    output parses back into an equivalent query (round-trip property
+    tested in ``tests/test_parser_roundtrip.py``).
+    """
+    from repro.windows.specs import CountScope, EverySlide
+
+    def atom_text(atom: Atom) -> str:
+        if atom.etype is None or atom.etype != atom.name:
+            raise ValueError(
+                f"atom {atom.name!r} is not a pure type match; "
+                f"rendering supports type-based atoms only")
+        return atom.name
+
+    parts: list[str] = []
+    elements = pattern.elements if isinstance(pattern, Sequence) \
+        else (pattern,)
+    for element in elements:
+        if isinstance(element, Atom):
+            parts.append(atom_text(element))
+        elif isinstance(element, KleenePlus):
+            parts.append(atom_text(element.atom) + "+")
+        elif isinstance(element, Negation):
+            parts.append("!" + atom_text(element.atom))
+        elif isinstance(element, SetPattern):
+            inner = " ".join(atom_text(a) for a in element.atoms)
+            parts.append(f"SET({inner})")
+        else:
+            raise TypeError(f"cannot render {element!r}")
+    text = f"PATTERN ({' '.join(parts)})"
+
+    if not isinstance(window.scope, CountScope) or \
+            not isinstance(window.start, EverySlide):
+        raise ValueError("rendering supports count-sliding windows only")
+    text += (f"\nWITHIN {window.scope.size} events "
+             f"FROM every {window.start.slide} events")
+
+    consumption = consumption or ConsumptionPolicy.none()
+    if consumption.is_all:
+        text += "\nCONSUME ALL"
+    elif not consumption.is_none:
+        names = " ".join(sorted(consumption.positions))
+        text += f"\nCONSUME ({names})"
+    return text

@@ -1,0 +1,144 @@
+"""Selection and consumption policies.
+
+Event specification languages separate *which* events participate in a
+match (**selection policy**) from *what happens to them* afterwards
+(**consumption policy**) — Sec. 2.1 and Sec. 5 of the paper, following
+Snoop, Zimmer & Unland, Amit and Tesla.
+
+Selection policy
+----------------
+Controls how many pattern instances a window may produce and which
+candidate event fills a position when several could:
+
+* ``FIRST`` — the first match per window only (the paper's evaluation
+  queries Q1–Q3: "the first q rising quotes ...").
+* ``EACH`` — every completion spawns continued detection; after a match
+  completes, detection restarts so every combination allowed by the
+  consumption policy is reported (the ``QE`` example: "the first A ...
+  is correlated with every B").
+* ``LAST`` — like FIRST, but a position prefers the most recent candidate
+  (kept for completeness of the policy space; exercised in unit tests).
+
+Consumption policy
+------------------
+Declares which constituents of a completed match are *consumed* — removed
+from all further pattern detection in every window (Sec. 2.1):
+
+* ``ConsumptionPolicy.none()`` — nothing consumed (Fig. 1a).
+* ``ConsumptionPolicy.all()`` — every constituent consumed (Q1, Q2, Q3:
+  ``CONSUME (<all positions>)``).
+* ``ConsumptionPolicy.selected("B")`` — only named positions consumed
+  (Fig. 1b, "CP: selected B").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.events.event import Event
+
+
+class SelectionPolicy(enum.Enum):
+    """How candidate events are selected into pattern instances."""
+
+    FIRST = "first"
+    EACH = "each"
+    LAST = "last"
+
+
+_ALL = "__all__"
+
+
+@dataclass(frozen=True)
+class ConsumptionPolicy:
+    """Which match positions get consumed when a match completes.
+
+    ``positions`` is a frozenset of atom names, or the sentinel ``_ALL``.
+    Use the factory methods; the constructor is an implementation detail.
+    """
+
+    positions: frozenset[str]
+
+    @classmethod
+    def none(cls) -> "ConsumptionPolicy":
+        """Consume nothing (no inter-window dependencies arise)."""
+        return cls(frozenset())
+
+    @classmethod
+    def all(cls) -> "ConsumptionPolicy":
+        """Consume every constituent of the match."""
+        return cls(frozenset({_ALL}))
+
+    @classmethod
+    def selected(cls, *names: str) -> "ConsumptionPolicy":
+        """Consume only the named positions (e.g. ``selected("B")``)."""
+        if not names:
+            raise ValueError("selected() needs at least one position name")
+        return cls(frozenset(names))
+
+    @property
+    def is_none(self) -> bool:
+        return not self.positions
+
+    @property
+    def is_all(self) -> bool:
+        return _ALL in self.positions
+
+    def consumes(self, position: str) -> bool:
+        """Does this policy consume events bound at ``position``?"""
+        return self.is_all or position in self.positions
+
+    def consumed_events(
+        self, match_bindings: Mapping[str, Event | Sequence[Event]]
+    ) -> list[Event]:
+        """The events to consume from a completed match.
+
+        ``match_bindings`` maps position names to the bound event (or list
+        of events for Kleene positions).
+        """
+        consumed: list[Event] = []
+        for name, bound in match_bindings.items():
+            if not self.consumes(name):
+                continue
+            if isinstance(bound, Event):
+                consumed.append(bound)
+            else:
+                consumed.extend(bound)
+        return consumed
+
+    def describe(self) -> str:
+        if self.is_none:
+            return "none"
+        if self.is_all:
+            return "all"
+        return "selected " + ",".join(sorted(self.positions))
+
+
+def parameter_context(name: str) -> tuple[SelectionPolicy, ConsumptionPolicy]:
+    """Snoop-style *parameter contexts* — predefined policy combinations.
+
+    Snoop (Chakravarthy & Mishra) bundles selection+consumption into four
+    named contexts; we expose the two that map cleanly onto this engine's
+    policy space (the other two differ only in initiator-selection details
+    that our window model already fixes):
+
+    * ``"recent"``  → prefer latest candidates, consume constituents.
+    * ``"chronicle"`` → prefer earliest candidates, consume constituents.
+    * ``"continuous"`` → earliest candidates, consume nothing.
+    * ``"cumulative"`` → every candidate participates, consume everything.
+    """
+    contexts = {
+        "recent": (SelectionPolicy.LAST, ConsumptionPolicy.all()),
+        "chronicle": (SelectionPolicy.FIRST, ConsumptionPolicy.all()),
+        "continuous": (SelectionPolicy.FIRST, ConsumptionPolicy.none()),
+        "cumulative": (SelectionPolicy.EACH, ConsumptionPolicy.all()),
+    }
+    try:
+        return contexts[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown parameter context {name!r}; expected one of "
+            f"{sorted(contexts)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Payload predicates for pattern atoms.
+
+A predicate decides whether an event may take a given position in a
+pattern, possibly looking at events already bound to earlier positions
+(cross-event constraints such as ``A.x > B.x``).
+
+Predicates are plain callables ``(event, bindings) -> bool`` where
+``bindings`` maps atom names to the event (or, for Kleene atoms, the list
+of events) already bound.  The combinators below exist so that queries read
+declaratively; hand-written lambdas work just as well.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping
+
+from repro.events.event import Event
+
+Bindings = Mapping[str, Any]
+Predicate = Callable[[Event, Bindings], bool]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def true_predicate(event: Event, bindings: Bindings) -> bool:
+    """The always-true predicate (atom constrained by type only)."""
+    return True
+
+
+def attr_compare(attr: str, op: str, value: Any) -> Predicate:
+    """``event[attr] <op> value`` — e.g. ``attr_compare("close", ">", 50)``."""
+    compare = _OPS[op]
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        return compare(event.attributes[attr], value)
+
+    return predicate
+
+
+def attr_between(attr: str, low: Any, high: Any) -> Predicate:
+    """``low < event[attr] < high`` (strict, like the paper's Q2 bands)."""
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        return low < event.attributes[attr] < high
+
+    return predicate
+
+
+def self_compare(left_attr: str, op: str, right_attr: str) -> Predicate:
+    """Compare two attributes of the *same* event.
+
+    The paper's Q1 condition ``RE.closePrice > RE.openPrice`` (a rising
+    quote) is ``self_compare("closePrice", ">", "openPrice")``.
+    """
+    compare = _OPS[op]
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        return compare(event.attributes[left_attr], event.attributes[right_attr])
+
+    return predicate
+
+
+def cross_compare(attr: str, op: str, other_name: str,
+                  other_attr: str) -> Predicate:
+    """Compare against an attribute of an earlier-bound atom.
+
+    ``cross_compare("x", ">", "A", "x")`` expresses ``THIS.x > A.x``.
+    If the referenced atom is a Kleene binding (a list), its most recent
+    event is used.
+    """
+    compare = _OPS[op]
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        bound = bindings.get(other_name)
+        if bound is None:
+            return False
+        other_event = bound[-1] if isinstance(bound, list) else bound
+        return compare(event.attributes[attr], other_event.attributes[other_attr])
+
+    return predicate
+
+
+def all_of(*predicates: Predicate) -> Predicate:
+    """Conjunction of predicates."""
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        return all(p(event, bindings) for p in predicates)
+
+    return predicate
+
+
+def any_of(*predicates: Predicate) -> Predicate:
+    """Disjunction of predicates."""
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        return any(p(event, bindings) for p in predicates)
+
+    return predicate
+
+
+def negate(inner: Predicate) -> Predicate:
+    """Logical negation of a predicate."""
+
+    def predicate(event: Event, bindings: Bindings) -> bool:
+        return not inner(event, bindings)
+
+    return predicate

@@ -1,0 +1,93 @@
+"""Query objects: pattern + window + policies, bound to a detector factory.
+
+A :class:`Query` is everything an engine needs to run one continuous
+pattern-detection task:
+
+* the :class:`~repro.windows.specs.WindowSpec` (``WITHIN ... FROM ...``),
+* a detector factory producing a fresh detector per window version — this
+  is the paper's "UDF inside SPECTRE" hook; the default factory builds a
+  generic :class:`~repro.matching.nfa.NFADetector` from the pattern AST,
+* the selection and consumption policies,
+* ``delta_max``, the largest inverse-completion-degree δ a partial match
+  can have (the Markov model's state-space size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.events.event import Event
+from repro.matching.base import Detector
+from repro.matching.nfa import DeriveFn, NFADetector
+from repro.patterns.ast import PatternElement
+from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.windows.specs import OnPredicate, WindowSpec
+
+DetectorFactory = Callable[[Event], Detector]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete continuous query.
+
+    Use :func:`make_query` for the common AST-driven case; construct
+    directly when supplying a hand-written UDF detector (as the paper's
+    evaluation queries do — see :mod:`repro.queries`).
+    """
+
+    name: str
+    window: WindowSpec
+    detector_factory: DetectorFactory
+    delta_max: int
+    selection: SelectionPolicy = SelectionPolicy.FIRST
+    consumption: ConsumptionPolicy = field(
+        default_factory=ConsumptionPolicy.none)
+    description: str = ""
+
+    def new_detector(self, start_event: Event) -> Detector:
+        """Fresh detector for a window starting at ``start_event``."""
+        return self.detector_factory(start_event)
+
+    @property
+    def consumes(self) -> bool:
+        """Does this query impose inter-window dependencies at all?"""
+        return not self.consumption.is_none
+
+
+def make_query(name: str, pattern: PatternElement, window: WindowSpec,
+               selection: SelectionPolicy = SelectionPolicy.FIRST,
+               consumption: ConsumptionPolicy | None = None,
+               max_matches: Optional[int] = 1,
+               anchored: bool = False,
+               derive: Optional[DeriveFn] = None,
+               description: str = "") -> Query:
+    """Build a query whose detector is the generic NFA automaton.
+
+    ``anchored=True`` requires the window's start condition to be a
+    predicate (``FROM <event>``) and forces the first pattern position to
+    bind exactly the window-opening event.
+    """
+    consumption = consumption or ConsumptionPolicy.none()
+    if anchored and not isinstance(window.start, OnPredicate):
+        raise ValueError("anchored queries need an OnPredicate window start")
+
+    def factory(start_event: Event) -> Detector:
+        return NFADetector(
+            pattern,
+            selection=selection,
+            consumption=consumption,
+            max_matches=max_matches,
+            anchor=start_event if anchored else None,
+            derive=derive,
+        )
+
+    return Query(
+        name=name,
+        window=window,
+        detector_factory=factory,
+        delta_max=pattern.mandatory_count(),
+        selection=selection,
+        consumption=consumption,
+        description=description,
+    )

@@ -1,0 +1,22 @@
+"""The paper's evaluation queries (Fig. 9) as UDF detectors.
+
+Like the original SPECTRE, "the pattern detection and window splitting
+logic of the queries in these evaluations are implemented as a
+user-defined function (UDF) inside SPECTRE" (Sec. 4.1) — each query here
+ships a hand-written detector implementing the Fig. 8 feedback protocol.
+
+* :func:`make_q1` — first q rising (or falling) quotes within ws events
+  of a rising (falling) quote of a leading symbol; fixed pattern length.
+* :func:`make_q2` — Balkesen & Tatbul's price-band oscillation pattern
+  ``A B+ C D+ E F+ G H+ I J+ K L+ M`` with variable pattern length.
+* :func:`make_q3` — symbol A followed by an unordered SET of n symbols.
+* :func:`make_qe` — the Sec. 2.1 running example (A correlated with each
+  B within 1 minute), with pluggable consumption policy.
+"""
+
+from repro.queries.q1 import make_q1
+from repro.queries.q2 import make_q2
+from repro.queries.q3 import make_q3
+from repro.queries.qe import make_qe
+
+__all__ = ["make_q1", "make_q2", "make_q3", "make_qe"]

@@ -1,0 +1,57 @@
+"""Shared plumbing for UDF detectors."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.events.event import Event
+from repro.matching.base import PartialMatch
+
+
+class UDFMatch(PartialMatch):
+    """A partial match tracked by a hand-written detector.
+
+    The detector updates ``_delta`` as the match progresses and appends
+    bound events to ``bound`` / ``consumable_events``.
+    """
+
+    __slots__ = ("match_id", "bound", "consumable_events", "_delta")
+
+    def __init__(self, match_id: int, delta: int) -> None:
+        self.match_id = match_id
+        self.bound: list[Event] = []
+        self.consumable_events: list[Event] = []
+        self._delta = delta
+
+    def bind(self, event: Event, consumed: bool,
+             delta_after: Optional[int] = None) -> None:
+        self.bound.append(event)
+        if consumed:
+            self.consumable_events.append(event)
+        if delta_after is not None:
+            self._delta = delta_after
+
+    @property
+    def delta(self) -> int:
+        return self._delta
+
+    @delta.setter
+    def delta(self, value: int) -> None:
+        self._delta = value
+
+    @property
+    def consumable(self) -> Sequence[Event]:
+        return tuple(self.consumable_events)
+
+    @property
+    def constituents(self) -> tuple[Event, ...]:
+        return tuple(self.bound)
+
+
+def is_rising(event: Event) -> bool:
+    """Quote with a higher close than open price."""
+    return event.attributes["closePrice"] > event.attributes["openPrice"]
+
+def is_falling(event: Event) -> bool:
+    """Quote with a lower close than open price."""
+    return event.attributes["closePrice"] < event.attributes["openPrice"]

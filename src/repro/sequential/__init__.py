@@ -1,0 +1,15 @@
+"""Sequential (ground-truth) engine."""
+
+from repro.sequential.engine import (
+    SequentialEngine,
+    SequentialResult,
+    ground_truth_completion_probability,
+    run_sequential,
+)
+
+__all__ = [
+    "SequentialEngine",
+    "SequentialResult",
+    "run_sequential",
+    "ground_truth_completion_probability",
+]

@@ -1,0 +1,16 @@
+"""Simulated-parallelism support: calibration and sweep drivers."""
+
+from repro.simulation.calibration import (
+    CalibratedThroughput,
+    calibrate,
+    virtual_to_events_per_second,
+)
+from repro.simulation.sweep import ScalabilityCell, scalability_sweep
+
+__all__ = [
+    "calibrate",
+    "virtual_to_events_per_second",
+    "CalibratedThroughput",
+    "scalability_sweep",
+    "ScalabilityCell",
+]

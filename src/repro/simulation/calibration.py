@@ -1,0 +1,49 @@
+"""Virtual-time → wall-clock calibration.
+
+The simulated runtime charges one abstract cost unit per processed event
+(see :class:`repro.spectre.config.CostModel`).  The paper's absolute
+throughputs (events/second) come from its 2×10-core Xeon; we anchor the
+virtual unit so that a chosen baseline cell — by convention the k=1
+configuration — corresponds to the paper's single-instance rate, and
+express every other cell through the *same* unit.  Only the anchor is
+fitted; all ratios are produced by the speculation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class CalibratedThroughput:
+    """A virtual throughput mapped onto events/second."""
+
+    virtual: float
+    events_per_second: float
+
+
+def calibrate(baseline_virtual: float,
+              baseline_events_per_second: float = 10_000.0) -> float:
+    """Seconds-per-virtual-unit that pins the baseline cell.
+
+    ``virtual_throughput * scale = events_per_second`` with
+    ``scale = baseline_events_per_second / baseline_virtual``.
+    """
+    if baseline_virtual <= 0:
+        raise ValueError("baseline virtual throughput must be positive")
+    return baseline_events_per_second / baseline_virtual
+
+
+def virtual_to_events_per_second(
+        virtual_by_key: Mapping, baseline_key,
+        baseline_events_per_second: float = 10_000.0
+) -> dict:
+    """Calibrate a whole sweep against one anchor cell."""
+    scale = calibrate(virtual_by_key[baseline_key],
+                      baseline_events_per_second)
+    return {
+        key: CalibratedThroughput(virtual=value,
+                                  events_per_second=value * scale)
+        for key, value in virtual_by_key.items()
+    }

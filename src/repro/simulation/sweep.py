@@ -1,0 +1,72 @@
+"""Scalability sweeps: run one query over a grid of (parameter, k) cells.
+
+This is the workhorse behind Figs. 10(a)/(b) and 11: it runs the SPECTRE
+engine for every combination of a query parameter (pattern size, band,
+probability model, ...) and an instance count, collects virtual
+throughput plus the run statistics, and verifies every run against the
+sequential ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.events.event import Event
+from repro.patterns.query import Query
+from repro.sequential.engine import run_sequential
+from repro.spectre.config import SpectreConfig
+from repro.spectre.engine import SpectreEngine, SpectreResult
+
+QueryFactory = Callable[[], Query]
+ConfigFactory = Callable[[int], SpectreConfig]
+
+
+@dataclass
+class ScalabilityCell:
+    """One (parameter, k) measurement."""
+
+    parameter: object
+    k: int
+    virtual_throughput: float
+    ground_truth_probability: float
+    result: SpectreResult
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+def default_config(k: int) -> SpectreConfig:
+    return SpectreConfig(k=k)
+
+
+def scalability_sweep(
+    parameters: Sequence[object],
+    query_for: Callable[[object], Query],
+    events: Sequence[Event],
+    ks: Iterable[int] = (1, 2, 4, 8, 16, 32),
+    config_for: ConfigFactory = default_config,
+    verify: bool = True,
+) -> list[ScalabilityCell]:
+    """Run the full grid; optionally verify output equivalence per cell."""
+    cells: list[ScalabilityCell] = []
+    for parameter in parameters:
+        query = query_for(parameter)
+        sequential = run_sequential(query, events)
+        expected = sequential.identities()
+        for k in ks:
+            engine = SpectreEngine(query, config_for(k))
+            result = engine.run(events)
+            if verify and result.identities() != expected:
+                raise AssertionError(
+                    f"SPECTRE output diverged from sequential ground truth "
+                    f"at parameter={parameter!r}, k={k}")
+            cells.append(ScalabilityCell(
+                parameter=parameter,
+                k=k,
+                virtual_throughput=result.throughput,
+                ground_truth_probability=sequential.completion_probability,
+                result=result,
+            ))
+    return cells

@@ -1,0 +1,56 @@
+"""SPECTRE: speculative processing of dependent windows (Sec. 3)."""
+
+from repro.spectre.approximate import (
+    ApproximateResult,
+    ApproximateSpectreEngine,
+    EarlyEmission,
+    run_spectre_approximate,
+)
+from repro.spectre.config import CostModel, MarkovParams, SpectreConfig
+from repro.spectre.elasticity import (
+    ElasticityPolicy,
+    ElasticSpectreEngine,
+    run_spectre_elastic,
+)
+from repro.spectre.engine import (
+    RunStats,
+    SpectreEngine,
+    SpectreResult,
+    run_spectre,
+)
+from repro.spectre.threaded import ThreadedSpectreEngine, run_spectre_threaded
+from repro.spectre.prediction import (
+    CompletionPredictor,
+    FixedPredictor,
+    MarkovPredictor,
+)
+from repro.spectre.topk import find_top_k
+from repro.spectre.tree import DependencyTree, GroupVertex, VersionVertex
+from repro.spectre.version import WindowVersion
+
+__all__ = [
+    "SpectreConfig",
+    "CostModel",
+    "MarkovParams",
+    "SpectreEngine",
+    "SpectreResult",
+    "RunStats",
+    "run_spectre",
+    "ThreadedSpectreEngine",
+    "run_spectre_threaded",
+    "ApproximateSpectreEngine",
+    "ApproximateResult",
+    "EarlyEmission",
+    "run_spectre_approximate",
+    "ElasticSpectreEngine",
+    "ElasticityPolicy",
+    "run_spectre_elastic",
+    "MarkovPredictor",
+    "FixedPredictor",
+    "CompletionPredictor",
+    "DependencyTree",
+    "VersionVertex",
+    "GroupVertex",
+    "WindowVersion",
+    "find_top_k",
+]

@@ -1,0 +1,149 @@
+"""Introspection helpers: render dependency trees, trace speculation.
+
+``render_tree`` draws the Fig. 3(c) management view of a live dependency
+tree as ASCII — invaluable when debugging speculation logic:
+
+.. code-block:: text
+
+    WV v0 w0 [pos=312] *root*
+    └─ CG g3 (open, |events|=5) owner=v0
+       ├─[complete] WV v7 w1 [pos=88] +g3
+       └─[abandon]  WV v2 w1 [pos=140] -g3
+
+``SpeculationTrace`` hooks an engine and records scheduling decisions,
+rollbacks and emissions per cycle for post-mortem analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spectre.engine import SpectreEngine
+from repro.spectre.tree import DependencyTree, GroupVertex, VersionVertex
+
+
+def _version_line(vertex: VersionVertex, root: bool) -> str:
+    version = vertex.version
+    state = "finished" if version.finished else f"pos={version.position}"
+    assumes = ""
+    if version.assumes_completed:
+        assumes += " +" + ",".join(
+            f"g{g.group_id}" for g in version.assumes_completed)
+    if version.assumes_abandoned:
+        assumes += " -" + ",".join(
+            f"g{g.group_id}" for g in version.assumes_abandoned)
+    suffix = " *root*" if root else ""
+    return (f"WV v{version.version_id} w{version.window.window_id} "
+            f"[{state}]{assumes}{suffix}")
+
+
+def _group_line(vertex: GroupVertex) -> str:
+    group = vertex.group
+    return (f"CG g{group.group_id} ({group.state.value}, "
+            f"|events|={len(group.events)}) "
+            f"owner=v{vertex.owner.version_id}")
+
+
+def render_tree(tree: DependencyTree) -> str:
+    """ASCII rendering of a dependency tree (root at the top)."""
+    if tree.root is None:
+        return "(exhausted tree)"
+    lines: list[str] = []
+
+    def walk(vertex, prefix: str, connector: str, label: str,
+             is_last: bool) -> None:
+        is_root = vertex is tree.root
+        if isinstance(vertex, VersionVertex):
+            text = _version_line(vertex, is_root)
+        else:
+            text = _group_line(vertex)
+        lines.append(f"{prefix}{connector}{label}{text}")
+        child_prefix = prefix
+        if connector:
+            child_prefix += "   " if is_last else "│  "
+        children: list[tuple] = []
+        if isinstance(vertex, VersionVertex):
+            if vertex.child is not None:
+                children.append((vertex.child, ""))
+        else:
+            if vertex.completion_child is not None:
+                children.append((vertex.completion_child, "[complete] "))
+            if vertex.abandon_child is not None:
+                children.append((vertex.abandon_child, "[abandon]  "))
+        for index, (child, child_label) in enumerate(children):
+            last = index == len(children) - 1
+            walk(child, child_prefix, "└─ " if last else "├─ ",
+                 child_label, last)
+
+    walk(tree.root, "", "", "", True)
+    return "\n".join(lines)
+
+
+def render_forest(engine: SpectreEngine) -> str:
+    """Render every live tree of an engine."""
+    trees = engine._trees
+    if not trees:
+        return "(empty forest)"
+    return "\n\n".join(f"tree {tree.tree_id}:\n{render_tree(tree)}"
+                       for tree in trees)
+
+
+@dataclass
+class TraceEntry:
+    """One cycle's snapshot."""
+
+    cycle: int
+    scheduled: list[int]
+    tree_size: int
+    windows_emitted: int
+    rollbacks: int
+
+
+@dataclass
+class SpeculationTrace:
+    """Records per-cycle scheduling snapshots of an engine.
+
+    Usage::
+
+        engine = SpectreEngine(query, config)
+        trace = SpeculationTrace.attach(engine)
+        engine.run(events)
+        trace.entries   # -> list[TraceEntry]
+    """
+
+    entries: list[TraceEntry] = field(default_factory=list)
+    every: int = 1
+
+    @classmethod
+    def attach(cls, engine: SpectreEngine,
+               every: int = 1) -> "SpeculationTrace":
+        trace = cls(every=every)
+        original = engine.splitter_cycle
+
+        def traced_cycle() -> None:
+            original()
+            if engine.stats.cycles % trace.every == 0:
+                scheduled = [instance.version.version_id
+                             for instance in engine._instances
+                             if instance.version is not None]
+                trace.entries.append(TraceEntry(
+                    cycle=engine.stats.cycles,
+                    scheduled=scheduled,
+                    tree_size=sum(tree.version_count
+                                  for tree in engine._trees),
+                    windows_emitted=engine.stats.windows_emitted,
+                    rollbacks=engine.stats.rollbacks,
+                ))
+
+        engine.splitter_cycle = traced_cycle  # type: ignore[method-assign]
+        return trace
+
+    def peak_tree_size(self) -> int:
+        return max((entry.tree_size for entry in self.entries), default=0)
+
+    def utilization(self, k: int) -> float:
+        """Mean fraction of instances that had work."""
+        if not self.entries:
+            return 0.0
+        return sum(len(entry.scheduled) for entry in self.entries) / (
+            len(self.entries) * k)

@@ -1,0 +1,648 @@
+"""The SPECTRE engine (Sec. 3) on a deterministic simulated k-core runtime.
+
+The engine alternates two phases on a virtual clock, mirroring the paper's
+architecture (splitter thread + k operator-instance threads on dedicated
+cores, Sec. 2.2):
+
+* :meth:`SpectreEngine.splitter_cycle` — the splitter's maintenance +
+  scheduling cycle: apply the tree operations buffered by the instances
+  (Sec. 3.3: "function calls ... are buffered — they are actually executed
+  on the dependency tree in a batch at each new scheduling cycle"), emit
+  finished root windows, admit new windows, then select and schedule the
+  top-k window versions (Figs. 6/7).
+* :meth:`SpectreEngine.instance_phase` — every operator instance spends a
+  fixed virtual-time budget processing events of its assigned window
+  version (Fig. 8): suppression checks, detector feedback, periodic
+  consistency checks with rollback.
+
+Because instances only see group mutations made by *other* versions with
+a one-cycle delay, the consistency-check/rollback machinery is genuinely
+exercised, exactly as in the concurrent original.
+
+Correctness contract: the emitted complex events equal the sequential
+engine's output (verified by a final validation step before each window's
+emission — if any speculation assumption was violated undetected, the
+root version is rolled back and deterministically reprocessed).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.consumption.group import ConsumptionGroup
+from repro.consumption.ledger import ConsumptionLedger
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+from repro.matching.base import Feedback
+from repro.patterns.query import Query
+from repro.spectre.config import SpectreConfig
+from repro.spectre.prediction import (
+    CompletionPredictor,
+    FixedPredictor,
+    MarkovPredictor,
+)
+from repro.spectre.topk import find_top_k
+from repro.spectre.tree import DependencyTree, GroupVertex, VersionVertex
+from repro.spectre.version import WindowVersion
+from repro.utils.ids import IdGenerator
+from repro.windows.splitter import Splitter
+from repro.windows.window import Window
+
+
+@dataclass
+class RunStats:
+    """Instrumentation of one run (feeds Figs. 10(c)/(f) and ablations)."""
+
+    cycles: int = 0
+    windows_total: int = 0
+    windows_emitted: int = 0
+    versions_created: int = 0
+    versions_dropped: int = 0
+    max_tree_size: int = 0
+    groups_created: int = 0
+    groups_completed: int = 0
+    groups_abandoned: int = 0
+    rollbacks: int = 0
+    validation_rollbacks: int = 0
+    steps_processed: int = 0
+    steps_suppressed: int = 0
+    wasted_steps: int = 0
+    # per-window detection latency in virtual-time units: from the
+    # window's admission into the dependency tree to its emission
+    window_latencies: list = field(default_factory=list)
+
+    @property
+    def completion_probability(self) -> float:
+        resolved = self.groups_completed + self.groups_abandoned
+        if resolved == 0:
+            return 0.0
+        return self.groups_completed / resolved
+
+    @property
+    def mean_window_latency(self) -> float:
+        if not self.window_latencies:
+            return 0.0
+        return sum(self.window_latencies) / len(self.window_latencies)
+
+
+@dataclass
+class SpectreResult:
+    """Outcome of a SPECTRE run."""
+
+    complex_events: list[ComplexEvent]
+    input_events: int
+    virtual_time: float
+    stats: RunStats
+    config: SpectreConfig
+
+    @property
+    def throughput(self) -> float:
+        """Input events per virtual-time unit."""
+        if self.virtual_time <= 0:
+            return 0.0
+        return self.input_events / self.virtual_time
+
+    def identities(self) -> list[tuple]:
+        return [ce.identity() for ce in self.complex_events]
+
+
+class _Instance:
+    """One operator instance (a simulated core)."""
+
+    __slots__ = ("index", "version")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.version: Optional[WindowVersion] = None
+
+
+class SpectreEngine:
+    """Speculative parallel CEP engine for one query."""
+
+    def __init__(self, query: Query, config: SpectreConfig | None = None,
+                 predictor: CompletionPredictor | None = None) -> None:
+        self.query = query
+        self.config = config or SpectreConfig()
+        self.predictor = predictor or self._default_predictor()
+        self.stats = RunStats()
+        self.virtual_time = 0.0
+        self.output: list[ComplexEvent] = []
+
+        self._ledger = ConsumptionLedger()
+        self._version_ids = IdGenerator()
+        self._group_ids = IdGenerator()
+        self._trees: list[DependencyTree] = []
+        self._tree_ids = IdGenerator()
+        self._version_tree: dict[int, DependencyTree] = {}
+        self._factory_tree: Optional[DependencyTree] = None
+        # current parallelization degree; starts at config.k and can be
+        # adapted at cycle boundaries (Sec. 4.2.1 elasticity discussion)
+        self.k = self.config.k
+        self._instances = [_Instance(i) for i in range(self.config.k)]
+        self._ops: deque = deque()
+        self._pending: deque[Window] = deque()
+        self._unfinished = 0
+        self._counter_lock = threading.Lock()
+        self._splitter: Optional[Splitter] = None
+        self._prob_cache: dict[int, float] = {}
+        self._consumes = query.consumes
+        self._input_count = 0
+        self._last_progress_cycle = 0
+        self._admitted_at: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _default_predictor(self) -> CompletionPredictor:
+        if self.config.probability_model == "fixed":
+            return FixedPredictor(self.config.fixed_probability)
+        return MarkovPredictor(max(1, self.query.delta_max),
+                               self.config.markov)
+
+    def _make_version(self, window: Window,
+                      assumes_completed: tuple[ConsumptionGroup, ...],
+                      assumes_abandoned: tuple[ConsumptionGroup, ...]
+                      ) -> WindowVersion:
+        version = WindowVersion(
+            version_id=self._version_ids.next(),
+            window=window,
+            query=self.query,
+            assumes_completed=assumes_completed,
+            assumes_abandoned=assumes_abandoned,
+            ledger=self._ledger,
+        )
+        self.stats.versions_created += 1
+        with self._counter_lock:
+            self._unfinished += 1
+        assert self._factory_tree is not None
+        self._version_tree[version.version_id] = self._factory_tree
+        return version
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def prepare(self, events: Iterable[Event]) -> None:
+        """Split the stream and queue its windows without processing.
+
+        After ``prepare``, callers may drive :meth:`splitter_cycle` and
+        :meth:`instance_phase` manually (the Fig. 10(c) overhead benchmark
+        times isolated splitter cycles this way); :meth:`run` does the
+        same internally.
+        """
+        splitter = Splitter(self.query.window)
+        windows = splitter.split_all(events)
+        self._splitter = splitter
+        self._pending = deque(windows)
+        self._input_count = len(splitter.stream)
+        self.stats.windows_total = len(windows)
+
+    @property
+    def done(self) -> bool:
+        """All windows emitted?"""
+        return not self._pending and not self._trees
+
+    def result(self) -> SpectreResult:
+        """Snapshot the run outcome (used after manual driving)."""
+        return SpectreResult(
+            complex_events=self.output,
+            input_events=self._input_count,
+            virtual_time=self.virtual_time,
+            stats=self.stats,
+            config=self.config,
+        )
+
+    def run(self, events: Iterable[Event],
+            max_cycles: int = 50_000_000) -> SpectreResult:
+        """Process a finite stream to completion; return the result."""
+        self.prepare(events)
+        while self._pending or self._trees:
+            self.splitter_cycle()
+            self.instance_phase()
+            if self.stats.cycles > max_cycles:
+                raise RuntimeError(
+                    f"engine exceeded {max_cycles} cycles; "
+                    f"emitted {self.stats.windows_emitted}/"
+                    f"{self.stats.windows_total} windows")
+            if self.stats.cycles - self._last_progress_cycle > 2_000_000:
+                raise RuntimeError(
+                    "engine stalled: no window emitted for 2M cycles "
+                    f"(emitted {self.stats.windows_emitted}/"
+                    f"{self.stats.windows_total})")
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # splitter side
+    # ------------------------------------------------------------------
+
+    def splitter_cycle(self) -> None:
+        """Maintenance + scheduling: one full splitter cycle."""
+        self._apply_ops()
+        self._emit_ready()
+        self._admit_windows()
+        self._schedule()
+        size = sum(tree.version_count for tree in self._trees)
+        if size > self.stats.max_tree_size:
+            self.stats.max_tree_size = size
+
+    # -- buffered tree operations --------------------------------------
+
+    def _apply_ops(self) -> None:
+        while self._ops:
+            op = self._ops.popleft()
+            kind = op[0]
+            if kind == "created":
+                self._apply_created(op[1], op[2])
+            elif kind == "completed":
+                self._apply_resolved(op[1], op[2], completed=True,
+                                     final=op[3])
+            elif kind == "abandoned":
+                self._apply_resolved(op[1], op[2], completed=False)
+            else:
+                assert kind == "retract"
+                self._apply_retract(op[1], op[2])
+
+    def _apply_created(self, version: WindowVersion,
+                       group: ConsumptionGroup) -> None:
+        if not version.alive or group not in version.own_groups:
+            return  # version dropped or rolled back since the call
+        tree = self._version_tree.get(version.version_id)
+        if tree is None:
+            return
+        self._factory_tree = tree
+        try:
+            tree.group_created(version, group)
+        finally:
+            self._factory_tree = None
+
+    def _apply_resolved(self, version: WindowVersion,
+                        group: ConsumptionGroup, completed: bool,
+                        final: tuple[Event, ...] = ()) -> None:
+        if not version.alive or not group.is_open:
+            return
+        if group not in version.own_groups:
+            return  # owner rolled back since the call; the retract op
+                    # queued behind us will dispose of the group
+        tree = self._version_tree.get(version.version_id)
+        if completed:
+            group.complete(final_events=final)
+            self.stats.groups_completed += 1
+        else:
+            group.abandon()
+            self.stats.groups_abandoned += 1
+        if tree is not None:
+            dropped = tree.group_resolved(group, completed=completed)
+            self._handle_dropped(dropped)
+
+    def _apply_retract(self, version: WindowVersion,
+                       groups: list[ConsumptionGroup]) -> None:
+        tree = self._version_tree.get(version.version_id)
+        for group in groups:
+            group.retract()
+            if tree is not None:
+                self._factory_tree = tree
+                try:
+                    dropped = tree.retract_group(group)
+                finally:
+                    self._factory_tree = None
+                self._handle_dropped(dropped)
+
+    def _handle_dropped(self, dropped: list[WindowVersion]) -> None:
+        for version in dropped:
+            self.stats.versions_dropped += 1
+            self.stats.wasted_steps += version.steps_spent
+            if not version.finished:
+                with self._counter_lock:
+                    self._unfinished -= 1
+            self._version_tree.pop(version.version_id, None)
+            if version.scheduled_on is not None:
+                instance = self._instances[version.scheduled_on]
+                if instance.version is version:
+                    instance.version = None
+                version.scheduled_on = None
+
+    # -- emission ---------------------------------------------------------
+
+    def _emit_ready(self) -> None:
+        """Emit finished, fully-resolved, validated root windows in order."""
+        while self._trees:
+            tree = self._trees[0]
+            if tree.is_exhausted:
+                self._trees.pop(0)
+                continue
+            root = tree.root_version()
+            assert root is not None
+            if not root.finished:
+                break
+            if not tree.root_groups_resolved():
+                break  # close() feedback still in flight
+            if any(group.is_open for group in root.own_groups):
+                break
+            if not root.final_validation_ok():
+                # backstop: an assumption was violated undetected — redo
+                # the root deterministically (its context is now final).
+                self._rollback_from_splitter(root)
+                break
+            self.output.extend(root.buffered)
+            self._ledger.consume_seqs(root.local_consumed_seqs)
+            admitted_at = self._admitted_at.pop(root.window.window_id, None)
+            if admitted_at is not None:
+                self.stats.window_latencies.append(
+                    self.virtual_time - admitted_at)
+            self.stats.windows_emitted += 1
+            self._last_progress_cycle = self.stats.cycles
+            self._version_tree.pop(root.version_id, None)
+            if root.scheduled_on is not None:
+                instance = self._instances[root.scheduled_on]
+                if instance.version is root:
+                    instance.version = None
+                root.scheduled_on = None
+            tree.advance_root()
+            if tree.is_exhausted:
+                self._trees.pop(0)
+
+    # -- admission ---------------------------------------------------------
+
+    def set_k(self, new_k: int) -> None:
+        """Adapt the parallelization degree at a cycle boundary.
+
+        Growing adds idle instances; shrinking unschedules the versions
+        held by the removed instances (their processing state survives in
+        shared memory and can be rescheduled anywhere, Sec. 2.2).
+        """
+        if new_k < 1:
+            raise ValueError("k must be >= 1")
+        if new_k == self.k:
+            return
+        if new_k > self.k:
+            self._instances.extend(_Instance(i)
+                                   for i in range(self.k, new_k))
+        else:
+            for instance in self._instances[new_k:]:
+                if instance.version is not None:
+                    instance.version.scheduled_on = None
+                    instance.version = None
+            del self._instances[new_k:]
+        self.k = new_k
+
+    def _admission_target(self) -> int:
+        """Schedulable-version pool size the splitter aims for."""
+        return max(2, int(round(self.config.admission_factor * self.k)) + 1)
+
+    def _admit_windows(self) -> None:
+        target = self._admission_target()
+        while self._pending:
+            total_versions = sum(tree.version_count for tree in self._trees)
+            if self._trees and (self._unfinished >= target
+                                or total_versions >= self.config.max_versions):
+                break
+            self._admit(self._pending.popleft())
+
+    def _admit(self, window: Window) -> None:
+        self._admitted_at[window.window_id] = self.virtual_time
+        max_end = max((tree.max_unresolved_end() for tree in self._trees),
+                      default=0)
+        independent = not self._trees or window.start_pos >= max_end
+        if independent:
+            tree = DependencyTree(self._tree_ids.next(), self._make_version)
+            self._factory_tree = tree
+            tree.seed(window)
+            self._trees.append(tree)
+        else:
+            tree = self._trees[-1]
+            self._factory_tree = tree
+            tree.new_window(window)
+        self._factory_tree = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _group_probability(self, group: ConsumptionGroup) -> float:
+        cached = self._prob_cache.get(group.group_id)
+        if cached is not None:
+            return cached
+        owner: Optional[WindowVersion] = group.owner
+        position = owner.position if owner is not None else 0
+        assert self._splitter is not None
+        avg_size = self._splitter.stats.avg_window_size
+        events_left = max(1.0, avg_size - position)
+        probability = self.predictor.probability(group.delta, events_left)
+        self._prob_cache[group.group_id] = probability
+        return probability
+
+    def _select_versions(self) -> list[WindowVersion]:
+        """Pick the k versions to run this cycle."""
+        if self.config.scheduler == "fifo":
+            # ablation baseline: oldest unfinished versions, probability
+            # ignored (breadth-first over the tree, Sec. 4 discussion)
+            candidates = [version
+                          for tree in self._trees
+                          for version in tree.iter_versions()
+                          if version.alive and not version.finished]
+            candidates.sort(key=lambda version: version.version_id)
+            return candidates[:self.k]
+        top = find_top_k(self._trees, self.k,
+                         self._group_probability)
+        return [version for version, _probability in top]
+
+    def _schedule(self) -> None:
+        """Fig. 7: keep already-placed top-k versions, fill free instances."""
+        self._prob_cache = {}
+        top = self._select_versions()
+        selected = {version.version_id for version in top}
+
+        free: list[_Instance] = []
+        for instance in self._instances:
+            version = instance.version
+            if version is None or not version.alive or version.finished or \
+                    version.version_id not in selected:
+                if version is not None:
+                    version.scheduled_on = None
+                instance.version = None
+                free.append(instance)
+
+        to_place = [version for version in top
+                    if version.scheduled_on is None]
+        for version in to_place:
+            if not free:
+                break
+            instance = free.pop()
+            instance.version = version
+            version.scheduled_on = instance.index
+
+    # ------------------------------------------------------------------
+    # instance side (Fig. 8)
+    # ------------------------------------------------------------------
+
+    def instance_phase(self) -> None:
+        """Every instance spends one cycle's virtual-time budget."""
+        cycle_budget = self.config.steps_per_cycle * self.config.costs.process
+        for instance in self._instances:
+            version = instance.version
+            if version is None or not version.alive:
+                continue
+            budget = cycle_budget
+            while budget > 0 and version.alive and not version.finished:
+                budget -= self._step_version(version)
+        self.virtual_time += cycle_budget
+        self.stats.cycles += 1
+
+    def _step_version(self, version: WindowVersion) -> float:
+        """One Fig. 8 loop iteration; returns the virtual-time cost."""
+        with version.lock:
+            return self._step_version_locked(version)
+
+    def _step_version_locked(self, version: WindowVersion) -> float:
+        costs = self.config.costs
+        if version.finished:
+            return costs.suppressed  # raced with a concurrent finish
+        if version.exhausted:
+            self._finish_version(version)
+            return costs.suppressed
+        event = version.window.event_at(version.position)
+        version.position += 1
+        version.steps_spent += 1
+
+        if event.seq in version.local_consumed_seqs or \
+                version.is_suppressed(event):
+            self.stats.steps_suppressed += 1
+            cost = costs.suppressed
+        else:
+            detector = version.ensure_detector()
+            if detector.done:
+                cost = costs.process  # drain the window at full cost
+            else:
+                collect = (self.config.collect_transition_stats
+                           and self._consumes
+                           and self._is_nonspeculative(version))
+                pre = [(g, g.delta) for g in version.open_own_groups] \
+                    if collect else ()
+                feedback = detector.process(event)
+                version.used_seqs.add(event.seq)
+                self._handle_feedback(version, feedback)
+                if collect:
+                    self._observe_transitions(pre)
+                cost = costs.process
+            self.stats.steps_processed += 1
+
+        version.steps_since_check += 1
+        if version.steps_since_check >= self.config.consistency_check_freq:
+            version.steps_since_check = 0
+            cost += costs.check * max(1, len(version.assumes_completed))
+            if version.consistency_violations():
+                self._rollback(version)
+                self.stats.rollbacks += 1
+        return cost
+
+    def _is_nonspeculative(self, version: WindowVersion) -> bool:
+        """Is this version's context certain (statistics-grade)?
+
+        The paper gathers δ-transition statistics from "window versions of
+        independent windows": versions whose consumption context is fully
+        known.  That is exactly the current *root* version of a dependency
+        tree — every assumption on its (empty) remaining root path has
+        been resolved — so its δ dynamics reflect reality, not
+        speculation.
+        """
+        tree = self._version_tree.get(version.version_id)
+        if tree is None or tree.root is None:
+            return False
+        return tree.root.version is version
+
+    def _observe_transitions(self, pre) -> None:
+        from repro.consumption.group import GroupState
+        for group, delta_old in pre:
+            if group.state is GroupState.ABANDONED:
+                continue
+            self.predictor.observe(delta_old, group.delta)
+
+    def _finish_version(self, version: WindowVersion) -> None:
+        if version.detector is not None:
+            feedback = version.detector.close()
+            self._handle_feedback(version, feedback)
+        version.finished = True
+        with self._counter_lock:
+            self._unfinished -= 1
+
+    def _handle_feedback(self, version: WindowVersion,
+                         feedback: Feedback) -> None:
+        if not self._consumes:
+            # no consumption policy → no dependencies, no speculation
+            for completion in feedback.completed:
+                version.buffered.append(self._complex_event(
+                    version, completion))
+            return
+        for match in feedback.created:
+            group = ConsumptionGroup(self._group_ids.next(), match,
+                                     events=match.consumable)
+            group.owner = version
+            version.register_group(group, match)
+            self.stats.groups_created += 1
+            self._ops.append(("created", version, group))
+        for match, event in feedback.added:
+            group = version.group_for_match(match)
+            if group is not None and group.is_open:
+                group.add(event)
+        for completion in feedback.completed:
+            group = version.group_for_match(completion.match)
+            if group is None:
+                group = ConsumptionGroup(self._group_ids.next(),
+                                         completion.match,
+                                         events=completion.consumed)
+                group.owner = version
+                version.register_group(group, completion.match)
+                self.stats.groups_created += 1
+                self._ops.append(("created", version, group))
+            else:
+                for event in completion.consumed:
+                    if group.is_open:
+                        group.add(event)
+            version.local_consumed_seqs.update(
+                event.seq for event in completion.consumed)
+            version.buffered.append(self._complex_event(version, completion))
+            self._ops.append(("completed", version, group,
+                              completion.consumed))
+        for match in feedback.abandoned:
+            group = version.group_for_match(match)
+            if group is not None and group.is_open:
+                self._ops.append(("abandoned", version, group))
+
+    def _complex_event(self, version: WindowVersion,
+                       completion) -> ComplexEvent:
+        return ComplexEvent(
+            query_name=self.query.name,
+            window_id=version.window.window_id,
+            constituents=completion.constituents,
+            attributes=completion.attributes,
+        )
+
+    def _rollback(self, version: WindowVersion) -> None:
+        """Instance-side rollback (already under the version's lock)."""
+        was_finished = version.finished
+        retired = version.rollback()
+        if was_finished:
+            with self._counter_lock:
+                self._unfinished += 1
+        if retired:
+            self._ops.append(("retract", version, retired))
+
+    def _rollback_from_splitter(self, version: WindowVersion) -> None:
+        """Splitter-side rollback (validation failure at emission); takes
+        the lock so a concurrently stepping worker cannot interleave."""
+        with version.lock:
+            was_finished = version.finished
+            retired = version.rollback()
+        if was_finished:
+            with self._counter_lock:
+                self._unfinished += 1
+        self.stats.validation_rollbacks += 1
+        self._apply_retract(version, retired)
+
+
+def run_spectre(query: Query, events: Iterable[Event],
+                config: SpectreConfig | None = None) -> SpectreResult:
+    """One-call convenience wrapper."""
+    return SpectreEngine(query, config).run(events)

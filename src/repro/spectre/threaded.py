@@ -1,0 +1,117 @@
+"""Real-thread SPECTRE runtime.
+
+This runtime executes the same splitter/instance algorithms as the
+simulated engine, but with an actual splitter thread and k operator
+instance threads — the deployment shape of Sec. 2.2 ("1 thread is pinned
+to the splitter and k threads are pinned to the operator instances").
+
+Because of CPython's GIL this demonstrates *concurrency correctness*, not
+speedup (DESIGN.md, substitution table): workers interleave at bytecode
+granularity, group mutations propagate with real delays, consistency
+checks and rollbacks fire under genuine races, and the output must still
+be exactly the sequential engine's.
+
+Synchronisation model (mirrors the shared-memory original):
+
+* The dependency tree/forest is touched *only* by the splitter thread —
+  instance-side structure changes travel through the buffered op queue
+  (``deque.append`` is atomic), exactly like Sec. 3.3.
+* A window version's processing state is owned by the instance it is
+  scheduled on; the splitter publishes ownership via ``scheduled_on``.
+* Group event sets are copy-on-write, so readers never observe a set
+  mid-mutation; staleness is handled by the consistency-check protocol.
+* The learned predictor is wrapped with a lock (it aggregates statistics
+  from all workers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+from repro.events.event import Event
+from repro.patterns.query import Query
+from repro.spectre.config import SpectreConfig
+from repro.spectre.engine import SpectreEngine, SpectreResult
+from repro.spectre.prediction import CompletionPredictor
+
+
+class LockedPredictor:
+    """Thread-safe wrapper around a completion predictor."""
+
+    def __init__(self, inner: CompletionPredictor) -> None:
+        self._inner = inner
+        self._lock = threading.Lock()
+
+    def probability(self, delta: int, events_left: float) -> float:
+        with self._lock:
+            return self._inner.probability(delta, events_left)
+
+    def observe(self, delta_old: int, delta_new: int) -> None:
+        with self._lock:
+            self._inner.observe(delta_old, delta_new)
+
+
+class ThreadedSpectreEngine(SpectreEngine):
+    """SPECTRE with a real splitter thread and k worker threads."""
+
+    def __init__(self, query: Query, config: SpectreConfig | None = None,
+                 predictor: CompletionPredictor | None = None) -> None:
+        super().__init__(query, config, predictor)
+        self.predictor = LockedPredictor(self.predictor)
+        self._counter_lock = threading.Lock()
+        self._stop = threading.Event()
+        self.wall_seconds = 0.0
+
+    def _worker(self, index: int) -> None:
+        instance = self._instances[index]
+        while not self._stop.is_set():
+            version = instance.version
+            if version is None or not version.alive or version.finished:
+                time.sleep(0.0002)  # nothing scheduled: yield
+                continue
+            self._step_version(version)
+
+    def run(self, events: Iterable[Event],
+            timeout_seconds: float = 300.0) -> SpectreResult:
+        """Process a finite stream with real threads; returns like the
+        simulated engine (virtual_time is wall-clock seconds here)."""
+        self.prepare(events)
+        workers = [threading.Thread(target=self._worker, args=(i,),
+                                    daemon=True, name=f"op-instance-{i}")
+                   for i in range(self.config.k)]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        try:
+            # the calling thread plays the splitter
+            while self._pending or self._trees:
+                self.splitter_cycle()
+                self.stats.cycles += 1
+                time.sleep(0.0002)  # let workers grab the GIL
+                if time.perf_counter() - started > timeout_seconds:
+                    raise RuntimeError(
+                        f"threaded run exceeded {timeout_seconds}s "
+                        f"({self.stats.windows_emitted}/"
+                        f"{self.stats.windows_total} windows emitted)")
+        finally:
+            self._stop.set()
+            for worker in workers:
+                worker.join(timeout=5.0)
+        self.wall_seconds = time.perf_counter() - started
+        self.virtual_time = self.wall_seconds
+        return SpectreResult(
+            complex_events=self.output,
+            input_events=self._input_count,
+            virtual_time=self.wall_seconds,
+            stats=self.stats,
+            config=self.config,
+        )
+
+
+def run_spectre_threaded(query: Query, events: Iterable[Event],
+                         config: SpectreConfig | None = None
+                         ) -> SpectreResult:
+    """One-call convenience wrapper for the threaded runtime."""
+    return ThreadedSpectreEngine(query, config).run(events)

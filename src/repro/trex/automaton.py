@@ -1,0 +1,95 @@
+"""Query → state-machine compilation for the T-REX baseline.
+
+T-REX (Cugola & Margara) "is a general-purpose event processing engine
+that automatically translates queries into state machines, whereas SPECTRE
+employs user-defined functions to implement queries which allows for more
+code optimizations" (Sec. 4.2.3).  This module is our T-REX stand-in's
+front half: it turns a pattern AST into the generic automaton detector,
+plus helpers that express the evaluation queries as pure ASTs (no UDFs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.events.event import Event
+from repro.matching.nfa import NFADetector
+from repro.patterns.ast import Atom, Sequence, SetPattern
+from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
+from repro.patterns.query import Query, make_query
+from repro.queries.q1 import leading_predicate
+from repro.queries.udf import is_falling, is_rising
+from repro.windows.specs import WindowSpec
+
+
+def q1_ast_query(q: int, window_size: int,
+                 leading_symbols: Iterable[str]) -> Query:
+    """Q1 expressed as a pure pattern AST (one atom per stage).
+
+    Note the deliberate lack of hand-optimisation: the automaton walks a
+    q+1-stage machine with per-stage predicate closures — this is the
+    "general-purpose engine" half of the Sec. 4.2.3 comparison.
+    """
+    leaders = frozenset(leading_symbols)
+
+    def mle_pred(event: Event, bindings) -> bool:
+        return event.attributes.get("symbol") in leaders and (
+            is_rising(event) or is_falling(event))
+
+    def re_pred(event: Event, bindings) -> bool:
+        mle = bindings.get("MLE")
+        if mle is None:
+            return False
+        if is_rising(mle):
+            return is_rising(event)
+        return is_falling(event)
+
+    atoms = [Atom("MLE", etype=None, predicate=mle_pred)]
+    atoms.extend(Atom(f"RE{i}", etype=None, predicate=re_pred)
+                 for i in range(1, q + 1))
+    pattern = Sequence(tuple(atoms))
+    return make_query(
+        name=f"Q1-trex(q={q},ws={window_size})",
+        pattern=pattern,
+        window=WindowSpec.count_on(window_size, leading_predicate(leaders)),
+        selection=SelectionPolicy.FIRST,
+        consumption=ConsumptionPolicy.all(),
+        max_matches=1,
+        anchored=True,
+        description="Q1 compiled to a generic state machine",
+    )
+
+
+def q3_ast_query(anchor_symbol: str, set_symbols: Iterable[str],
+                 window_size: int, slide: int) -> Query:
+    """Q3 as a pure AST: anchor atom followed by a SET pattern."""
+    def symbol_pred(name: str):
+        def predicate(event: Event, bindings) -> bool:
+            return event.attributes.get("symbol") == name
+        return predicate
+
+    anchor = Atom("A", etype=None, predicate=symbol_pred(anchor_symbol))
+    members = tuple(Atom(f"X_{name}", etype=None,
+                         predicate=symbol_pred(name))
+                    for name in sorted(set(set_symbols)))
+    pattern = Sequence((anchor, SetPattern(members)))
+    return make_query(
+        name=f"Q3-trex(n={len(members)})",
+        pattern=pattern,
+        window=WindowSpec.count_sliding(window_size, slide),
+        selection=SelectionPolicy.FIRST,
+        consumption=ConsumptionPolicy.all(),
+        max_matches=1,
+        description="Q3 compiled to a generic state machine",
+    )
+
+
+def compile_detector(query: Query, start_event: Event) -> NFADetector:
+    """Instantiate the query's automaton for one window (T-REX's per-
+    window state machine)."""
+    detector = query.new_detector(start_event)
+    if not isinstance(detector, NFADetector):
+        raise TypeError(
+            "T-REX only runs automaton queries; build the query via "
+            "make_query/parse_query (UDF queries belong to SPECTRE)")
+    return detector

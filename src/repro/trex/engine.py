@@ -1,0 +1,93 @@
+"""The T-REX comparison engine (Sec. 4.2.3).
+
+A single-threaded, general-purpose engine: queries arrive as pattern ASTs,
+are compiled to state machines (:mod:`repro.trex.automaton`), and windows
+are evaluated strictly sequentially with full consumption support.
+"T-REX does not support event consumptions in parallel processing" — there
+is deliberately no speculation and no parallelism here.
+
+Its structure mirrors the sequential baseline, but it *must* pay the
+generic-automaton cost per event (predicate closures, binding dicts),
+which is what the throughput comparison of Sec. 4.2.3 is about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.consumption.ledger import ConsumptionLedger
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+from repro.patterns.query import Query
+from repro.trex.automaton import compile_detector
+from repro.windows.splitter import Splitter
+
+
+@dataclass
+class TRexResult:
+    """Outcome of a T-REX run (wall-clock timed)."""
+
+    complex_events: list[ComplexEvent]
+    input_events: int
+    wall_seconds: float
+    windows: int
+    events_fed: int
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.input_events / self.wall_seconds
+
+    def identities(self) -> list[tuple]:
+        return [ce.identity() for ce in self.complex_events]
+
+
+class TRexEngine:
+    """Sequential automaton engine with consumption support."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+
+    def run(self, events: Iterable[Event]) -> TRexResult:
+        splitter = Splitter(self.query.window)
+        windows = splitter.split_all(events)
+        ledger = ConsumptionLedger()
+        output: list[ComplexEvent] = []
+        events_fed = 0
+
+        started = time.perf_counter()
+        for window in windows:
+            detector = compile_detector(self.query, window.start_event)
+            for event in window.events():
+                if detector.done:
+                    break
+                if ledger.is_consumed(event):
+                    continue
+                events_fed += 1
+                feedback = detector.process(event)
+                for completion in feedback.completed:
+                    ledger.consume(completion.consumed)
+                    output.append(ComplexEvent(
+                        query_name=self.query.name,
+                        window_id=window.window_id,
+                        constituents=completion.constituents,
+                        attributes=completion.attributes,
+                    ))
+            detector.close()
+        elapsed = time.perf_counter() - started
+
+        return TRexResult(
+            complex_events=output,
+            input_events=len(splitter.stream),
+            wall_seconds=elapsed,
+            windows=len(windows),
+            events_fed=events_fed,
+        )
+
+
+def run_trex(query: Query, events: Iterable[Event]) -> TRexResult:
+    """One-call convenience wrapper."""
+    return TRexEngine(query).run(events)

@@ -1,0 +1,6 @@
+"""Small shared utilities (deterministic RNG helpers, id generation)."""
+
+from repro.utils.ids import IdGenerator
+from repro.utils.validation import require
+
+__all__ = ["IdGenerator", "require"]

@@ -1,0 +1,27 @@
+"""Monotonic id generation.
+
+Every entity that needs a stable, process-local identity (windows, window
+versions, consumption groups) draws its id from an :class:`IdGenerator`.
+Ids are small integers, which keeps log output readable and makes ordering
+by creation time trivial.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdGenerator:
+    """Hands out consecutive integer ids starting from ``start``.
+
+    >>> gen = IdGenerator()
+    >>> gen.next(), gen.next(), gen.next()
+    (0, 1, 2)
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        """Return the next unused id."""
+        return next(self._counter)

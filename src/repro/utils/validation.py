@@ -1,0 +1,14 @@
+"""Argument validation helpers.
+
+``require`` raises ``ValueError`` with a readable message; it exists so that
+public constructors can validate their inputs in one line without drowning
+the constructor body in ``if ...: raise`` blocks.
+"""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)

@@ -1,0 +1,22 @@
+"""Windowing substrate: specs, windows and the splitter."""
+
+from repro.windows.specs import (
+    CountScope,
+    EverySlide,
+    OnPredicate,
+    TimeScope,
+    WindowSpec,
+)
+from repro.windows.splitter import Splitter, SplitterStats
+from repro.windows.window import Window
+
+__all__ = [
+    "Window",
+    "WindowSpec",
+    "CountScope",
+    "TimeScope",
+    "EverySlide",
+    "OnPredicate",
+    "Splitter",
+    "SplitterStats",
+]

@@ -1,0 +1,125 @@
+"""Window specifications.
+
+The paper's queries use the Tesla-style ``WITHIN <scope> FROM <start>``
+clause: a *start condition* saying when a new window opens, and a *scope*
+saying when it closes.  Both dimensions are pluggable (Sec. 2.2: windows
+"can be based on time, event count or logical predicates").
+
+Start conditions
+----------------
+* :class:`EverySlide` — open a window every ``s`` events
+  (``FROM every s events``; Q2, Q3).
+* :class:`OnPredicate` — open a window on each event satisfying a
+  predicate (``FROM MLE``; Q1, and ``QE``'s "window opened by an A").
+
+Scopes
+------
+* :class:`CountScope` — the window spans ``ws`` events (Q1–Q3).
+* :class:`TimeScope` — the window spans ``duration`` seconds from its
+  start event (``QE``'s "within 1 min").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.events.event import Event
+from repro.utils.validation import require
+
+StartPredicate = Callable[[Event], bool]
+
+
+@dataclass(frozen=True)
+class EverySlide:
+    """Open a window at stream positions ``0, slide, 2*slide, ...``"""
+
+    slide: int
+
+    def __post_init__(self) -> None:
+        require(self.slide >= 1, "slide must be >= 1")
+
+    def opens_at(self, event: Event, position: int) -> bool:
+        return position % self.slide == 0
+
+
+@dataclass(frozen=True)
+class OnPredicate:
+    """Open a window on every event satisfying ``predicate``."""
+
+    predicate: StartPredicate
+
+    def opens_at(self, event: Event, position: int) -> bool:
+        return self.predicate(event)
+
+
+@dataclass(frozen=True)
+class CountScope:
+    """Close the window after ``size`` events (start event included)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        require(self.size >= 1, "window size must be >= 1")
+
+    def end_position(self, start_pos: int, start_event: Event) -> int:
+        """Count scopes know their end position immediately."""
+        return start_pos + self.size
+
+    def closes_before(self, start_event: Event, event: Event) -> bool:
+        """Count scopes never close on time; handled positionally."""
+        return False
+
+
+@dataclass(frozen=True)
+class TimeScope:
+    """Close the window ``duration`` seconds after its start event."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        require(self.duration > 0, "window duration must be > 0")
+
+    def end_position(self, start_pos: int, start_event: Event) -> Optional[int]:
+        """Time scopes learn their end only as events arrive."""
+        return None
+
+    def closes_before(self, start_event: Event, event: Event) -> bool:
+        """Does ``event`` fall outside the window started by ``start_event``?"""
+        return event.timestamp > start_event.timestamp + self.duration
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A complete window definition: start condition plus scope.
+
+    Examples
+    --------
+    ``WITHIN 8000 events FROM every 1000 events`` (Q2)::
+
+        WindowSpec(start=EverySlide(1000), scope=CountScope(8000))
+
+    ``WITHIN 1 min FROM A()`` (QE)::
+
+        WindowSpec(start=OnPredicate(lambda e: e.etype == "A"),
+                   scope=TimeScope(60.0))
+    """
+
+    start: EverySlide | OnPredicate
+    scope: CountScope | TimeScope
+
+    @classmethod
+    def count_sliding(cls, size: int, slide: int) -> "WindowSpec":
+        """``WITHIN size events FROM every slide events``."""
+        return cls(start=EverySlide(slide), scope=CountScope(size))
+
+    @classmethod
+    def count_on(cls, size: int, predicate: StartPredicate) -> "WindowSpec":
+        """``WITHIN size events FROM <predicate event>``."""
+        return cls(start=OnPredicate(predicate), scope=CountScope(size))
+
+    @classmethod
+    def time_on(cls, duration: float,
+                predicate: StartPredicate) -> "WindowSpec":
+        """``WITHIN duration seconds FROM <predicate event>``."""
+        return cls(start=OnPredicate(predicate), scope=TimeScope(duration))

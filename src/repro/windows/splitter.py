@@ -1,0 +1,156 @@
+"""The splitter: stream → windows.
+
+The splitter is the single component that sees every incoming event
+(Fig. 2).  It appends events to the shared buffer, opens windows according
+to the :class:`~repro.windows.specs.WindowSpec`, closes windows whose scope
+is exhausted, and maintains the *average window size* statistic that the
+Markov prediction model needs (Fig. 5, line 2: ``Splitter.avgWindowSize``).
+
+The splitter is engine-agnostic: the sequential baseline, the T-REX
+baseline and SPECTRE all drive the same splitter, so they all see the
+identical window decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.utils.ids import IdGenerator
+from repro.windows.specs import CountScope, TimeScope, WindowSpec
+from repro.windows.window import Window
+
+
+@dataclass
+class SplitterStats:
+    """Run-time statistics exposed to the prediction model."""
+
+    windows_opened: int = 0
+    windows_closed: int = 0
+    closed_size_sum: int = 0
+
+    @property
+    def avg_window_size(self) -> float:
+        """Average size of closed windows; 0.0 before the first close."""
+        if self.windows_closed == 0:
+            return 0.0
+        return self.closed_size_sum / self.windows_closed
+
+
+class Splitter:
+    """Ingests events and produces the window decomposition.
+
+    Usage::
+
+        splitter = Splitter(spec)
+        for event in source:
+            new_windows = splitter.ingest(event)   # windows opened here
+            ...
+        splitter.finish()                          # close trailing windows
+    """
+
+    def __init__(self, spec: WindowSpec, stream: EventStream | None = None):
+        self.spec = spec
+        self.stream = stream if stream is not None else EventStream()
+        self.stats = SplitterStats()
+        self._ids = IdGenerator()
+        self._open_windows: list[Window] = []
+        self.windows: list[Window] = []  # all windows, by id
+        self._finished = False
+
+    @property
+    def ingested(self) -> int:
+        """Number of events ingested so far (visible stream length)."""
+        return len(self.stream)
+
+    def ingest(self, event: Event) -> list[Window]:
+        """Ingest one event; return windows *opened* by it.
+
+        Closing happens as a side effect: count-scoped windows close when
+        their size is reached, time-scoped windows close when an event
+        beyond their duration arrives (events are globally ordered, so the
+        first such event proves the window can receive no more).
+        """
+        if self._finished:
+            raise RuntimeError("splitter already finished")
+        position = len(self.stream)
+        self.stream.append(event)
+
+        self._close_expired(event, position)
+
+        opened: list[Window] = []
+        if self.spec.start.opens_at(event, position):
+            window = self._open_window(position, event)
+            opened.append(window)
+        return opened
+
+    def _open_window(self, position: int, event: Event) -> Window:
+        window = Window(window_id=self._ids.next(), stream=self.stream,
+                        start_pos=position)
+        scope = self.spec.scope
+        if isinstance(scope, CountScope):
+            # end known immediately; the window still *closes* (becomes
+            # fully readable) only once the stream reaches the end position.
+            window.end_pos = position + scope.size
+        self._open_windows.append(window)
+        self.windows.append(window)
+        self.stats.windows_opened += 1
+        return window
+
+    def _close_expired(self, event: Event, position: int) -> None:
+        still_open: list[Window] = []
+        for window in self._open_windows:
+            if self._is_expired(window, event, position):
+                self._finalize(window, event, position)
+            else:
+                still_open.append(window)
+        self._open_windows = still_open
+
+    def _is_expired(self, window: Window, event: Event, position: int) -> bool:
+        scope = self.spec.scope
+        if isinstance(scope, CountScope):
+            return position >= window.end_pos  # type: ignore[operator]
+        assert isinstance(scope, TimeScope)
+        return scope.closes_before(window.start_event, event)
+
+    def _finalize(self, window: Window, event: Event, position: int) -> None:
+        if isinstance(self.spec.scope, TimeScope):
+            window.close(position)  # current event is outside the window
+        # count-scoped windows already carry end_pos
+        self.stats.windows_closed += 1
+        self.stats.closed_size_sum += window.size()  # type: ignore[arg-type]
+
+    def finish(self) -> None:
+        """Signal end-of-stream: close every remaining open window."""
+        if self._finished:
+            return
+        self._finished = True
+        end = len(self.stream)
+        for window in self._open_windows:
+            if window.end_pos is None:
+                window.close(end)
+            elif window.end_pos > end:
+                # count window truncated by end-of-stream
+                window.end_pos = end
+            self.stats.windows_closed += 1
+            self.stats.closed_size_sum += window.size()  # type: ignore[arg-type]
+        self._open_windows = []
+
+    def is_window_complete(self, window: Window) -> bool:
+        """Is every event of ``window`` already in the stream?"""
+        if window.end_pos is None:
+            return False
+        return self._finished or len(self.stream) >= window.end_pos
+
+    def split_all(self, events) -> list[Window]:
+        """Convenience: ingest an entire finite stream and return all
+        windows (used by the sequential and T-REX baselines)."""
+        for event in events:
+            self.ingest(event)
+        self.finish()
+        return list(self.windows)
+
+    def iter_windows(self) -> Iterator[Window]:
+        return iter(self.windows)

@@ -1,0 +1,112 @@
+"""Windows over the event stream.
+
+A window is a contiguous range of the shared event buffer, identified by a
+monotonically increasing *window id* and its boundaries ("w_i from event X
+to event Y", Sec. 2.2).  Windows are created open and are closed by the
+splitter once their scope condition is met; a closed window's content is
+immutable.
+
+Two windows *overlap* iff their index ranges intersect; a later window
+*depends on* an earlier one iff it is a successor and overlaps (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+
+
+@dataclass
+class Window:
+    """A (possibly still open) window over an :class:`EventStream`.
+
+    Parameters
+    ----------
+    window_id:
+        Monotonically increasing id assigned by the splitter; also the
+        successor order ("w_j succeeds w_i iff w_i's start event occurs
+        earlier").
+    stream:
+        The shared event buffer the boundaries index into.
+    start_pos:
+        Index of the window's first event.
+    end_pos:
+        One past the index of the window's last event; ``None`` while the
+        window is still open.
+    """
+
+    window_id: int
+    stream: EventStream
+    start_pos: int
+    end_pos: Optional[int] = None
+
+    @property
+    def is_closed(self) -> bool:
+        return self.end_pos is not None
+
+    def close(self, end_pos: int) -> None:
+        """Close the window at ``end_pos`` (exclusive)."""
+        if self.is_closed:
+            raise RuntimeError(f"window {self.window_id} already closed")
+        if end_pos < self.start_pos:
+            raise ValueError("window cannot end before it starts")
+        self.end_pos = end_pos
+
+    @property
+    def start_event(self) -> Event:
+        return self.stream[self.start_pos]
+
+    def size(self) -> Optional[int]:
+        """Number of events in the window, or ``None`` while open."""
+        if self.end_pos is None:
+            return None
+        return self.end_pos - self.start_pos
+
+    def available(self, ingested_until: int) -> int:
+        """How many events of this window exist so far.
+
+        ``ingested_until`` is the stream length visible to the processor;
+        for a closed window the window's own end bounds the answer.
+        """
+        end = ingested_until if self.end_pos is None else min(self.end_pos,
+                                                             ingested_until)
+        return max(0, end - self.start_pos)
+
+    def event_at(self, offset: int) -> Event:
+        """The event at window-relative position ``offset``."""
+        pos = self.start_pos + offset
+        if self.end_pos is not None and pos >= self.end_pos:
+            raise IndexError(f"offset {offset} outside window {self.window_id}")
+        return self.stream[pos]
+
+    def events(self) -> Sequence[Event]:
+        """All events of a *closed* window."""
+        if self.end_pos is None:
+            raise RuntimeError(f"window {self.window_id} is still open")
+        return self.stream.slice(self.start_pos, self.end_pos)
+
+    def overlaps(self, other: "Window") -> bool:
+        """Do the two (closed or open) windows share any events so far?
+
+        Open windows extend to infinity for this test — an open window
+        overlaps every window starting at or after its start.
+        """
+        self_end = float("inf") if self.end_pos is None else self.end_pos
+        other_end = float("inf") if other.end_pos is None else other.end_pos
+        return self.start_pos < other_end and other.start_pos < self_end
+
+    def depends_on(self, other: "Window") -> bool:
+        """Sec. 3.1: ``self`` depends on ``other`` iff it is a successor
+        of ``other`` and overlaps with it."""
+        is_successor = other.start_pos < self.start_pos or (
+            other.start_pos == self.start_pos
+            and other.window_id < self.window_id
+        )
+        return is_successor and self.overlaps(other)
+
+    def __repr__(self) -> str:
+        end = "open" if self.end_pos is None else str(self.end_pos)
+        return f"Window(w{self.window_id}:[{self.start_pos},{end}))"

@@ -1,0 +1,12 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import TreeHarness
+
+
+@pytest.fixture
+def harness():
+    return TreeHarness()

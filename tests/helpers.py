@@ -1,0 +1,50 @@
+"""Shared test helpers (importable; conftest.py re-exports fixtures)."""
+
+from __future__ import annotations
+
+from repro.consumption.group import ConsumptionGroup
+from repro.events import EventStream, make_event
+from repro.patterns import Atom, ConsumptionPolicy, make_query
+from repro.patterns.ast import sequence
+from repro.spectre.tree import DependencyTree
+from repro.spectre.version import WindowVersion
+from repro.windows import Window, WindowSpec
+
+
+def ab_query(consumption=None, window=6, slide=3):
+    """Tiny A-then-B query used across engine/tree tests."""
+    pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"))
+    return make_query(
+        "ab", pattern, WindowSpec.count_sliding(window, slide),
+        consumption=consumption or ConsumptionPolicy.all())
+
+
+class TreeHarness:
+    """A DependencyTree wired to a trivial version factory."""
+
+    def __init__(self):
+        self.query = ab_query()
+        self.stream = EventStream(make_event(i, "A") for i in range(100))
+        self._next_version = 0
+        self._next_window = 0
+        self._next_group = 0
+        self.tree = DependencyTree(0, self._make_version)
+
+    def _make_version(self, window, completed, abandoned):
+        version = WindowVersion(
+            version_id=self._next_version, window=window, query=self.query,
+            assumes_completed=completed, assumes_abandoned=abandoned)
+        self._next_version += 1
+        return version
+
+    def window(self, start=0, size=10):
+        window = Window(self._next_window, self.stream, start_pos=start,
+                        end_pos=start + size)
+        self._next_window += 1
+        return window
+
+    def group(self, events=()):
+        group = ConsumptionGroup(self._next_group,
+                                 events=[make_event(s, "A") for s in events])
+        self._next_group += 1
+        return group

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+QUERY_TEXT = """
+PATTERN (A B+ C)
+DEFINE
+    A AS (A.closePrice < lowerLimit),
+    B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit),
+    C AS (C.closePrice > upperLimit)
+WITHIN 200 events FROM every 50 events
+CONSUME (A B+ C)
+"""
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "band.sql"
+    path.write_text(QUERY_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def walk_csv(tmp_path):
+    path = tmp_path / "walk.csv"
+    code = main(["generate", "--kind", "walk", "--events", "2000",
+                 "--seed", "17", "--reversion", "0.1", "--out", str(path)])
+    assert code == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_nyse(self, tmp_path, capsys):
+        out = tmp_path / "nyse.csv"
+        code = main(["generate", "--kind", "nyse", "--events", "500",
+                     "--symbols", "20", "--leading", "2", "--out",
+                     str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote 500 events" in capsys.readouterr().out
+
+    def test_rand(self, tmp_path):
+        out = tmp_path / "rand.csv"
+        assert main(["generate", "--kind", "rand", "--events", "100",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestRun:
+    def test_spectre_engine(self, query_file, walk_csv, capsys):
+        code = main(["run", "--query", query_file, "--data", walk_csv,
+                     "--engine", "spectre", "--k", "4",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complex events" in out
+
+    def test_sequential_engine(self, query_file, walk_csv, capsys):
+        code = main(["run", "--query", query_file, "--data", walk_csv,
+                     "--engine", "sequential",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "completion probability" in capsys.readouterr().out
+
+    def test_bad_param(self, query_file, walk_csv):
+        with pytest.raises(SystemExit):
+            main(["run", "--query", query_file, "--data", walk_csv,
+                  "--param", "oops"])
+
+
+class TestVerify:
+    def test_equivalence_check_passes(self, query_file, walk_csv, capsys):
+        code = main(["verify", "--query", query_file, "--data", walk_csv,
+                     "--k", "4", "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out

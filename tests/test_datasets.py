@@ -1,0 +1,123 @@
+"""Unit tests for the dataset generators and CSV persistence."""
+
+import pytest
+
+from repro.datasets import (
+    generate_nyse,
+    generate_price_walk,
+    generate_rand,
+    leading_symbols,
+    load_events_csv,
+    save_events_csv,
+    stream_events_csv,
+    symbol_names,
+)
+from repro.events import validate_order
+
+
+class TestSymbolNames:
+    def test_deterministic(self):
+        assert symbol_names(3) == ["S0000", "S0001", "S0002"]
+
+    def test_leading_prefix(self):
+        assert leading_symbols(2) == ["L0000", "L0001"]
+
+
+class TestNyseGenerator:
+    def test_count_and_order(self):
+        events = generate_nyse(500, n_symbols=20, n_leading=2, seed=1)
+        assert len(events) == 500
+        assert validate_order(events)
+
+    def test_deterministic_per_seed(self):
+        first = generate_nyse(100, n_symbols=10, n_leading=2, seed=9)
+        second = generate_nyse(100, n_symbols=10, n_leading=2, seed=9)
+        assert [e.attributes for e in first] == [e.attributes for e in second]
+
+    def test_seeds_differ(self):
+        a = generate_nyse(100, n_symbols=10, n_leading=2, seed=1)
+        b = generate_nyse(100, n_symbols=10, n_leading=2, seed=2)
+        assert [e.attributes for e in a] != [e.attributes for e in b]
+
+    def test_open_is_previous_close(self):
+        events = generate_nyse(500, n_symbols=5, n_leading=1, seed=3)
+        last_close = {}
+        for event in events:
+            symbol = event["symbol"]
+            if symbol in last_close:
+                assert event["openPrice"] == pytest.approx(
+                    last_close[symbol])
+            last_close[symbol] = event["closePrice"]
+
+    def test_rise_fall_roughly_balanced(self):
+        events = generate_nyse(5000, n_symbols=50, n_leading=4, seed=5)
+        rises = sum(1 for e in events
+                    if e["closePrice"] > e["openPrice"])
+        assert 0.4 < rises / len(events) < 0.6
+
+    def test_leading_symbols_present(self):
+        events = generate_nyse(2000, n_symbols=10, n_leading=2, seed=7)
+        symbols = {e["symbol"] for e in events}
+        assert "L0000" in symbols and "L0001" in symbols
+
+    def test_leading_validation(self):
+        with pytest.raises(ValueError):
+            generate_nyse(10, n_symbols=5, n_leading=6)
+
+
+class TestPriceWalk:
+    def test_bounded(self):
+        events = generate_price_walk(2000, low=0.0, high=100.0,
+                                     step_scale=5.0, seed=2)
+        for event in events:
+            assert 0.0 <= event["closePrice"] <= 100.0
+
+    def test_step_scale_controls_dwell(self):
+        slow = generate_price_walk(3000, step_scale=0.5, seed=4)
+        fast = generate_price_walk(3000, step_scale=10.0, seed=4)
+
+        def band_crossings(events, lower=40.0, upper=60.0):
+            def zone(c):
+                return 0 if c < lower else (2 if c > upper else 1)
+            zones = [zone(e["closePrice"]) for e in events]
+            return sum(1 for a, b in zip(zones, zones[1:]) if a != b)
+
+        assert band_crossings(fast) > band_crossings(slow)
+
+
+class TestRandGenerator:
+    def test_uniform_symbols(self):
+        events = generate_rand(30000, n_symbols=30, seed=6)
+        counts = {}
+        for event in events:
+            counts[event["symbol"]] = counts.get(event["symbol"], 0) + 1
+        assert len(counts) == 30
+        expected = 1000
+        assert all(abs(c - expected) < 250 for c in counts.values())
+
+    def test_order(self):
+        assert validate_order(generate_rand(100, seed=1))
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        events = generate_nyse(50, n_symbols=5, n_leading=1, seed=8)
+        path = tmp_path / "events.csv"
+        save_events_csv(events, path)
+        loaded = load_events_csv(path)
+        assert len(loaded) == 50
+        for original, restored in zip(events, loaded):
+            assert original.seq == restored.seq
+            assert original.etype == restored.etype
+            assert original.timestamp == pytest.approx(restored.timestamp)
+            assert original["symbol"] == restored["symbol"]
+            assert original["closePrice"] == pytest.approx(
+                restored["closePrice"])
+
+    def test_streaming_reader_is_lazy(self, tmp_path):
+        events = generate_rand(20, seed=3)
+        path = tmp_path / "events.csv"
+        save_events_csv(events, path)
+        iterator = stream_events_csv(path)
+        first = next(iterator)
+        assert first.seq == 0

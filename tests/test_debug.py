@@ -1,0 +1,90 @@
+"""Tests for tree rendering and speculation tracing."""
+
+from repro.spectre.debug import (
+    SpeculationTrace,
+    render_forest,
+    render_tree,
+)
+from repro.spectre.engine import SpectreEngine
+from repro.spectre.config import SpectreConfig
+from repro.events import make_event
+
+from tests.helpers import TreeHarness, ab_query
+
+
+class TestRenderTree:
+    def test_single_root(self):
+        harness = TreeHarness()
+        harness.tree.seed(harness.window(0))
+        text = render_tree(harness.tree)
+        assert "WV v0 w0" in text
+        assert "*root*" in text
+
+    def test_group_with_both_edges(self):
+        harness = TreeHarness()
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        group = harness.group(events=[7])
+        harness.tree.group_created(root, group)
+        text = render_tree(harness.tree)
+        assert "CG g0 (open" in text
+        assert "[complete]" in text
+        assert "[abandon]" in text
+        assert "+g0" in text and "-g0" in text
+
+    def test_exhausted(self):
+        harness = TreeHarness()
+        harness.tree.seed(harness.window(0))
+        harness.tree.advance_root()
+        assert render_tree(harness.tree) == "(exhausted tree)"
+
+    def test_renders_every_live_version(self):
+        harness = TreeHarness()
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        harness.tree.group_created(root, harness.group())
+        harness.tree.new_window(harness.window(6))
+        text = render_tree(harness.tree)
+        live = [v for v in harness.tree.iter_versions() if v.alive]
+        for version in live:
+            assert f"v{version.version_id} " in text
+
+
+class TestSpeculationTrace:
+    def _events(self):
+        events = []
+        for i in range(60):
+            etype = "A" if i % 6 == 0 else ("B" if i % 6 == 1 else "X")
+            events.append(make_event(i, etype))
+        return events
+
+    def test_records_entries(self):
+        engine = SpectreEngine(ab_query(window=12, slide=6),
+                               SpectreConfig(k=2))
+        trace = SpeculationTrace.attach(engine)
+        engine.run(self._events())
+        assert trace.entries
+        assert trace.entries[-1].windows_emitted == \
+            engine.stats.windows_emitted
+        assert trace.peak_tree_size() >= 1
+
+    def test_utilization_bounded(self):
+        engine = SpectreEngine(ab_query(window=12, slide=6),
+                               SpectreConfig(k=4))
+        trace = SpeculationTrace.attach(engine)
+        engine.run(self._events())
+        assert 0.0 <= trace.utilization(4) <= 1.0
+
+    def test_render_forest_on_live_engine(self):
+        engine = SpectreEngine(ab_query(window=12, slide=6),
+                               SpectreConfig(k=2))
+        engine.prepare(self._events())
+        for _ in range(4):
+            engine.splitter_cycle()
+            engine.instance_phase()
+        text = render_forest(engine)
+        assert "tree 0:" in text
+
+    def test_render_forest_empty(self):
+        engine = SpectreEngine(ab_query(), SpectreConfig(k=1))
+        assert render_forest(engine) == "(empty forest)"

@@ -1,0 +1,80 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.events import ComplexEvent, Event, make_event
+
+
+class TestEvent:
+    def test_attribute_access(self):
+        event = make_event(0, "quote", symbol="IBM", closePrice=101.5)
+        assert event["symbol"] == "IBM"
+        assert event["closePrice"] == 101.5
+
+    def test_get_with_default(self):
+        event = make_event(0, "quote")
+        assert event.get("missing") is None
+        assert event.get("missing", 7) == 7
+
+    def test_missing_attribute_raises(self):
+        event = make_event(0, "quote")
+        with pytest.raises(KeyError):
+            event["nope"]
+
+    def test_default_timestamp_is_seq(self):
+        assert make_event(42, "A").timestamp == 42.0
+
+    def test_explicit_timestamp(self):
+        assert make_event(42, "A", timestamp=1.5).timestamp == 1.5
+
+    def test_order_by_timestamp(self):
+        early = make_event(5, "A", timestamp=1.0)
+        late = make_event(3, "B", timestamp=2.0)
+        assert early < late
+        assert not late < early
+
+    def test_order_tiebreak_by_seq(self):
+        first = make_event(1, "A", timestamp=1.0)
+        second = make_event(2, "B", timestamp=1.0)
+        assert first < second
+
+    def test_le_on_equal_key(self):
+        event = make_event(1, "A", timestamp=1.0)
+        assert event <= make_event(1, "B", timestamp=1.0)
+
+    def test_repr_mentions_type_and_seq(self):
+        assert repr(make_event(9, "B")) == "Event(B#9)"
+
+    def test_frozen(self):
+        event = make_event(0, "A")
+        with pytest.raises(AttributeError):
+            event.etype = "B"
+
+
+class TestComplexEvent:
+    def _make(self, seqs=(1, 2), window=0, name="q"):
+        constituents = tuple(make_event(s, "X") for s in seqs)
+        return ComplexEvent(query_name=name, window_id=window,
+                            constituents=constituents)
+
+    def test_constituent_seqs(self):
+        assert self._make((3, 5)).constituent_seqs == (3, 5)
+
+    def test_identity_ignores_window(self):
+        assert self._make(window=0).identity() == \
+            self._make(window=9).identity()
+
+    def test_identity_distinguishes_query(self):
+        assert self._make(name="a").identity() != \
+            self._make(name="b").identity()
+
+    def test_identity_distinguishes_constituents(self):
+        assert self._make((1, 2)).identity() != self._make((1, 3)).identity()
+
+    def test_default_attributes_empty(self):
+        assert dict(self._make().attributes) == {}
+
+    def test_attributes_preserved(self):
+        ce = ComplexEvent("q", 0, (make_event(0, "A"),),
+                          attributes={"Factor": 2.5})
+        assert ce.attributes["Factor"] == 2.5

@@ -1,0 +1,67 @@
+"""Tests for the detector feedback protocol plumbing."""
+
+from repro.events import make_event
+from repro.matching.base import Completion, Feedback
+from repro.queries.udf import UDFMatch, is_falling, is_rising
+
+
+class TestFeedback:
+    def test_empty(self):
+        assert Feedback().is_empty
+
+    def test_not_empty_with_content(self):
+        feedback = Feedback()
+        feedback.created.append(UDFMatch(0, delta=1))
+        assert not feedback.is_empty
+
+    def test_merge(self):
+        first, second = Feedback(), Feedback()
+        match = UDFMatch(0, delta=1)
+        second.created.append(match)
+        second.abandoned.append(match)
+        first.merge(second)
+        assert first.created == [match]
+        assert first.abandoned == [match]
+
+
+class TestUDFMatch:
+    def test_bind_tracks_consumable(self):
+        match = UDFMatch(0, delta=2)
+        a, b = make_event(0, "A"), make_event(1, "B")
+        match.bind(a, consumed=True, delta_after=1)
+        match.bind(b, consumed=False, delta_after=0)
+        assert match.constituents == (a, b)
+        assert list(match.consumable) == [a]
+        assert match.delta == 0
+
+    def test_delta_setter(self):
+        match = UDFMatch(0, delta=5)
+        match.delta = 2
+        assert match.delta == 2
+
+
+class TestQuoteHelpers:
+    def test_rising(self):
+        event = make_event(0, "q", openPrice=10.0, closePrice=11.0)
+        assert is_rising(event)
+        assert not is_falling(event)
+
+    def test_falling(self):
+        event = make_event(0, "q", openPrice=11.0, closePrice=10.0)
+        assert is_falling(event)
+        assert not is_rising(event)
+
+    def test_flat_is_neither(self):
+        event = make_event(0, "q", openPrice=10.0, closePrice=10.0)
+        assert not is_rising(event)
+        assert not is_falling(event)
+
+
+class TestCompletion:
+    def test_fields(self):
+        match = UDFMatch(0, delta=0)
+        a = make_event(0, "A")
+        completion = Completion(match=match, constituents=(a,),
+                                consumed=(a,), attributes={"x": 1})
+        assert completion.constituents == (a,)
+        assert completion.attributes["x"] == 1

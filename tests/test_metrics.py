@@ -1,0 +1,86 @@
+"""Unit tests for metrics, candlesticks and calibration."""
+
+import pytest
+
+from repro.metrics import (
+    ThroughputRecorder,
+    calibrate_events_per_second,
+    candlesticks,
+    scaling_factors,
+)
+from repro.simulation import calibrate, virtual_to_events_per_second
+
+
+class TestCandlesticks:
+    def test_five_percentiles(self):
+        sticks = candlesticks([1, 2, 3, 4, 5])
+        assert sticks.p0 == 1
+        assert sticks.p50 == 3
+        assert sticks.p100 == 5
+
+    def test_single_value(self):
+        sticks = candlesticks([7.0])
+        assert sticks.as_tuple() == (7.0, 7.0, 7.0, 7.0, 7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            candlesticks([])
+
+    def test_str_renders(self):
+        assert "|" in str(candlesticks([1000, 2000]))
+
+
+class TestScalingFactors:
+    def test_relative_to_k1(self):
+        factors = scaling_factors({1: 100.0, 2: 190.0, 4: 380.0})
+        assert factors[1] == 1.0
+        assert factors[2] == pytest.approx(1.9)
+        assert factors[4] == pytest.approx(3.8)
+
+    def test_needs_baseline(self):
+        with pytest.raises(ValueError):
+            scaling_factors({2: 100.0})
+
+
+class TestCalibration:
+    def test_anchors_baseline(self):
+        calibrated = calibrate_events_per_second({1: 0.05, 4: 0.2},
+                                                 baseline_events_per_second=10_000)
+        assert calibrated[1] == pytest.approx(10_000)
+        assert calibrated[4] == pytest.approx(40_000)
+
+    def test_calibrate_scale(self):
+        assert calibrate(0.1, 10_000) == pytest.approx(100_000)
+
+    def test_virtual_to_events_per_second(self):
+        mapped = virtual_to_events_per_second({("a", 1): 0.1, ("a", 4): 0.35},
+                                              baseline_key=("a", 1))
+        assert mapped[("a", 1)].events_per_second == pytest.approx(10_000)
+        assert mapped[("a", 4)].events_per_second == pytest.approx(35_000)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate(0.0)
+
+
+class TestThroughputRecorder:
+    def test_record_and_summary(self):
+        recorder = ThroughputRecorder()
+        for value in (10.0, 20.0, 30.0):
+            recorder.record(("cell",), value)
+        sticks = recorder.summary(("cell",))
+        assert sticks.p50 == 20.0
+
+    def test_rows_sorted(self):
+        recorder = ThroughputRecorder()
+        recorder.record((2,), 1.0)
+        recorder.record((1,), 2.0)
+        keys = [key for key, _s in recorder.rows()]
+        assert keys == [(1,), (2,)]
+
+    def test_render(self):
+        recorder = ThroughputRecorder()
+        recorder.record((1,), 5.0)
+        text = recorder.render("header")
+        assert text.startswith("header")
+        assert "(1)" in text

@@ -1,0 +1,255 @@
+"""Unit tests for the generic NFA detector."""
+
+import pytest
+
+from repro.events import make_event
+from repro.matching import NFADetector, compile_pattern
+from repro.patterns import (
+    Atom,
+    ConsumptionPolicy,
+    KleenePlus,
+    Negation,
+    SelectionPolicy,
+    SetPattern,
+)
+from repro.patterns.ast import sequence
+
+
+def ev(seq, etype, **attrs):
+    return make_event(seq, etype, **attrs)
+
+
+def run_detector(detector, events):
+    """Feed events; return (completions, abandoned_count)."""
+    completions = []
+    abandoned = 0
+    for event in events:
+        if detector.done:
+            break
+        feedback = detector.process(event)
+        completions.extend(feedback.completed)
+        abandoned += len(feedback.abandoned)
+    feedback = detector.close()
+    abandoned += len(feedback.abandoned)
+    return completions, abandoned
+
+
+class TestCompilePattern:
+    def test_wraps_single_atom(self):
+        compiled = compile_pattern(Atom("A", etype="A"))
+        assert len(compiled.positives) == 1
+
+    def test_guards_attach_to_following_position(self):
+        compiled = compile_pattern(
+            sequence(Atom("A"), Negation(Atom("N")), Atom("B")))
+        assert compiled.guards[0] == ()
+        assert len(compiled.guards[1]) == 1
+        assert compiled.guards[1][0].name == "N"
+
+    def test_trailing_negation_rejected(self):
+        with pytest.raises(ValueError):
+            compile_pattern(sequence(Atom("A"), Negation(Atom("N"))))
+
+    def test_mandatory_total(self):
+        compiled = compile_pattern(
+            sequence(Atom("A"), KleenePlus(Atom("B")), Atom("C")))
+        assert compiled.mandatory_total == 3
+
+
+class TestSequenceMatching:
+    def _detector(self, **kwargs):
+        pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"))
+        return NFADetector(pattern, **kwargs)
+
+    def test_simple_sequence(self):
+        completions, _ = run_detector(self._detector(),
+                                      [ev(0, "A"), ev(1, "B")])
+        assert len(completions) == 1
+        assert completions[0].constituents[0].seq == 0
+        assert completions[0].constituents[1].seq == 1
+
+    def test_skip_till_next_match(self):
+        events = [ev(0, "A"), ev(1, "X"), ev(2, "Y"), ev(3, "B")]
+        completions, _ = run_detector(self._detector(), events)
+        assert len(completions) == 1
+
+    def test_wrong_order_no_match(self):
+        completions, _ = run_detector(self._detector(),
+                                      [ev(0, "B"), ev(1, "A")])
+        assert completions == []
+
+    def test_max_matches_limits(self):
+        events = [ev(0, "A"), ev(1, "B"), ev(2, "A"), ev(3, "B")]
+        completions, _ = run_detector(self._detector(max_matches=1), events)
+        assert len(completions) == 1
+
+    def test_unbounded_matches_under_first(self):
+        events = [ev(0, "A"), ev(1, "B"), ev(2, "A"), ev(3, "B")]
+        completions, _ = run_detector(self._detector(max_matches=None),
+                                      events)
+        assert len(completions) == 2
+
+    def test_close_abandons_open_match(self):
+        detector = self._detector()
+        detector.process(ev(0, "A"))
+        feedback = detector.close()
+        assert len(feedback.abandoned) == 1
+
+    def test_done_after_close(self):
+        detector = self._detector()
+        detector.close()
+        assert detector.done
+        with pytest.raises(RuntimeError):
+            detector.process(ev(0, "A"))
+
+
+class TestKleeneMatching:
+    def _detector(self, **kwargs):
+        pattern = sequence(Atom("A", etype="A"), KleenePlus(Atom("B", etype="B")),
+                           Atom("C", etype="C"))
+        return NFADetector(pattern, **kwargs)
+
+    def test_requires_at_least_one_b(self):
+        completions, _ = run_detector(self._detector(), [ev(0, "A"), ev(1, "C")])
+        assert completions == []
+
+    def test_absorbs_many(self):
+        events = [ev(0, "A"), ev(1, "B"), ev(2, "B"), ev(3, "B"), ev(4, "C")]
+        completions, _ = run_detector(self._detector(), events)
+        assert len(completions) == 1
+        assert len(completions[0].constituents) == 5
+
+    def test_progress_beats_absorption(self):
+        # an event matching both B and C advances to C: give C type B too
+        pattern = sequence(
+            Atom("A", etype="A"),
+            KleenePlus(Atom("B", etype="B")),
+            Atom("C", etype="B", predicate=lambda e, b: e.get("last", False)))
+        detector = NFADetector(pattern)
+        events = [ev(0, "A"), ev(1, "B"), ev(2, "B", last=True)]
+        completions, _ = run_detector(detector, events)
+        assert len(completions) == 1
+        assert completions[0].constituents[-1].seq == 2
+
+    def test_trailing_kleene_minimal(self):
+        pattern = sequence(Atom("A", etype="A"), KleenePlus(Atom("B", etype="B")))
+        completions, _ = run_detector(NFADetector(pattern),
+                                      [ev(0, "A"), ev(1, "B"), ev(2, "B")])
+        assert len(completions) == 1
+        assert len(completions[0].constituents) == 2
+
+
+class TestSetMatching:
+    def _detector(self):
+        pattern = sequence(
+            Atom("A", etype="A"),
+            SetPattern((Atom("X", etype="X"), Atom("Y", etype="Y"),
+                        Atom("Z", etype="Z"))))
+        return NFADetector(pattern)
+
+    def test_any_order(self):
+        events = [ev(0, "A"), ev(1, "Z"), ev(2, "X"), ev(3, "Y")]
+        completions, _ = run_detector(self._detector(), events)
+        assert len(completions) == 1
+
+    def test_duplicates_do_not_double_count(self):
+        events = [ev(0, "A"), ev(1, "X"), ev(2, "X"), ev(3, "Y")]
+        completions, _ = run_detector(self._detector(), events)
+        assert completions == []
+
+
+class TestNegationGuard:
+    def _detector(self):
+        pattern = sequence(Atom("A", etype="A"), Negation(Atom("N", etype="N")),
+                           Atom("B", etype="B"))
+        return NFADetector(pattern)
+
+    def test_negation_kills_match(self):
+        completions, abandoned = run_detector(
+            self._detector(), [ev(0, "A"), ev(1, "N"), ev(2, "B")])
+        assert completions == []
+        assert abandoned == 1
+
+    def test_negation_before_start_is_harmless(self):
+        completions, _ = run_detector(
+            self._detector(), [ev(0, "N"), ev(1, "A"), ev(2, "B")])
+        assert len(completions) == 1
+
+    def test_negation_after_completion_is_harmless(self):
+        completions, _ = run_detector(
+            self._detector(), [ev(0, "A"), ev(1, "B"), ev(2, "N")])
+        assert len(completions) == 1
+
+
+class TestSelectionPolicies:
+    def _pattern(self):
+        return sequence(Atom("A", etype="A"), Atom("B", etype="B"))
+
+    def test_first_ignores_second_initiator(self):
+        detector = NFADetector(self._pattern(),
+                               selection=SelectionPolicy.FIRST,
+                               max_matches=None)
+        events = [ev(0, "A"), ev(1, "A"), ev(2, "B")]
+        completions, _ = run_detector(detector, events)
+        assert len(completions) == 1
+        assert completions[0].constituents[0].seq == 0
+
+    def test_each_correlates_all_initiators(self):
+        detector = NFADetector(self._pattern(),
+                               selection=SelectionPolicy.EACH,
+                               max_matches=None)
+        events = [ev(0, "A"), ev(1, "A"), ev(2, "B")]
+        completions, _ = run_detector(detector, events)
+        assert len(completions) == 2
+
+    def test_last_prefers_fresh_initiator(self):
+        detector = NFADetector(self._pattern(),
+                               selection=SelectionPolicy.LAST,
+                               max_matches=None)
+        events = [ev(0, "A"), ev(1, "A"), ev(2, "B")]
+        completions, _ = run_detector(detector, events)
+        assert len(completions) == 1
+        assert completions[0].constituents[0].seq == 1
+
+
+class TestConsumptionInteraction:
+    def test_consumed_events_reported(self):
+        pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"))
+        detector = NFADetector(pattern,
+                               consumption=ConsumptionPolicy.selected("B"))
+        completions, _ = run_detector(detector, [ev(0, "A"), ev(1, "B")])
+        assert [e.seq for e in completions[0].consumed] == [1]
+
+    def test_completion_abandons_matches_sharing_events(self):
+        # EACH selection: two matches share the B event; when the first
+        # completes and consumes it, the second cannot also use it
+        pattern = sequence(Atom("A", etype="A"),
+                           KleenePlus(Atom("B", etype="B")),
+                           Atom("C", etype="C"))
+        detector = NFADetector(pattern, selection=SelectionPolicy.EACH,
+                               consumption=ConsumptionPolicy.all(),
+                               max_matches=None)
+        events = [ev(0, "A"), ev(1, "A"), ev(2, "B"), ev(3, "C")]
+        completions, abandoned = run_detector(detector, events)
+        assert len(completions) == 1  # second match dies with B consumed
+        assert abandoned >= 1
+
+    def test_anchor_restricts_creation(self):
+        anchor = ev(5, "A")
+        pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"))
+        detector = NFADetector(pattern, anchor=anchor)
+        completions, _ = run_detector(detector,
+                                      [ev(0, "A"), ev(6, "B")])
+        assert completions == []  # event 0 is not the anchor
+
+    def test_delta_decreases(self):
+        pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"),
+                           Atom("C", etype="C"))
+        detector = NFADetector(pattern)
+        feedback = detector.process(ev(0, "A"))
+        match = feedback.created[0]
+        assert match.delta == 2
+        detector.process(ev(1, "B"))
+        assert match.delta == 1
+        detector.process(ev(2, "C"))
+        assert match.delta == 0

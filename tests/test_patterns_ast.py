@@ -1,0 +1,89 @@
+"""Unit tests for the pattern AST."""
+
+import pytest
+
+from repro.events import make_event
+from repro.patterns import Atom, KleenePlus, Negation, Sequence, SetPattern
+from repro.patterns.ast import atoms_of, sequence
+
+
+class TestAtom:
+    def test_type_only_match(self):
+        atom = Atom("A", etype="A")
+        assert atom.matches(make_event(0, "A"), {})
+        assert not atom.matches(make_event(0, "B"), {})
+
+    def test_any_type_matches(self):
+        atom = Atom("X")
+        assert atom.matches(make_event(0, "whatever"), {})
+
+    def test_predicate_refines(self):
+        atom = Atom("A", etype="A",
+                    predicate=lambda e, b: e["x"] > 5)
+        assert atom.matches(make_event(0, "A", x=6), {})
+        assert not atom.matches(make_event(0, "A", x=4), {})
+
+    def test_mandatory_count(self):
+        assert Atom("A").mandatory_count() == 1
+
+
+class TestKleenePlus:
+    def test_name_delegates(self):
+        assert KleenePlus(Atom("B")).name == "B"
+
+    def test_mandatory_count_is_one(self):
+        assert KleenePlus(Atom("B")).mandatory_count() == 1
+
+
+class TestNegation:
+    def test_mandatory_count_is_zero(self):
+        assert Negation(Atom("C")).mandatory_count() == 0
+
+
+class TestSetPattern:
+    def test_mandatory_count(self):
+        pattern = SetPattern((Atom("X1"), Atom("X2"), Atom("X3")))
+        assert pattern.mandatory_count() == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SetPattern((Atom("X"), Atom("X")))
+
+
+class TestSequence:
+    def test_mandatory_count_sums(self):
+        pattern = sequence(Atom("A"), KleenePlus(Atom("B")), Atom("C"),
+                           Negation(Atom("N")), Atom("D"))
+        assert pattern.mandatory_count() == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequence(())
+
+    def test_leading_negation_rejected(self):
+        with pytest.raises(ValueError):
+            sequence(Negation(Atom("N")), Atom("A"))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            sequence(Atom("A"), Atom("A"))
+
+    def test_duplicate_across_set_rejected(self):
+        with pytest.raises(ValueError):
+            sequence(Atom("A"), SetPattern((Atom("A"),)))
+
+
+class TestAtomsOf:
+    def test_flattens_in_order(self):
+        pattern = sequence(Atom("A"), KleenePlus(Atom("B")),
+                           Negation(Atom("N")),
+                           SetPattern((Atom("X"), Atom("Y"))), Atom("C"))
+        assert [a.name for a in atoms_of(pattern)] == \
+            ["A", "B", "N", "X", "Y", "C"]
+
+    def test_single_atom(self):
+        assert [a.name for a in atoms_of(Atom("Z"))] == ["Z"]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            atoms_of("not a pattern")

@@ -1,0 +1,68 @@
+"""Unit tests for selection and consumption policies."""
+
+import pytest
+
+from repro.events import make_event
+from repro.patterns import ConsumptionPolicy, SelectionPolicy
+from repro.patterns.policies import parameter_context
+
+
+class TestConsumptionPolicy:
+    def test_none_consumes_nothing(self):
+        policy = ConsumptionPolicy.none()
+        assert policy.is_none
+        assert not policy.consumes("A")
+        assert policy.consumed_events({"A": make_event(0, "A")}) == []
+
+    def test_all_consumes_everything(self):
+        policy = ConsumptionPolicy.all()
+        assert policy.is_all
+        assert policy.consumes("anything")
+
+    def test_selected_consumes_named_only(self):
+        policy = ConsumptionPolicy.selected("B")
+        assert policy.consumes("B")
+        assert not policy.consumes("A")
+
+    def test_selected_needs_names(self):
+        with pytest.raises(ValueError):
+            ConsumptionPolicy.selected()
+
+    def test_consumed_events_flattens_kleene(self):
+        policy = ConsumptionPolicy.selected("B")
+        a = make_event(0, "A")
+        bs = [make_event(1, "B"), make_event(2, "B")]
+        consumed = policy.consumed_events({"A": a, "B": bs})
+        assert consumed == bs
+
+    def test_consumed_events_all(self):
+        policy = ConsumptionPolicy.all()
+        a, b = make_event(0, "A"), make_event(1, "B")
+        consumed = policy.consumed_events({"A": a, "B": b})
+        assert set(e.seq for e in consumed) == {0, 1}
+
+    def test_describe(self):
+        assert ConsumptionPolicy.none().describe() == "none"
+        assert ConsumptionPolicy.all().describe() == "all"
+        assert ConsumptionPolicy.selected("B").describe() == "selected B"
+
+
+class TestParameterContext:
+    def test_known_contexts(self):
+        for name in ("recent", "chronicle", "continuous", "cumulative"):
+            selection, consumption = parameter_context(name)
+            assert isinstance(selection, SelectionPolicy)
+            assert isinstance(consumption, ConsumptionPolicy)
+
+    def test_chronicle_consumes_all(self):
+        selection, consumption = parameter_context("chronicle")
+        assert selection is SelectionPolicy.FIRST
+        assert consumption.is_all
+
+    def test_continuous_consumes_nothing(self):
+        _sel, consumption = parameter_context("continuous")
+        assert consumption.is_none
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parameter_context("nope")

@@ -1,0 +1,84 @@
+"""Unit tests for predicate combinators."""
+
+from repro.events import make_event
+from repro.patterns.predicates import (
+    all_of,
+    any_of,
+    attr_between,
+    attr_compare,
+    cross_compare,
+    negate,
+    self_compare,
+    true_predicate,
+)
+
+
+def test_true_predicate():
+    assert true_predicate(make_event(0, "A"), {})
+
+
+class TestAttrCompare:
+    def test_all_operators(self):
+        event = make_event(0, "A", x=5)
+        assert attr_compare("x", "<", 6)(event, {})
+        assert attr_compare("x", "<=", 5)(event, {})
+        assert attr_compare("x", ">", 4)(event, {})
+        assert attr_compare("x", ">=", 5)(event, {})
+        assert attr_compare("x", "==", 5)(event, {})
+        assert attr_compare("x", "!=", 4)(event, {})
+
+    def test_false_case(self):
+        assert not attr_compare("x", ">", 10)(make_event(0, "A", x=5), {})
+
+
+class TestAttrBetween:
+    def test_strictly_inside(self):
+        pred = attr_between("x", 10, 20)
+        assert pred(make_event(0, "A", x=15), {})
+
+    def test_boundaries_excluded(self):
+        pred = attr_between("x", 10, 20)
+        assert not pred(make_event(0, "A", x=10), {})
+        assert not pred(make_event(0, "A", x=20), {})
+
+
+class TestSelfCompare:
+    def test_rising_quote(self):
+        pred = self_compare("closePrice", ">", "openPrice")
+        assert pred(make_event(0, "q", openPrice=10, closePrice=11), {})
+        assert not pred(make_event(0, "q", openPrice=11, closePrice=10), {})
+
+
+class TestCrossCompare:
+    def test_against_bound_event(self):
+        pred = cross_compare("x", ">", "A", "x")
+        bound_a = make_event(0, "A", x=5)
+        assert pred(make_event(1, "B", x=6), {"A": bound_a})
+        assert not pred(make_event(1, "B", x=4), {"A": bound_a})
+
+    def test_unbound_reference_is_false(self):
+        pred = cross_compare("x", ">", "A", "x")
+        assert not pred(make_event(1, "B", x=6), {})
+
+    def test_kleene_binding_uses_most_recent(self):
+        pred = cross_compare("x", ">", "B", "x")
+        bound = [make_event(0, "B", x=1), make_event(1, "B", x=9)]
+        assert not pred(make_event(2, "C", x=5), {"B": bound})
+        assert pred(make_event(2, "C", x=10), {"B": bound})
+
+
+class TestCombinators:
+    def test_all_of(self):
+        pred = all_of(attr_compare("x", ">", 0), attr_compare("x", "<", 10))
+        assert pred(make_event(0, "A", x=5), {})
+        assert not pred(make_event(0, "A", x=11), {})
+
+    def test_any_of(self):
+        pred = any_of(attr_compare("x", "<", 0), attr_compare("x", ">", 10))
+        assert pred(make_event(0, "A", x=11), {})
+        assert not pred(make_event(0, "A", x=5), {})
+
+    def test_negate(self):
+        pred = negate(attr_compare("x", ">", 0))
+        assert pred(make_event(0, "A", x=-1), {})
+        assert not pred(make_event(0, "A", x=1), {})

@@ -1,0 +1,137 @@
+"""Unit tests for the completion-probability models (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.spectre.config import MarkovParams
+from repro.spectre.prediction import FixedPredictor, MarkovPredictor
+
+
+class TestFixedPredictor:
+    def test_constant(self):
+        predictor = FixedPredictor(0.3)
+        assert predictor.probability(5, 100) == 0.3
+        assert predictor.probability(1, 1) == 0.3
+
+    def test_delta_zero_is_certain(self):
+        assert FixedPredictor(0.3).probability(0, 10) == 1.0
+
+    def test_observe_is_noop(self):
+        predictor = FixedPredictor(0.3)
+        predictor.observe(3, 2)
+        assert predictor.probability(3, 10) == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPredictor(1.5)
+
+
+class TestMarkovStates:
+    def test_small_delta_maps_identity(self):
+        predictor = MarkovPredictor(delta_max=5)
+        assert predictor.n_states == 6
+        assert [predictor.state_of(d) for d in range(6)] == [0, 1, 2, 3, 4, 5]
+
+    def test_large_delta_buckets(self):
+        predictor = MarkovPredictor(delta_max=1000,
+                                    params=MarkovParams(state_cap=10))
+        assert predictor.n_states == 11
+        assert predictor.state_of(0) == 0
+        assert predictor.state_of(1) == 1      # at least 1 when delta >= 1
+        assert predictor.state_of(1000) == 10
+        assert predictor.state_of(500) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(delta_max=0)
+
+
+class TestMarkovPrior:
+    def test_row_stochastic(self):
+        predictor = MarkovPredictor(delta_max=5)
+        matrix = predictor.transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_complete_state_absorbing(self):
+        matrix = MarkovPredictor(delta_max=5).transition_matrix
+        assert matrix[0, 0] == 1.0
+
+    def test_probability_monotone_in_delta(self):
+        predictor = MarkovPredictor(delta_max=8)
+        probabilities = [predictor.probability(d, 20) for d in range(1, 9)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_probability_monotone_in_events_left(self):
+        predictor = MarkovPredictor(delta_max=8)
+        shorter = predictor.probability(4, 5)
+        longer = predictor.probability(4, 50)
+        assert longer >= shorter
+
+    def test_delta_zero_certain(self):
+        assert MarkovPredictor(delta_max=3).probability(0, 10) == 1.0
+
+    def test_probability_in_unit_interval(self):
+        predictor = MarkovPredictor(delta_max=6)
+        for delta in range(7):
+            for n in (1, 7, 13, 40):
+                assert 0.0 <= predictor.probability(delta, n) <= 1.0
+
+
+class TestMarkovLearning:
+    def _train(self, predictor, advance_probability, steps=2000, seed=5):
+        """Feed synthetic transitions: advance with given probability."""
+        rng = np.random.default_rng(seed)
+        delta = predictor.delta_max
+        for _ in range(steps):
+            if delta == 0:
+                delta = predictor.delta_max
+            new_delta = delta - 1 if rng.random() < advance_probability \
+                else delta
+            predictor.observe(delta, new_delta)
+            delta = new_delta
+
+    def test_learns_fast_advance(self):
+        fast = MarkovPredictor(delta_max=4,
+                               params=MarkovParams(rho=100))
+        self._train(fast, advance_probability=0.9)
+        slow = MarkovPredictor(delta_max=4,
+                               params=MarkovParams(rho=100))
+        self._train(slow, advance_probability=0.05)
+        assert fast.probability(4, 10) > slow.probability(4, 10)
+
+    def test_update_counts(self):
+        predictor = MarkovPredictor(delta_max=4,
+                                    params=MarkovParams(rho=10))
+        for _ in range(25):
+            predictor.observe(2, 1)
+        assert predictor.updates == 2
+
+    def test_smoothing_moves_toward_observations(self):
+        params = MarkovParams(alpha=0.7, rho=50)
+        predictor = MarkovPredictor(delta_max=3, params=params)
+        before = predictor.transition_matrix[2, 1]
+        for _ in range(50):
+            predictor.observe(2, 1)  # always advance from state 2
+        after = predictor.transition_matrix[2, 1]
+        assert after > before
+
+    def test_interpolation_between_power_steps(self):
+        # Fig. 5 line 6: T_14 = interpolation of T_10 and T_20 (ell=10)
+        predictor = MarkovPredictor(delta_max=4,
+                                    params=MarkovParams(ell=10))
+        p10 = predictor.probability(3, 10)
+        p14 = predictor.probability(3, 14)
+        p20 = predictor.probability(3, 20)
+        low, high = min(p10, p20), max(p10, p20)
+        assert low - 1e-12 <= p14 <= high + 1e-12
+
+    def test_rows_remain_stochastic_after_updates(self):
+        predictor = MarkovPredictor(delta_max=4,
+                                    params=MarkovParams(rho=20))
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            src = int(rng.integers(1, 5))
+            dst = max(0, src - int(rng.integers(0, 2)))
+            predictor.observe(src, dst)
+        matrix = predictor.transition_matrix
+        assert np.allclose(matrix.sum(axis=1), 1.0)

@@ -1,0 +1,80 @@
+"""Tests for the sweep driver and new dataset generator options."""
+
+import pytest
+
+from repro.datasets import generate_nyse, generate_price_walk, leading_symbols
+from repro.queries import make_q1
+from repro.simulation import scalability_sweep
+from repro.spectre import SpectreConfig
+
+
+class TestScalabilitySweep:
+    def test_grid_and_verification(self):
+        events = generate_nyse(1200, n_symbols=40, n_leading=2, seed=5)
+        cells = scalability_sweep(
+            parameters=[4, 16],
+            query_for=lambda q: make_q1(q=q, window_size=200,
+                                        leading_symbols=leading_symbols(2)),
+            events=events,
+            ks=[1, 2],
+            config_for=lambda k: SpectreConfig(k=k),
+            verify=True,
+        )
+        assert len(cells) == 4
+        assert {(c.parameter, c.k) for c in cells} == \
+            {(4, 1), (4, 2), (16, 1), (16, 2)}
+        for cell in cells:
+            assert cell.virtual_throughput > 0
+            assert 0.0 <= cell.ground_truth_probability <= 1.0
+
+    def test_throughput_improves_with_k(self):
+        events = generate_nyse(1200, n_symbols=40, n_leading=2, seed=5)
+        cells = scalability_sweep(
+            parameters=[8],
+            query_for=lambda q: make_q1(q=q, window_size=200,
+                                        leading_symbols=leading_symbols(2)),
+            events=events,
+            ks=[1, 4],
+        )
+        by_k = {c.k: c.virtual_throughput for c in cells}
+        assert by_k[4] > by_k[1] * 1.5
+
+
+class TestUnchangedQuotes:
+    def test_flat_share_respected(self):
+        events = generate_nyse(4000, n_symbols=20, n_leading=2, seed=9,
+                               unchanged_probability=0.5)
+        flat = sum(1 for e in events
+                   if e["closePrice"] == e["openPrice"])
+        assert 0.4 < flat / len(events) < 0.6
+
+    def test_zero_default(self):
+        events = generate_nyse(1000, n_symbols=20, n_leading=2, seed=9)
+        flat = sum(1 for e in events
+                   if e["closePrice"] == e["openPrice"])
+        assert flat < 50  # ties are measure-zero for the normal walk
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_nyse(10, n_symbols=5, n_leading=1,
+                          unchanged_probability=1.5)
+
+
+class TestMeanReversion:
+    def test_reversion_tightens_distribution(self):
+        loose = generate_price_walk(4000, step_scale=3.0, seed=7)
+        tight = generate_price_walk(4000, step_scale=3.0, seed=7,
+                                    reversion=0.2)
+
+        def spread(events):
+            closes = [e["closePrice"] for e in events]
+            mean = sum(closes) / len(closes)
+            return sum((c - mean) ** 2 for c in closes) / len(closes)
+
+        assert spread(tight) < spread(loose)
+
+    def test_reversion_keeps_bounds(self):
+        events = generate_price_walk(2000, step_scale=8.0, seed=7,
+                                     reversion=0.05)
+        for event in events:
+            assert 0.0 <= event["closePrice"] <= 100.0

@@ -1,0 +1,101 @@
+"""Unit tests for the splitter."""
+
+import pytest
+
+from repro.events import make_event
+from repro.windows import Splitter, WindowSpec
+
+
+def count_events(n):
+    return [make_event(i, "A") for i in range(n)]
+
+
+class TestCountSliding:
+    def test_window_boundaries(self):
+        splitter = Splitter(WindowSpec.count_sliding(size=4, slide=2))
+        windows = splitter.split_all(count_events(10))
+        bounds = [(w.start_pos, w.end_pos) for w in windows]
+        assert bounds == [(0, 4), (2, 6), (4, 8), (6, 10), (8, 10)]
+
+    def test_trailing_window_truncated(self):
+        splitter = Splitter(WindowSpec.count_sliding(size=4, slide=2))
+        windows = splitter.split_all(count_events(9))
+        assert windows[-1].end_pos == 9
+
+    def test_window_ids_increase(self):
+        splitter = Splitter(WindowSpec.count_sliding(size=4, slide=2))
+        windows = splitter.split_all(count_events(10))
+        assert [w.window_id for w in windows] == list(range(len(windows)))
+
+    def test_avg_window_size(self):
+        splitter = Splitter(WindowSpec.count_sliding(size=4, slide=2))
+        splitter.split_all(count_events(10))
+        # sizes: 4,4,4,4,2
+        assert splitter.stats.avg_window_size == pytest.approx(18 / 5)
+
+    def test_is_window_complete(self):
+        splitter = Splitter(WindowSpec.count_sliding(size=3, slide=3))
+        for event in count_events(4):
+            splitter.ingest(event)
+        first, second = splitter.windows
+        assert splitter.is_window_complete(first)
+        assert not splitter.is_window_complete(second)
+        splitter.finish()
+        assert splitter.is_window_complete(second)
+
+
+class TestPredicateWindows:
+    def test_opens_on_predicate(self):
+        spec = WindowSpec.count_on(3, lambda e: e.etype == "A")
+        splitter = Splitter(spec)
+        events = [make_event(0, "X"), make_event(1, "A"), make_event(2, "X"),
+                  make_event(3, "A"), make_event(4, "X"), make_event(5, "X")]
+        windows = splitter.split_all(events)
+        assert [(w.start_pos, w.end_pos) for w in windows] == [(1, 4), (3, 6)]
+
+
+class TestTimeWindows:
+    def test_closes_on_time(self):
+        spec = WindowSpec.time_on(10.0, lambda e: e.etype == "A")
+        splitter = Splitter(spec)
+        events = [make_event(0, "A", timestamp=0.0),
+                  make_event(1, "B", timestamp=5.0),
+                  make_event(2, "B", timestamp=10.0),   # still inside
+                  make_event(3, "B", timestamp=10.5)]   # outside -> closes
+        windows = splitter.split_all(events)
+        assert len(windows) == 1
+        assert windows[0].end_pos == 3  # event 3 excluded
+
+    def test_open_until_finish(self):
+        spec = WindowSpec.time_on(100.0, lambda e: e.etype == "A")
+        splitter = Splitter(spec)
+        splitter.ingest(make_event(0, "A", timestamp=0.0))
+        assert splitter.windows[0].end_pos is None
+        splitter.finish()
+        assert splitter.windows[0].end_pos == 1
+
+
+class TestSplitterLifecycle:
+    def test_ingest_after_finish_rejected(self):
+        splitter = Splitter(WindowSpec.count_sliding(2, 2))
+        splitter.finish()
+        with pytest.raises(RuntimeError):
+            splitter.ingest(make_event(0, "A"))
+
+    def test_double_finish_is_idempotent(self):
+        splitter = Splitter(WindowSpec.count_sliding(2, 2))
+        splitter.split_all(count_events(4))
+        splitter.finish()
+        assert splitter.stats.windows_closed == 2
+
+    def test_ingest_returns_opened_windows(self):
+        splitter = Splitter(WindowSpec.count_sliding(4, 2))
+        assert len(splitter.ingest(make_event(0, "A"))) == 1
+        assert len(splitter.ingest(make_event(1, "A"))) == 0
+        assert len(splitter.ingest(make_event(2, "A"))) == 1
+
+    def test_stats_counts(self):
+        splitter = Splitter(WindowSpec.count_sliding(4, 2))
+        splitter.split_all(count_events(10))
+        assert splitter.stats.windows_opened == 5
+        assert splitter.stats.windows_closed == 5

@@ -1,0 +1,83 @@
+"""Unit tests for event streams, ordering and merging."""
+
+import pytest
+
+from repro.events import (
+    EventStream,
+    StreamOrderError,
+    make_event,
+    merge_streams,
+    validate_order,
+)
+
+
+class TestEventStream:
+    def test_append_and_index(self):
+        stream = EventStream()
+        stream.append(make_event(0, "A"))
+        stream.append(make_event(1, "B"))
+        assert len(stream) == 2
+        assert stream[0].etype == "A"
+        assert stream[1].etype == "B"
+
+    def test_out_of_order_append_rejected(self):
+        stream = EventStream([make_event(1, "A", timestamp=5.0)])
+        with pytest.raises(StreamOrderError):
+            stream.append(make_event(2, "B", timestamp=1.0))
+
+    def test_equal_timestamp_needs_increasing_seq(self):
+        stream = EventStream([make_event(2, "A", timestamp=1.0)])
+        with pytest.raises(StreamOrderError):
+            stream.append(make_event(1, "B", timestamp=1.0))
+
+    def test_slice(self):
+        stream = EventStream(make_event(i, "A") for i in range(5))
+        assert [e.seq for e in stream.slice(1, 4)] == [1, 2, 3]
+
+    def test_last(self):
+        stream = EventStream()
+        assert stream.last is None
+        stream.append(make_event(0, "A"))
+        assert stream.last.seq == 0
+
+    def test_iteration(self):
+        events = [make_event(i, "A") for i in range(3)]
+        assert list(EventStream(events)) == events
+
+    def test_extend(self):
+        stream = EventStream()
+        stream.extend(make_event(i, "A") for i in range(4))
+        assert len(stream) == 4
+
+
+class TestMergeStreams:
+    def test_merge_two_sources(self):
+        left = [make_event(0, "A", timestamp=0.0),
+                make_event(2, "A", timestamp=2.0)]
+        right = [make_event(1, "B", timestamp=1.0),
+                 make_event(3, "B", timestamp=3.0)]
+        merged = merge_streams(left, right)
+        assert [e.seq for e in merged] == [0, 1, 2, 3]
+
+    def test_merge_respects_tiebreak(self):
+        left = [make_event(2, "A", timestamp=1.0)]
+        right = [make_event(1, "B", timestamp=1.0)]
+        merged = merge_streams(left, right)
+        assert [e.seq for e in merged] == [1, 2]
+
+    def test_merge_empty(self):
+        assert merge_streams([], []) == []
+
+
+class TestValidateOrder:
+    def test_ordered(self):
+        assert validate_order([make_event(i, "A") for i in range(5)])
+
+    def test_unordered(self):
+        events = [make_event(1, "A", timestamp=2.0),
+                  make_event(2, "A", timestamp=1.0)]
+        assert not validate_order(events)
+
+    def test_empty_and_singleton(self):
+        assert validate_order([])
+        assert validate_order([make_event(0, "A")])

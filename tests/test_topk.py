@@ -1,0 +1,87 @@
+"""Unit tests for top-k window-version selection (Fig. 6)."""
+
+from repro.spectre.topk import find_top_k
+
+
+def probabilities_of(result):
+    return [round(p, 6) for _v, p in result]
+
+
+class TestTopK:
+    def test_root_always_first(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        result = find_top_k([harness.tree], 2, lambda g: 0.5)
+        assert result[0][0] is root
+        assert result[0][1] == 1.0
+
+    def test_chain_without_groups_has_probability_one(self, harness):
+        harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        harness.tree.new_window(harness.window(6))
+        result = find_top_k([harness.tree], 3, lambda g: 0.5)
+        assert probabilities_of(result) == [1.0, 1.0, 1.0]
+
+    def test_group_splits_probability(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        group = harness.group()
+        harness.tree.group_created(root, group)
+        result = find_top_k([harness.tree], 3, lambda g: 0.8)
+        assert probabilities_of(result) == [1.0, 0.8, 0.2]
+
+    def test_k_limits_result(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        harness.tree.group_created(root, harness.group())
+        result = find_top_k([harness.tree], 2, lambda g: 0.8)
+        assert len(result) == 2
+
+    def test_finished_versions_passed_through(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        nxt = harness.tree.new_window(harness.window(5))[0]
+        root.finished = True
+        result = find_top_k([harness.tree], 2, lambda g: 0.5)
+        versions = [v for v, _p in result]
+        assert root not in versions
+        assert nxt in versions
+
+    def test_resolved_groups_are_certain(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        group = harness.group()
+        fresh = harness.tree.group_created(root, group)
+        group.complete()
+        # not yet pruned: probability must still reflect certainty
+        result = find_top_k([harness.tree], 3, lambda g: 0.5)
+        by_version = {v: p for v, p in result}
+        assert by_version[fresh[0]] == 1.0
+
+    def test_zero_probability_branch_skipped(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        harness.tree.group_created(root, harness.group())
+        result = find_top_k([harness.tree], 5, lambda g: 1.0)
+        # abandon side has probability 0 -> never returned
+        assert all(p > 0 for p in probabilities_of(result))
+        assert len(result) == 2
+
+    def test_forest_roots_all_seeded(self, harness):
+        tree_a = harness.tree
+        tree_a.seed(harness.window(0))
+        from repro.spectre.tree import DependencyTree
+        tree_b = DependencyTree(1, harness._make_version)
+        tree_b.seed(harness.window(50))
+        result = find_top_k([tree_a, tree_b], 4, lambda g: 0.5)
+        assert len(result) == 2
+        assert probabilities_of(result) == [1.0, 1.0]
+
+    def test_order_is_descending(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        harness.tree.new_window(harness.window(6))
+        group = harness.group()
+        harness.tree.group_created(root, group)
+        result = find_top_k([harness.tree], 6, lambda g: 0.7)
+        probabilities = probabilities_of(result)
+        assert probabilities == sorted(probabilities, reverse=True)

@@ -1,0 +1,227 @@
+"""Unit tests for the dependency tree (Fig. 4 algorithms)."""
+
+from repro.spectre.tree import (
+    EDGE_ABANDON,
+    EDGE_CHILD,
+    EDGE_COMPLETION,
+    GroupVertex,
+    VersionVertex,
+    path_assumptions,
+)
+
+
+class TestSeedAndNewWindow:
+    def test_seed_creates_root(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        assert harness.tree.root_version() is root
+        assert harness.tree.version_count == 1
+        assert root.assumes_completed == ()
+
+    def test_new_window_attaches_to_version_leaf(self, harness):
+        harness.tree.seed(harness.window(0))
+        created = harness.tree.new_window(harness.window(5))
+        assert len(created) == 1
+        assert harness.tree.version_count == 2
+        child = harness.tree.root.child
+        assert isinstance(child, VersionVertex)
+        assert child.version is created[0]
+
+    def test_new_window_attaches_under_open_group_edges(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        group = harness.group()
+        harness.tree.group_created(root, group)
+        created = harness.tree.new_window(harness.window(5))
+        # group vertex with both edges empty: one version per edge
+        assert len(created) == 2
+        assumptions = {(tuple(g.group_id for g in v.assumes_completed),
+                        tuple(g.group_id for g in v.assumes_abandoned))
+                       for v in created}
+        assert ((group.group_id,), ()) in assumptions
+        assert ((), (group.group_id,)) in assumptions
+
+
+class TestGroupCreated:
+    def test_inserts_vertex_between_owner_and_subtree(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        dependents = harness.tree.new_window(harness.window(5))
+        group = harness.group(events=[7])
+        fresh = harness.tree.group_created(root, group)
+        group_vertex = harness.tree.root.child
+        assert isinstance(group_vertex, GroupVertex)
+        assert group_vertex.group is group
+        # abandon edge keeps the original version
+        abandon = group_vertex.abandon_child
+        assert isinstance(abandon, VersionVertex)
+        assert abandon.version is dependents[0]
+        # completion edge got a fresh copy that suppresses the group
+        completion = group_vertex.completion_child
+        assert isinstance(completion, VersionVertex)
+        assert completion.version in fresh
+        assert group in completion.version.assumes_completed
+        assert group in abandon.version.assumes_abandoned
+
+    def test_copy_covers_all_dependent_windows(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        harness.tree.new_window(harness.window(6))
+        group = harness.group()
+        fresh = harness.tree.group_created(root, group)
+        assert len(fresh) == 2  # one fresh version per dependent window
+        window_ids = sorted(v.window.window_id for v in fresh)
+        assert window_ids == [1, 2]
+
+    def test_chained_groups_clone_shared_vertex(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        first = harness.group()
+        harness.tree.group_created(root, first)
+        second = harness.group()
+        harness.tree.group_created(root, second)
+        outer = harness.tree.root.child
+        assert outer.group is second
+        # both children of the second group's vertex contain a clone of
+        # the first group's vertex
+        assert isinstance(outer.abandon_child, GroupVertex)
+        assert outer.abandon_child.group is first
+        assert isinstance(outer.completion_child, GroupVertex)
+        assert outer.completion_child.group is first
+
+
+class TestGroupResolved:
+    def test_completion_prunes_abandon_side(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        original = harness.tree.new_window(harness.window(5))[0]
+        group = harness.group()
+        fresh = harness.tree.group_created(root, group)
+        group.complete()
+        dropped = harness.tree.group_resolved(group, completed=True)
+        assert original in dropped
+        assert not original.alive
+        assert fresh[0].alive
+        # vertex is retained (valid edge only) until root advancement
+        vertex = harness.tree.root.child
+        assert isinstance(vertex, GroupVertex)
+        assert vertex.abandon_child is None
+        assert vertex.completion_child is not None
+
+    def test_abandonment_prunes_completion_side(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        original = harness.tree.new_window(harness.window(5))[0]
+        group = harness.group()
+        fresh = harness.tree.group_created(root, group)
+        group.abandon()
+        dropped = harness.tree.group_resolved(group, completed=False)
+        assert fresh[0] in dropped
+        assert original.alive
+
+    def test_resolved_vertex_offers_only_valid_leaf_edge(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        group = harness.group()
+        harness.tree.group_created(root, group)  # both edges empty
+        group.complete()
+        harness.tree.group_resolved(group, completed=True)
+        created = harness.tree.new_window(harness.window(5))
+        assert len(created) == 1
+        assert group in created[0].assumes_completed
+
+
+class TestRetraction:
+    def test_retract_open_group_keeps_abandon_side(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        original = harness.tree.new_window(harness.window(5))[0]
+        group = harness.group()
+        fresh = harness.tree.group_created(root, group)
+        group.retract()
+        dropped = harness.tree.retract_group(group)
+        assert fresh[0] in dropped
+        assert original.alive
+
+    def test_retract_completed_group_reseeds_windows(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        group = harness.group()
+        harness.tree.group_created(root, group)
+        group.complete()
+        harness.tree.group_resolved(group, completed=True)
+        # only the completion-side version of window 1 remains; retract
+        group.retract()
+        harness.tree.retract_group(group)
+        survivors = [v for v in harness.tree.iter_versions()
+                     if v.window.window_id == 1 and v.alive]
+        assert len(survivors) == 1  # re-seeded fresh chain
+
+
+class TestRootAdvancement:
+    def test_advance_plain_chain(self, harness):
+        harness.tree.seed(harness.window(0))
+        nxt = harness.tree.new_window(harness.window(5))[0]
+        new_root = harness.tree.advance_root()
+        assert new_root is nxt
+        assert harness.tree.root_version() is nxt
+
+    def test_advance_splices_resolved_groups(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        nxt_original = harness.tree.new_window(harness.window(5))[0]
+        group = harness.group()
+        fresh = harness.tree.group_created(root, group)
+        group.complete()
+        harness.tree.group_resolved(group, completed=True)
+        assert harness.tree.root_groups_resolved()
+        new_root = harness.tree.advance_root()
+        assert new_root is fresh[0]
+        assert not nxt_original.alive
+
+    def test_open_group_blocks_resolution_check(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(5))
+        harness.tree.group_created(root, harness.group())
+        assert not harness.tree.root_groups_resolved()
+
+    def test_exhaustion(self, harness):
+        harness.tree.seed(harness.window(0))
+        assert harness.tree.advance_root() is None
+        assert harness.tree.is_exhausted
+
+
+class TestPathAssumptions:
+    def test_empty_at_root(self, harness):
+        assert path_assumptions(None, EDGE_CHILD) == ((), ())
+
+    def test_collects_along_path(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        g1 = harness.group()
+        harness.tree.group_created(root, g1)
+        # attach under completion edge of g1's vertex
+        vertex = harness.tree.root.child
+        completed, abandoned = path_assumptions(vertex, EDGE_COMPLETION)
+        assert [g.group_id for g in completed] == [g1.group_id]
+        assert abandoned == ()
+        completed, abandoned = path_assumptions(vertex, EDGE_ABANDON)
+        assert completed == ()
+        assert [g.group_id for g in abandoned] == [g1.group_id]
+
+
+class TestTreeInvariants:
+    def test_version_count_tracks_live_versions(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        group = harness.group()
+        harness.tree.group_created(root, group)
+        live = sum(1 for v in harness.tree.iter_versions() if v.alive)
+        assert live == harness.tree.version_count
+
+    def test_parent_links_consistent(self, harness):
+        root = harness.tree.seed(harness.window(0))
+        harness.tree.new_window(harness.window(3))
+        harness.tree.group_created(root, harness.group())
+        harness.tree.new_window(harness.window(6))
+        for vertex in harness.tree.iter_vertices():
+            if vertex.parent is None:
+                continue
+            parent = vertex.parent
+            if isinstance(parent, VersionVertex):
+                assert parent.child is vertex
+            else:
+                assert vertex in (parent.completion_child,
+                                  parent.abandon_child)

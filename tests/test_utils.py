@@ -1,0 +1,43 @@
+"""Tests for shared utilities and module doctests."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.utils.ids
+from repro.utils import IdGenerator, require
+
+
+class TestIdGenerator:
+    def test_sequential(self):
+        gen = IdGenerator()
+        assert [gen.next() for _ in range(3)] == [0, 1, 2]
+
+    def test_start_offset(self):
+        assert IdGenerator(start=10).next() == 10
+
+    def test_independent_instances(self):
+        a, b = IdGenerator(), IdGenerator()
+        a.next()
+        assert b.next() == 0
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestDoctests:
+    def test_ids_doctest(self):
+        results = doctest.testmod(repro.utils.ids)
+        assert results.failed == 0
+
+    def test_package_quickstart_doctest(self):
+        results = doctest.testmod(repro)
+        assert results.failed == 0
+        assert results.attempted > 0

@@ -1,0 +1,119 @@
+"""Unit tests for windows, window specs and overlap/dependency relations."""
+
+import pytest
+
+from repro.events import EventStream, make_event
+from repro.windows import CountScope, EverySlide, OnPredicate, TimeScope, Window, WindowSpec
+
+
+def stream_of(n):
+    return EventStream(make_event(i, "A") for i in range(n))
+
+
+class TestWindow:
+    def test_size_requires_close(self):
+        window = Window(0, stream_of(10), start_pos=2)
+        assert window.size() is None
+        window.close(7)
+        assert window.size() == 5
+
+    def test_events_slice(self):
+        window = Window(0, stream_of(10), start_pos=2, end_pos=5)
+        assert [e.seq for e in window.events()] == [2, 3, 4]
+
+    def test_events_on_open_window_raises(self):
+        window = Window(0, stream_of(10), start_pos=2)
+        with pytest.raises(RuntimeError):
+            window.events()
+
+    def test_event_at_offset(self):
+        window = Window(0, stream_of(10), start_pos=3, end_pos=8)
+        assert window.event_at(0).seq == 3
+        assert window.event_at(4).seq == 7
+        with pytest.raises(IndexError):
+            window.event_at(5)
+
+    def test_double_close_rejected(self):
+        window = Window(0, stream_of(10), start_pos=0)
+        window.close(5)
+        with pytest.raises(RuntimeError):
+            window.close(6)
+
+    def test_close_before_start_rejected(self):
+        window = Window(0, stream_of(10), start_pos=5)
+        with pytest.raises(ValueError):
+            window.close(3)
+
+    def test_available(self):
+        window = Window(0, stream_of(10), start_pos=2, end_pos=8)
+        assert window.available(5) == 3
+        assert window.available(20) == 6
+
+
+class TestOverlapAndDependency:
+    def _win(self, wid, start, end):
+        return Window(wid, stream_of(50), start_pos=start, end_pos=end)
+
+    def test_overlapping(self):
+        assert self._win(0, 0, 10).overlaps(self._win(1, 5, 15))
+
+    def test_adjacent_do_not_overlap(self):
+        assert not self._win(0, 0, 10).overlaps(self._win(1, 10, 20))
+
+    def test_open_window_overlaps_later(self):
+        open_window = Window(0, stream_of(50), start_pos=0)
+        assert open_window.overlaps(self._win(1, 40, 45))
+
+    def test_depends_on_needs_both(self):
+        w1, w2 = self._win(0, 0, 10), self._win(1, 5, 15)
+        assert w2.depends_on(w1)      # successor + overlap
+        assert not w1.depends_on(w2)  # not a successor
+        w3 = self._win(2, 20, 30)
+        assert not w3.depends_on(w1)  # successor but no overlap
+
+    def test_same_start_tiebreaks_on_id(self):
+        w1, w2 = self._win(0, 0, 10), self._win(1, 0, 10)
+        assert w2.depends_on(w1)
+        assert not w1.depends_on(w2)
+
+
+class TestSpecs:
+    def test_every_slide(self):
+        spec = EverySlide(3)
+        opens = [spec.opens_at(make_event(i, "A"), i) for i in range(7)]
+        assert opens == [True, False, False, True, False, False, True]
+
+    def test_every_slide_validates(self):
+        with pytest.raises(ValueError):
+            EverySlide(0)
+
+    def test_on_predicate(self):
+        spec = OnPredicate(lambda e: e.etype == "A")
+        assert spec.opens_at(make_event(0, "A"), 0)
+        assert not spec.opens_at(make_event(1, "B"), 1)
+
+    def test_count_scope_end(self):
+        scope = CountScope(10)
+        assert scope.end_position(5, make_event(5, "A")) == 15
+        assert not scope.closes_before(make_event(0, "A"), make_event(9, "A"))
+
+    def test_time_scope(self):
+        scope = TimeScope(60.0)
+        start = make_event(0, "A", timestamp=100.0)
+        assert not scope.closes_before(start, make_event(1, "B",
+                                                         timestamp=160.0))
+        assert scope.closes_before(start, make_event(2, "B",
+                                                     timestamp=160.1))
+
+    def test_factories(self):
+        spec = WindowSpec.count_sliding(100, 10)
+        assert isinstance(spec.scope, CountScope)
+        assert isinstance(spec.start, EverySlide)
+        spec = WindowSpec.time_on(5.0, lambda e: True)
+        assert isinstance(spec.scope, TimeScope)
+
+    def test_scope_validation(self):
+        with pytest.raises(ValueError):
+            CountScope(0)
+        with pytest.raises(ValueError):
+            TimeScope(0.0)

@@ -37,6 +37,16 @@ from repro.patterns import (
     parse_query,
 )
 from repro.queries import make_q1, make_q2, make_q3, make_qe
+from repro.runtime import (
+    FifoScheduler,
+    Forest,
+    InstancePool,
+    OpLog,
+    RoundRobinScheduler,
+    Scheduler,
+    TopKProbabilityScheduler,
+    make_scheduler,
+)
 from repro.sequential import SequentialEngine, run_sequential
 from repro.spectre import (
     ApproximateSpectreEngine,
@@ -87,6 +97,14 @@ __all__ = [
     "ElasticSpectreEngine",
     "ElasticityPolicy",
     "run_spectre_elastic",
+    "Forest",
+    "OpLog",
+    "InstancePool",
+    "Scheduler",
+    "TopKProbabilityScheduler",
+    "FifoScheduler",
+    "RoundRobinScheduler",
+    "make_scheduler",
     "TRexEngine",
     "run_trex",
     "make_q1",

@@ -9,12 +9,17 @@ binary:
     # generate a dataset
     python -m repro generate --kind nyse --events 10000 --out quotes.csv
 
-    # run a query file against it
+    # run a query file against it on any engine/scheduler
     python -m repro run --query q.sql --data quotes.csv --engine spectre \\
-        --k 8 --param lowerLimit=40 --param upperLimit=60
+        --k 8 --scheduler topk --param lowerLimit=40 --param upperLimit=60
 
     # compare engines / verify the equivalence contract
-    python -m repro verify --query q.sql --data quotes.csv --k 8
+    python -m repro verify --query q.sql --data quotes.csv --k 8 \\
+        --engine elastic --scheduler roundrobin
+
+    # run a multi-stage operator pipeline on the speculative runtime
+    python -m repro graph --data quotes.csv --stage band=q.sql \\
+        --stage meta=meta.sql --engine spectre --k 4
 
 ``--query`` files use the paper's extended MATCH-RECOGNIZE notation
 (Fig. 9; see ``repro.patterns.parser``).
@@ -35,11 +40,25 @@ from repro.datasets import (
     load_events_csv,
     save_events_csv,
 )
+from repro.graph import Operator, OperatorGraph
+from repro.graph.operator import ENGINE_FACTORIES
 from repro.patterns.parser import parse_query
+from repro.runtime.scheduler import SCHEDULER_NAMES
 from repro.sequential.engine import run_sequential
 from repro.spectre.config import SpectreConfig
-from repro.spectre.engine import SpectreEngine
-from repro.spectre.threaded import ThreadedSpectreEngine
+from repro.spectre.elasticity import ElasticityPolicy, ElasticSpectreEngine
+
+SPECULATIVE_ENGINES = ("spectre", "threaded", "elastic", "approximate")
+RUN_ENGINES = ("sequential",) + SPECULATIVE_ENGINES
+
+# CLI engine name -> Operator engine name (graph subcommand)
+OPERATOR_ENGINES = {
+    "sequential": "sequential",
+    "spectre": "spectre",
+    "threaded": "spectre-threaded",
+    "elastic": "spectre-elastic",
+    "approximate": "spectre-approximate",
+}
 
 
 def _parse_params(pairs: Sequence[str]) -> dict:
@@ -55,10 +74,25 @@ def _parse_params(pairs: Sequence[str]) -> dict:
     return params
 
 
-def _load_query(path: str, params: Sequence[str]):
+def _load_query(path: str, params: Sequence[str], name: str | None = None):
     text = Path(path).read_text()
-    return parse_query(text, name=Path(path).stem,
+    return parse_query(text, name=name or Path(path).stem,
                        params=_parse_params(params))
+
+
+def _make_config(args: argparse.Namespace) -> SpectreConfig:
+    return SpectreConfig(k=args.k, scheduler=args.scheduler)
+
+
+def _make_engine(name: str, query, config: SpectreConfig):
+    """Instantiate a speculative engine variant by CLI name."""
+    if name == "elastic":
+        # honour --k as the resource budget: the policy may shrink the
+        # instance count but never exceed what the user granted
+        policy = ElasticityPolicy(max_k=config.k,
+                                  plateau_k=min(8, config.k))
+        return ElasticSpectreEngine(query, policy, config=config)
+    return ENGINE_FACTORIES[OPERATOR_ENGINES[name]](query, config)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -87,16 +121,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         extra = (f"ground-truth completion probability "
                  f"{result.completion_probability:.0%}")
     else:
-        config = SpectreConfig(k=args.k)
-        engine_cls = ThreadedSpectreEngine if args.engine == "threaded" \
-            else SpectreEngine
-        engine = engine_cls(query, config)
+        engine = _make_engine(args.engine, query, _make_config(args))
         result = engine.run(events)
         complex_events = result.complex_events
         stats = result.stats
-        extra = (f"k={args.k} versions={stats.versions_created} "
+        extra = (f"k={args.k} scheduler={args.scheduler} "
+                 f"versions={stats.versions_created} "
                  f"dropped={stats.versions_dropped} "
                  f"rollbacks={stats.rollbacks}")
+        if args.engine == "elastic":
+            extra += f" adaptations={len(engine.adaptations)}"
+        elif args.engine == "approximate":
+            extra += f" early_emissions={len(engine.early)}"
     elapsed = time.perf_counter() - started
     print(f"{query.name}: {len(complex_events)} complex events from "
           f"{len(events)} input events in {elapsed:.2f}s ({extra})")
@@ -112,14 +148,85 @@ def cmd_verify(args: argparse.Namespace) -> int:
     query = _load_query(args.query, args.param)
     events = load_events_csv(args.data)
     sequential = run_sequential(query, events)
-    result = SpectreEngine(query, SpectreConfig(k=args.k)).run(events)
+    engine = _make_engine(args.engine, query, _make_config(args))
+    result = engine.run(events)
+    label = (f"{args.engine.upper()}(k={args.k}, "
+             f"scheduler={args.scheduler})")
     if result.identities() == sequential.identities():
-        print(f"OK: SPECTRE(k={args.k}) output identical to sequential "
+        print(f"OK: {label} output identical to sequential "
               f"({len(result.complex_events)} complex events)")
         return 0
     print(f"MISMATCH: sequential={len(sequential.complex_events)} "
-          f"spectre={len(result.complex_events)} complex events")
+          f"{args.engine}={len(result.complex_events)} complex events")
     return 1
+
+
+def _parse_stages(pairs: Sequence[str]) -> list[tuple[str, str]]:
+    stages = []
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--stage needs name=queryfile, got {pair!r}")
+        name, path = pair.split("=", 1)
+        stages.append((name, path))
+    return stages
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    """Run a linear operator pipeline: source → stage1 → stage2 → ..."""
+    stages = _parse_stages(args.stage)
+    if not stages:
+        raise SystemExit("need at least one --stage name=queryfile")
+    events = load_events_csv(args.data)
+    config = _make_config(args)
+    op_engine = OPERATOR_ENGINES[args.engine]
+
+    graph = OperatorGraph()
+    graph.add_source("stream")
+    upstream = "stream"
+    for name, path in stages:
+        query = _load_query(path, args.param, name=name)
+        try:
+            graph.add_operator(Operator(name, query, engine=op_engine,
+                                        config=config),
+                               upstream=[upstream])
+        except ValueError as error:
+            raise SystemExit(f"bad --stage {name!r}: {error}") from None
+        upstream = name
+
+    started = time.perf_counter()
+    run = graph.run({"stream": events})
+    elapsed = time.perf_counter() - started
+    print(f"pipeline ({args.engine}, k={args.k}, "
+          f"scheduler={args.scheduler}): {len(events)} source events "
+          f"in {elapsed:.2f}s")
+    for name, _path in stages:
+        print(f"  {name}: {len(run.of(name))} events emitted")
+
+    if args.verify:
+        reference = graph.run({"stream": events}, engine="sequential")
+        final = stages[-1][0]
+        got = [e.attributes.get("constituent_seqs") for e in run.of(final)]
+        want = [e.attributes.get("constituent_seqs")
+                for e in reference.of(final)]
+        if got == want:
+            print(f"OK: pipeline output identical to sequential "
+                  f"({len(got)} events at {final!r})")
+            return 0
+        print(f"MISMATCH: sequential={len(want)} {args.engine}={len(got)} "
+              f"events at {final!r}")
+        return 1
+    return 0
+
+
+def _add_speculative_flags(parser: argparse.ArgumentParser,
+                           default_k: int = 4) -> None:
+    parser.add_argument("--k", type=int, default=default_k,
+                        help="operator instances (speculative engines)")
+    parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
+                        default="topk",
+                        help="scheduling strategy (speculative engines)")
+    parser.add_argument("--param", action="append", default=[],
+                        help="query parameter name=value (repeatable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,24 +254,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--query", required=True,
                      help="file in extended MATCH-RECOGNIZE notation")
     run.add_argument("--data", required=True, help="events CSV")
-    run.add_argument("--engine",
-                     choices=["sequential", "spectre", "threaded"],
+    run.add_argument("--engine", choices=list(RUN_ENGINES),
                      default="spectre")
-    run.add_argument("--k", type=int, default=4,
-                     help="operator instances (spectre engines)")
-    run.add_argument("--param", action="append", default=[],
-                     help="query parameter name=value (repeatable)")
+    _add_speculative_flags(run)
     run.add_argument("--show", type=int, default=5,
                      help="complex events to print")
     run.set_defaults(func=cmd_run)
 
     verify = commands.add_parser(
-        "verify", help="check SPECTRE output equals the sequential engine")
+        "verify",
+        help="check a speculative engine's output equals the sequential "
+             "engine")
     verify.add_argument("--query", required=True)
     verify.add_argument("--data", required=True)
-    verify.add_argument("--k", type=int, default=4)
-    verify.add_argument("--param", action="append", default=[])
+    verify.add_argument("--engine", choices=list(SPECULATIVE_ENGINES),
+                        default="spectre")
+    _add_speculative_flags(verify)
     verify.set_defaults(func=cmd_verify)
+
+    graph = commands.add_parser(
+        "graph",
+        help="run a linear operator pipeline (stage outputs feed the "
+             "next stage) on any engine")
+    graph.add_argument("--data", required=True, help="source events CSV")
+    graph.add_argument("--stage", action="append", default=[],
+                       help="pipeline stage name=queryfile (repeatable, "
+                            "in order)")
+    graph.add_argument("--engine", choices=list(RUN_ENGINES),
+                       default="spectre")
+    _add_speculative_flags(graph)
+    graph.add_argument("--verify", action="store_true",
+                       help="also run the pipeline sequentially and "
+                            "compare final-stage outputs")
+    graph.set_defaults(func=cmd_graph)
     return parser
 
 

@@ -34,6 +34,10 @@ class ConsumptionLedger:
     def contains_seq(self, seq: int) -> bool:
         return seq in self._seqs
 
+    def overlaps_seqs(self, seqs: Iterable[int]) -> bool:
+        """Does any of ``seqs`` already sit in the ledger?"""
+        return not self._seqs.isdisjoint(seqs)
+
     def __contains__(self, event: Event) -> bool:
         return self.is_consumed(event)
 

@@ -8,17 +8,22 @@ arriving at an operator have a well-defined global ordering").
 
 This is the stepwise-inference substrate the paper's introduction
 describes: complex events from one operator feed the pattern detection of
-the next.
+the next.  Passing ``engine="spectre"`` (or any speculative variant) to
+:meth:`OperatorGraph.run` moves the *whole pipeline* onto the layered
+speculative runtime: each operator's query runs through splitter →
+dependency forest → op-log → scheduler → k instances, and the complex
+events of one operator re-enter the next operator as events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
 from repro.events.event import Event
 from repro.events.stream import merge_streams
 from repro.graph.operator import Operator
+from repro.spectre.config import SpectreConfig
 from repro.utils.validation import require
 
 
@@ -101,8 +106,16 @@ class OperatorGraph:
             order.append(name)
         return order
 
-    def run(self, source_events: Mapping[str, Iterable[Event]]) -> GraphRun:
-        """Evaluate the whole graph on finite source streams."""
+    def run(self, source_events: Mapping[str, Iterable[Event]],
+            engine: Optional[str] = None,
+            config: SpectreConfig | None = None) -> GraphRun:
+        """Evaluate the whole graph on finite source streams.
+
+        ``engine``/``config`` override every operator's own engine choice
+        for this run — ``run(..., engine="spectre", config=cfg)`` executes
+        the entire pipeline on the speculative runtime (and, by the
+        equivalence contract, produces exactly the ``engine="sequential"``
+        outputs)."""
         outputs: dict[str, list[Event]] = {}
         for source in self._sources:
             if source not in source_events:
@@ -121,7 +134,8 @@ class OperatorGraph:
             merged = merge_streams(*upstream_streams) \
                 if len(upstream_streams) > 1 else list(upstream_streams[0])
             merged = self._renumber(merged)
-            outputs[name] = operator.process(merged)
+            outputs[name] = operator.process(merged, engine=engine,
+                                             config=config)
         return GraphRun(outputs=outputs)
 
     @staticmethod

@@ -6,12 +6,16 @@ streams and detects a designated part of an event pattern [...]  If such
 a pattern is detected, a new (complex) event is produced and emitted to
 successor operators or to a consumer."
 
-An :class:`Operator` wraps a query plus an engine choice (sequential,
-SPECTRE simulated, SPECTRE threaded) and exposes uniform
+An :class:`Operator` wraps a query plus an engine choice — the
+sequential baseline or any variant of the layered speculative runtime
+(simulated, threaded, elastic, approximate) — and exposes uniform
 ``process(events) -> list[Event]`` semantics: emitted complex events are
 re-materialised as primitive events (type = the operator's output type,
 payload = the complex event's attributes plus provenance) so that
-successor operators can consume them like any other stream.
+successor operators can consume them like any other stream.  The engine
+and config can be overridden per run, which is how
+:meth:`repro.graph.graph.OperatorGraph.run` moves a whole pipeline onto
+the speculative runtime in one call.
 """
 
 from __future__ import annotations
@@ -27,7 +31,36 @@ from repro.spectre.config import SpectreConfig
 from repro.spectre.engine import SpectreEngine
 from repro.utils.validation import require
 
-ENGINES = ("sequential", "spectre", "spectre-threaded")
+
+def _spectre(query: Query, config: SpectreConfig):
+    return SpectreEngine(query, config)
+
+
+def _spectre_threaded(query: Query, config: SpectreConfig):
+    from repro.spectre.threaded import ThreadedSpectreEngine
+    return ThreadedSpectreEngine(query, config)
+
+
+def _spectre_elastic(query: Query, config: SpectreConfig):
+    from repro.spectre.elasticity import ElasticSpectreEngine
+    return ElasticSpectreEngine(query, config=config)
+
+
+def _spectre_approximate(query: Query, config: SpectreConfig):
+    from repro.spectre.approximate import ApproximateSpectreEngine
+    return ApproximateSpectreEngine(query, config)
+
+
+# single registry for every speculative engine variant: the operator
+# graph and the CLI both dispatch through it
+ENGINE_FACTORIES = {
+    "spectre": _spectre,
+    "spectre-threaded": _spectre_threaded,
+    "spectre-elastic": _spectre_elastic,
+    "spectre-approximate": _spectre_approximate,
+}
+
+ENGINES = ("sequential",) + tuple(ENGINE_FACTORIES)
 
 
 @dataclass
@@ -54,7 +87,11 @@ class Operator:
         Event type of the re-materialised complex events (defaults to the
         operator name).
     engine:
-        ``"sequential"``, ``"spectre"`` or ``"spectre-threaded"``.
+        One of :data:`ENGINES`.  The non-sequential choices all run on
+        the layered speculative runtime; ``spectre-approximate``
+        contributes its *consistent* (final) output downstream, the
+        early speculative stream stays in ``last_report``-level engine
+        state.
     config:
         SPECTRE configuration (ignored by the sequential engine).
     """
@@ -71,15 +108,12 @@ class Operator:
         self.config = config or SpectreConfig()
         self.last_report: Optional[OperatorReport] = None
 
-    def _detect(self, events: list[Event]) -> list[ComplexEvent]:
-        if self.engine == "sequential":
+    def _detect(self, events: list[Event], engine: str,
+                config: SpectreConfig) -> list[ComplexEvent]:
+        if engine == "sequential":
             return SequentialEngine(self.query).run(events).complex_events
-        if self.engine == "spectre":
-            return SpectreEngine(self.query, self.config) \
-                .run(events).complex_events
-        from repro.spectre.threaded import ThreadedSpectreEngine
-        return ThreadedSpectreEngine(self.query, self.config) \
-            .run(events).complex_events
+        factory = ENGINE_FACTORIES[engine]
+        return factory(self.query, config).run(events).complex_events
 
     def materialize(self, complex_events: Iterable[ComplexEvent],
                     seq_start: int = 0) -> list[Event]:
@@ -111,16 +145,26 @@ class Operator:
             ))
         return output
 
-    def process(self, events: Iterable[Event]) -> list[Event]:
-        """Run the operator over a finite stream; return emitted events."""
+    def process(self, events: Iterable[Event],
+                engine: Optional[str] = None,
+                config: SpectreConfig | None = None) -> list[Event]:
+        """Run the operator over a finite stream; return emitted events.
+
+        ``engine``/``config`` override the operator's own choices for
+        this run (graph-level overrides, see :meth:`OperatorGraph.run`).
+        """
+        if engine is not None:
+            require(engine in ENGINES, f"engine must be one of {ENGINES}")
+        engine = engine or self.engine
+        config = config or self.config
         events = list(events)
-        complex_events = self._detect(events)
+        complex_events = self._detect(events, engine, config)
         output = self.materialize(complex_events)
         self.last_report = OperatorReport(
             name=self.name,
             input_events=len(events),
             complex_events=complex_events,
             output_events=output,
-            engine=self.engine,
+            engine=engine,
         )
         return output

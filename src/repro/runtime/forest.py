@@ -1,0 +1,176 @@
+"""The dependency forest: admission + ordered root emission (Sec. 3.1).
+
+Each *independent* window (one that overlaps no unresolved predecessor)
+roots its own :class:`~repro.spectre.tree.DependencyTree`; dependent
+windows attach to the newest tree's leaves.  The forest keeps the trees
+in admission order in a deque — windows must be emitted in order, so the
+splitter only ever inspects the *front* tree's root, advances it, and
+pops exhausted trees from the left in O(1) (the previous monolithic
+engine kept a plain list and paid O(n) ``pop(0)`` per exhausted tree).
+
+The forest also owns the version→tree registry: the version factory
+passed at construction is wrapped so every version created inside a tree
+operation (admission, subtree copies on group creation, re-seeded chains
+on retraction) is registered against its tree automatically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.consumption.group import ConsumptionGroup
+from repro.spectre.tree import DependencyTree, VersionFactory
+from repro.spectre.version import WindowVersion
+from repro.utils.ids import IdGenerator
+from repro.windows.window import Window
+
+
+class Forest:
+    """Deque-backed collection of dependency trees.
+
+    Parameters
+    ----------
+    version_factory:
+        Creates a :class:`WindowVersion` for ``(window, assumes_completed,
+        assumes_abandoned)``.  The forest wraps it with tree registration;
+        engines supply a factory that also does their own bookkeeping
+        (stats, unfinished counter).
+    """
+
+    def __init__(self, version_factory: VersionFactory) -> None:
+        self._raw_factory = version_factory
+        self._trees: deque[DependencyTree] = deque()
+        self._tree_ids = IdGenerator()
+        self._version_tree: dict[int, DependencyTree] = {}
+        self._current_tree: Optional[DependencyTree] = None
+
+    # -- version registration ---------------------------------------------
+
+    def _make_version(self, window: Window,
+                      completed: tuple[ConsumptionGroup, ...],
+                      abandoned: tuple[ConsumptionGroup, ...]
+                      ) -> WindowVersion:
+        version = self._raw_factory(window, completed, abandoned)
+        assert self._current_tree is not None, \
+            "version created outside a forest tree operation"
+        self._version_tree[version.version_id] = self._current_tree
+        return version
+
+    def tree_of(self, version: WindowVersion) -> Optional[DependencyTree]:
+        """The tree holding ``version`` (None once forgotten/emitted)."""
+        return self._version_tree.get(version.version_id)
+
+    def forget(self, version: WindowVersion) -> None:
+        """Drop ``version`` from the registry (dropped or emitted)."""
+        self._version_tree.pop(version.version_id, None)
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, window: Window) -> None:
+        """Admit ``window``: seed a new tree if it is independent (no
+        overlap with any unresolved window), else attach versions of it
+        at the newest tree's leaves."""
+        max_end = max((tree.max_unresolved_end() for tree in self._trees),
+                      default=0)
+        independent = not self._trees or window.start_pos >= max_end
+        if independent:
+            tree = DependencyTree(self._tree_ids.next(), self._make_version)
+            self._current_tree = tree
+            try:
+                tree.seed(window)
+            finally:
+                self._current_tree = None
+            self._trees.append(tree)
+        else:
+            tree = self._trees[-1]
+            self._current_tree = tree
+            try:
+                tree.new_window(window)
+            finally:
+                self._current_tree = None
+
+    # -- tree operations needing factory context ---------------------------
+
+    def group_created(self, version: WindowVersion,
+                      group: ConsumptionGroup) -> None:
+        """Insert ``group``'s vertex below its owner (Fig. 4)."""
+        tree = self.tree_of(version)
+        if tree is None:
+            return
+        self._current_tree = tree
+        try:
+            tree.group_created(version, group)
+        finally:
+            self._current_tree = None
+
+    def group_resolved(self, version: WindowVersion, group: ConsumptionGroup,
+                       completed: bool) -> list[WindowVersion]:
+        """Prune the invalid subtrees of ``group``; returns dropped
+        versions (empty when the owner's tree is already gone)."""
+        tree = self.tree_of(version)
+        if tree is None:
+            return []
+        return tree.group_resolved(group, completed=completed)
+
+    def retract_group(self, version: WindowVersion,
+                      group: ConsumptionGroup) -> list[WindowVersion]:
+        """Rollback retraction of ``group`` (may re-seed fresh chains)."""
+        tree = self.tree_of(version)
+        if tree is None:
+            return []
+        self._current_tree = tree
+        try:
+            return tree.retract_group(group)
+        finally:
+            self._current_tree = None
+
+    # -- root emission -----------------------------------------------------
+
+    def front(self) -> Optional[DependencyTree]:
+        """The tree whose root is next in emission order; exhausted trees
+        are popped from the left on the way."""
+        while self._trees:
+            tree = self._trees[0]
+            if tree.is_exhausted:
+                self._trees.popleft()
+                continue
+            return tree
+        return None
+
+    def advance_front(self, on_stale: Optional[
+            Callable[[WindowVersion], None]] = None) -> None:
+        """Advance the front tree past its emitted root; pop it if
+        exhausted.  ``on_stale`` receives surviving versions whose
+        processing violated a now-emitted assumption (see
+        :meth:`DependencyTree.advance_root`)."""
+        assert self._trees and not self._trees[0].is_exhausted
+        tree = self._trees[0]
+        tree.advance_root(on_stale=on_stale)
+        if tree.is_exhausted:
+            self._trees.popleft()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def version_count(self) -> int:
+        """Live window versions across all trees."""
+        return sum(tree.version_count for tree in self._trees)
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __bool__(self) -> bool:
+        return bool(self._trees)
+
+    def __iter__(self) -> Iterator[DependencyTree]:
+        return iter(self._trees)
+
+    @property
+    def trees(self) -> deque[DependencyTree]:
+        """The live trees, in admission (= emission) order."""
+        return self._trees
+
+    def iter_versions(self) -> Iterator[WindowVersion]:
+        for tree in self._trees:
+            yield from tree.iter_versions()

@@ -1,0 +1,121 @@
+"""The operator-instance pool: k simulated/real cores (Sec. 2.2).
+
+An :class:`OperatorInstance` is one core's slot: it holds at most one
+window version at a time.  The pool implements
+
+* the Fig. 7 placement rule (:meth:`InstancePool.place`): versions that
+  are already running and still belong to the scheduler's selection keep
+  their instance, everything else is unscheduled, and freed instances
+  are filled with the unplaced selected versions in selection order;
+* elasticity (:meth:`InstancePool.set_k`): growing adds idle instances,
+  shrinking unschedules the versions held by the removed instances —
+  their processing state survives in shared memory and can be
+  rescheduled on any remaining instance (Sec. 2.2 / Sec. 4.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.spectre.version import WindowVersion
+
+
+class OperatorInstance:
+    """One operator instance (a simulated or real core)."""
+
+    __slots__ = ("index", "version")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.version: Optional[WindowVersion] = None
+
+
+class InstancePool:
+    """k operator instances with Fig. 7 placement and set_k elasticity."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._instances = [OperatorInstance(i) for i in range(k)]
+
+    # -- sizing ------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return len(self._instances)
+
+    def set_k(self, new_k: int) -> None:
+        """Adapt the parallelization degree at a cycle boundary."""
+        if new_k < 1:
+            raise ValueError("k must be >= 1")
+        current = self.k
+        if new_k == current:
+            return
+        if new_k > current:
+            self._instances.extend(OperatorInstance(i)
+                                   for i in range(current, new_k))
+        else:
+            for instance in self._instances[new_k:]:
+                if instance.version is not None:
+                    instance.version.scheduled_on = None
+                    instance.version = None
+            del self._instances[new_k:]
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[OperatorInstance]:
+        return iter(self._instances)
+
+    def __getitem__(self, index: int) -> OperatorInstance:
+        return self._instances[index]
+
+    @property
+    def instances(self) -> list[OperatorInstance]:
+        return self._instances
+
+    def scheduled_versions(self) -> list[WindowVersion]:
+        """Versions currently placed on an instance."""
+        return [instance.version for instance in self._instances
+                if instance.version is not None]
+
+    # -- placement ---------------------------------------------------------
+
+    def release(self, version: WindowVersion) -> None:
+        """Unschedule ``version`` if it currently occupies an instance."""
+        if version.scheduled_on is None:
+            return
+        if version.scheduled_on < len(self._instances):
+            instance = self._instances[version.scheduled_on]
+            if instance.version is version:
+                instance.version = None
+        version.scheduled_on = None
+
+    def place(self, selected: list[WindowVersion]) -> None:
+        """Fig. 7: keep already-placed selected versions, unschedule the
+        rest, fill freed instances with unplaced selections in order."""
+        selected_ids = {version.version_id for version in selected}
+
+        free: list[OperatorInstance] = []
+        for instance in self._instances:
+            version = instance.version
+            if version is None or not version.alive or version.finished or \
+                    version.version_id not in selected_ids:
+                if version is not None:
+                    version.scheduled_on = None
+                instance.version = None
+                free.append(instance)
+
+        for version in selected:
+            if not version.alive or version.finished:
+                continue  # nothing left to run (schedulers normally
+                          # filter these; stay safe under custom ones)
+            if version.scheduled_on is not None:
+                continue
+            if not free:
+                break
+            instance = free.pop()
+            instance.version = version
+            version.scheduled_on = instance.index

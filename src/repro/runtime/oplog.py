@@ -1,0 +1,135 @@
+"""The buffered splitter-side operation log (Sec. 3.3).
+
+    "function calls ... are buffered — they are actually executed on the
+    dependency tree in a batch at each new scheduling cycle"
+
+Operator instances never touch the dependency forest directly: structure
+changes (group created / completed / abandoned, rollback retractions)
+are *recorded* into this log from the instance side (``deque.append`` is
+atomic under CPython, so the threaded runtime needs no extra locking)
+and *applied* by the splitter at the start of its next cycle.  The
+one-cycle visibility delay this creates is exactly what the Fig. 8
+consistency-check protocol is designed to absorb.
+
+The apply handlers live here too: each record kind knows how to validate
+itself against the current state (the owner may have died or rolled back
+since the call) and how to replay itself onto a
+:class:`~repro.runtime.forest.Forest`.  Engine-side effects (statistics,
+unscheduling dropped versions) are reported through the
+:class:`RuntimeHooks` protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+from repro.consumption.group import ConsumptionGroup
+from repro.events.event import Event
+from repro.runtime.forest import Forest
+from repro.spectre.version import WindowVersion
+
+# record kinds
+CREATED = "created"
+COMPLETED = "completed"
+ABANDONED = "abandoned"
+RETRACT = "retract"
+
+
+class RuntimeHooks(Protocol):
+    """Engine-side effects of applying buffered operations."""
+
+    def on_group_completed(self) -> None: ...
+
+    def on_group_abandoned(self) -> None: ...
+
+    def on_versions_dropped(self,
+                            dropped: list[WindowVersion]) -> None: ...
+
+
+class OpLog:
+    """FIFO of buffered tree operations with their apply handlers."""
+
+    def __init__(self) -> None:
+        self._ops: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    # -- recording (instance side) ----------------------------------------
+
+    def record_created(self, version: WindowVersion,
+                       group: ConsumptionGroup) -> None:
+        self._ops.append((CREATED, version, group))
+
+    def record_completed(self, version: WindowVersion,
+                         group: ConsumptionGroup,
+                         final: tuple[Event, ...]) -> None:
+        self._ops.append((COMPLETED, version, group, final))
+
+    def record_abandoned(self, version: WindowVersion,
+                         group: ConsumptionGroup) -> None:
+        self._ops.append((ABANDONED, version, group))
+
+    def record_retract(self, version: WindowVersion,
+                       groups: list[ConsumptionGroup]) -> None:
+        self._ops.append((RETRACT, version, groups))
+
+    # -- applying (splitter side) -----------------------------------------
+
+    def apply_all(self, forest: Forest, hooks: RuntimeHooks) -> None:
+        """Replay every buffered operation onto ``forest`` in order."""
+        while self._ops:
+            op = self._ops.popleft()
+            kind = op[0]
+            if kind == CREATED:
+                self._apply_created(forest, op[1], op[2])
+            elif kind == COMPLETED:
+                self._apply_resolved(forest, hooks, op[1], op[2],
+                                     completed=True, final=op[3])
+            elif kind == ABANDONED:
+                self._apply_resolved(forest, hooks, op[1], op[2],
+                                     completed=False)
+            else:
+                assert kind == RETRACT
+                self.apply_retract(forest, hooks, op[1], op[2])
+
+    @staticmethod
+    def _apply_created(forest: Forest, version: WindowVersion,
+                       group: ConsumptionGroup) -> None:
+        if not version.alive or group not in version.own_groups:
+            return  # version dropped or rolled back since the call
+        forest.group_created(version, group)
+
+    @staticmethod
+    def _apply_resolved(forest: Forest, hooks: RuntimeHooks,
+                        version: WindowVersion, group: ConsumptionGroup,
+                        completed: bool,
+                        final: tuple[Event, ...] = ()) -> None:
+        if not version.alive or not group.is_open:
+            return
+        if group not in version.own_groups:
+            return  # owner rolled back since the call; the retract op
+                    # queued behind us will dispose of the group
+        if completed:
+            group.complete(final_events=final)
+            hooks.on_group_completed()
+        else:
+            group.abandon()
+            hooks.on_group_abandoned()
+        dropped = forest.group_resolved(version, group, completed=completed)
+        hooks.on_versions_dropped(dropped)
+
+    @staticmethod
+    def apply_retract(forest: Forest, hooks: RuntimeHooks,
+                      version: WindowVersion,
+                      groups: list[ConsumptionGroup]) -> None:
+        """Retract ``groups`` immediately (splitter-side validation
+        rollback happens outside the buffered path)."""
+        for group in groups:
+            group.retract()
+            dropped = forest.retract_group(version, group)
+            hooks.on_versions_dropped(dropped)

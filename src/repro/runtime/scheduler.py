@@ -1,0 +1,138 @@
+"""Pluggable scheduling strategies (Sec. 3.2, Fig. 6 and ablations).
+
+A :class:`Scheduler` picks the window versions to run on the k operator
+instances each splitter cycle.  Strategy choice is pure *policy*: the
+equivalence contract (speculative output == sequential output) holds for
+every strategy, because consistency is enforced by the dependency tree,
+the consistency checks, and final validation — scheduling only decides
+which speculation gets cycles first (mechanism/policy separation in the
+spirit of policy-free middleware).
+
+Built-in strategies:
+
+* :class:`TopKProbabilityScheduler` — the paper's survival-probability
+  best-first selection (Fig. 6), delegating to
+  :func:`repro.spectre.topk.find_top_k`;
+* :class:`FifoScheduler` — ablation baseline: the k oldest unfinished
+  versions, probability ignored;
+* :class:`RoundRobinScheduler` — fair rotation across dependency trees,
+  so no tree starves even when one tree dominates the version count.
+
+Select by name via :func:`make_scheduler` (``SpectreConfig.scheduler``)
+or inject any object with a ``select`` method into the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.consumption.group import ConsumptionGroup
+from repro.runtime.forest import Forest
+from repro.spectre.topk import find_top_k
+from repro.spectre.version import WindowVersion
+
+GroupProbability = Callable[[ConsumptionGroup], float]
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Strategy interface: pick the versions to run this cycle."""
+
+    name: str
+
+    def select(self, forest: Forest, k: int,
+               group_probability: GroupProbability
+               ) -> list[WindowVersion]: ...
+
+
+class TopKProbabilityScheduler:
+    """The paper's scheduler: k highest survival-probability versions."""
+
+    name = "topk"
+
+    def select(self, forest: Forest, k: int,
+               group_probability: GroupProbability) -> list[WindowVersion]:
+        top = find_top_k(forest, k, group_probability)
+        return [version for version, _probability in top]
+
+
+class FifoScheduler:
+    """Ablation baseline: oldest unfinished versions, probability
+    ignored (breadth-first over the forest, Sec. 4 discussion)."""
+
+    name = "fifo"
+
+    def select(self, forest: Forest, k: int,
+               group_probability: GroupProbability) -> list[WindowVersion]:
+        candidates = [version for version in forest.iter_versions()
+                      if version.alive and not version.finished]
+        candidates.sort(key=lambda version: version.version_id)
+        return candidates[:k]
+
+
+class RoundRobinScheduler:
+    """Fair rotation across dependency trees, probability-blind.
+
+    Each cycle starts filling from a rotating tree offset and deals one
+    version per tree per round (oldest version first within a tree), so
+    a tree with thousands of speculative versions cannot starve a small
+    neighbour — the front tree's root is always its tree's first pick,
+    which keeps emission progressing.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._offset = 0
+
+    def select(self, forest: Forest, k: int,
+               group_probability: GroupProbability) -> list[WindowVersion]:
+        per_tree: list[list[WindowVersion]] = []
+        for tree in forest:
+            versions = sorted(
+                (version for version in tree.iter_versions()
+                 if version.alive and not version.finished),
+                key=lambda version: version.version_id)
+            if versions:
+                per_tree.append(versions)
+        if not per_tree:
+            return []
+        start = self._offset % len(per_tree)
+        self._offset += 1
+        order = per_tree[start:] + per_tree[:start]
+
+        selected: list[WindowVersion] = []
+        depth = 0
+        while len(selected) < k:
+            advanced = False
+            for versions in order:
+                if depth >= len(versions):
+                    continue
+                selected.append(versions[depth])
+                advanced = True
+                if len(selected) >= k:
+                    break
+            if not advanced:
+                break
+            depth += 1
+        return selected
+
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    TopKProbabilityScheduler.name: TopKProbabilityScheduler,
+    FifoScheduler.name: FifoScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+}
+
+SCHEDULER_NAMES = tuple(SCHEDULERS)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered strategy by config name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; "
+            f"registered: {sorted(SCHEDULERS)}") from None
+    return factory()

@@ -80,8 +80,9 @@ class ApproximateSpectreEngine(SpectreEngine):
 
     def __init__(self, query: Query, config: SpectreConfig | None = None,
                  emission_threshold: float = 0.9,
-                 predictor: CompletionPredictor | None = None) -> None:
-        super().__init__(query, config, predictor)
+                 predictor: CompletionPredictor | None = None,
+                 scheduler=None) -> None:
+        super().__init__(query, config, predictor, scheduler)
         require(0.0 < emission_threshold <= 1.0,
                 "emission_threshold must be in (0, 1]")
         self.emission_threshold = emission_threshold
@@ -111,23 +112,22 @@ class ApproximateSpectreEngine(SpectreEngine):
         self._release_confident_versions()
 
     def _release_confident_versions(self) -> None:
-        for tree in self._trees:
-            for version in tree.iter_versions():
-                if not version.alive or not version.buffered:
+        for version in self.forest.iter_versions():
+            if not version.alive or not version.buffered:
+                continue
+            probability = self._survival_probability(version)
+            if probability < self.emission_threshold:
+                continue
+            for complex_event in version.buffered:
+                identity = complex_event.identity()
+                if identity in self._released:
                     continue
-                probability = self._survival_probability(version)
-                if probability < self.emission_threshold:
-                    continue
-                for complex_event in version.buffered:
-                    identity = complex_event.identity()
-                    if identity in self._released:
-                        continue
-                    self._released.add(identity)
-                    self.early.append(EarlyEmission(
-                        complex_event=complex_event,
-                        survival_probability=probability,
-                        cycle=self.stats.cycles,
-                    ))
+                self._released.add(identity)
+                self.early.append(EarlyEmission(
+                    complex_event=complex_event,
+                    survival_probability=probability,
+                    cycle=self.stats.cycles,
+                ))
 
     def run_approximate(self, events: Iterable[Event]
                         ) -> ApproximateResult:

@@ -75,9 +75,12 @@ class SpectreConfig:
         ``"markov"`` (the paper's model), or ``"fixed"`` with
         ``fixed_probability`` (the Fig. 11 comparison models).
     scheduler:
-        ``"topk"`` (the paper's survival-probability-driven selection,
-        Fig. 6) or ``"fifo"`` (ablation: schedule the oldest unfinished
-        versions regardless of probability).
+        Scheduling strategy name, resolved against the
+        :data:`repro.runtime.scheduler.SCHEDULERS` registry: ``"topk"``
+        (the paper's survival-probability-driven selection, Fig. 6),
+        ``"fifo"`` (ablation: schedule the oldest unfinished versions
+        regardless of probability) or ``"roundrobin"`` (fair rotation
+        across dependency trees).
     admission_factor:
         The splitter admits new windows into the dependency tree while
         fewer than ``admission_factor * k`` schedulable (unfinished)
@@ -106,8 +109,9 @@ class SpectreConfig:
                 "consistency_check_freq must be >= 1")
         require(self.probability_model in ("markov", "fixed"),
                 "probability_model must be 'markov' or 'fixed'")
-        require(self.scheduler in ("topk", "fifo"),
-                "scheduler must be 'topk' or 'fifo'")
+        from repro.runtime.scheduler import SCHEDULER_NAMES
+        require(self.scheduler in SCHEDULER_NAMES,
+                f"scheduler must be one of {SCHEDULER_NAMES}")
         require(0.0 <= self.fixed_probability <= 1.0,
                 "fixed_probability must be in [0, 1]")
         require(self.admission_factor > 0, "admission_factor must be > 0")

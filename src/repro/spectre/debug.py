@@ -80,12 +80,11 @@ def render_tree(tree: DependencyTree) -> str:
 
 
 def render_forest(engine: SpectreEngine) -> str:
-    """Render every live tree of an engine."""
-    trees = engine._trees
-    if not trees:
+    """Render every live tree of an engine's dependency forest."""
+    if not engine.forest:
         return "(empty forest)"
     return "\n\n".join(f"tree {tree.tree_id}:\n{render_tree(tree)}"
-                       for tree in trees)
+                       for tree in engine.forest)
 
 
 @dataclass
@@ -123,14 +122,12 @@ class SpeculationTrace:
         def traced_cycle() -> None:
             original()
             if engine.stats.cycles % trace.every == 0:
-                scheduled = [instance.version.version_id
-                             for instance in engine._instances
-                             if instance.version is not None]
+                scheduled = [version.version_id for version
+                             in engine.pool.scheduled_versions()]
                 trace.entries.append(TraceEntry(
                     cycle=engine.stats.cycles,
                     scheduled=scheduled,
-                    tree_size=sum(tree.version_count
-                                  for tree in engine._trees),
+                    tree_size=engine.forest.version_count,
                     windows_emitted=engine.stats.windows_emitted,
                     rollbacks=engine.stats.rollbacks,
                 ))

@@ -77,10 +77,11 @@ class ElasticSpectreEngine(SpectreEngine):
     """
 
     def __init__(self, query: Query, policy: ElasticityPolicy | None = None,
-                 config: SpectreConfig | None = None) -> None:
+                 config: SpectreConfig | None = None,
+                 scheduler=None) -> None:
         self.policy = policy or ElasticityPolicy()
         config = config or SpectreConfig(k=self.policy.plateau_k)
-        super().__init__(query, config)
+        super().__init__(query, config, scheduler=scheduler)
         self.adaptations: list[AdaptationRecord] = []
 
     def splitter_cycle(self) -> None:

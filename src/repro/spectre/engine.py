@@ -1,19 +1,24 @@
-"""The SPECTRE engine (Sec. 3) on a deterministic simulated k-core runtime.
+"""The SPECTRE engine (Sec. 3): a thin composition over the layered
+speculative runtime.
 
-The engine alternates two phases on a virtual clock, mirroring the paper's
-architecture (splitter thread + k operator-instance threads on dedicated
-cores, Sec. 2.2):
+The engine wires the :mod:`repro.runtime` subsystems together and drives
+them on a deterministic simulated k-core virtual clock, mirroring the
+paper's architecture (splitter thread + k operator-instance threads on
+dedicated cores, Sec. 2.2):
 
-* :meth:`SpectreEngine.splitter_cycle` — the splitter's maintenance +
-  scheduling cycle: apply the tree operations buffered by the instances
-  (Sec. 3.3: "function calls ... are buffered — they are actually executed
-  on the dependency tree in a batch at each new scheduling cycle"), emit
-  finished root windows, admit new windows, then select and schedule the
-  top-k window versions (Figs. 6/7).
-* :meth:`SpectreEngine.instance_phase` — every operator instance spends a
-  fixed virtual-time budget processing events of its assigned window
-  version (Fig. 8): suppression checks, detector feedback, periodic
-  consistency checks with rollback.
+* :class:`~repro.runtime.forest.Forest` — dependency trees, window
+  admission, in-order root emission;
+* :class:`~repro.runtime.oplog.OpLog` — the buffered splitter-side
+  operation queue (Sec. 3.3) with its apply handlers;
+* :class:`~repro.runtime.instances.InstancePool` — the k operator
+  instances with Fig. 7 placement and ``set_k`` elasticity;
+* :class:`~repro.runtime.scheduler.Scheduler` — a pluggable selection
+  strategy (the paper's top-k probability scheduler, FIFO, round-robin),
+  chosen via ``SpectreConfig.scheduler`` or constructor injection.
+
+The engine itself keeps only *policy*: the virtual cost model, the
+Fig. 8 instance loop (suppression, detector feedback, consistency checks
+with rollback), completion-probability pricing, and statistics.
 
 Because instances only see group mutations made by *other* versions with
 a one-cycle delay, the consistency-check/rollback machinery is genuinely
@@ -38,14 +43,16 @@ from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.matching.base import Feedback
 from repro.patterns.query import Query
+from repro.runtime.forest import Forest
+from repro.runtime.instances import InstancePool
+from repro.runtime.oplog import OpLog
+from repro.runtime.scheduler import Scheduler, make_scheduler
 from repro.spectre.config import SpectreConfig
 from repro.spectre.prediction import (
     CompletionPredictor,
     FixedPredictor,
     MarkovPredictor,
 )
-from repro.spectre.topk import find_top_k
-from repro.spectre.tree import DependencyTree, GroupVertex, VersionVertex
 from repro.spectre.version import WindowVersion
 from repro.utils.ids import IdGenerator
 from repro.windows.splitter import Splitter
@@ -109,24 +116,29 @@ class SpectreResult:
         return [ce.identity() for ce in self.complex_events]
 
 
-class _Instance:
-    """One operator instance (a simulated core)."""
-
-    __slots__ = ("index", "version")
-
-    def __init__(self, index: int) -> None:
-        self.index = index
-        self.version: Optional[WindowVersion] = None
-
-
 class SpectreEngine:
-    """Speculative parallel CEP engine for one query."""
+    """Speculative parallel CEP engine for one query.
+
+    Parameters
+    ----------
+    query:
+        The pattern-detection task.
+    config:
+        Runtime configuration; ``config.scheduler`` names the strategy.
+    predictor:
+        Completion-probability model override.
+    scheduler:
+        Strategy-object override (constructor injection); wins over
+        ``config.scheduler``.
+    """
 
     def __init__(self, query: Query, config: SpectreConfig | None = None,
-                 predictor: CompletionPredictor | None = None) -> None:
+                 predictor: CompletionPredictor | None = None,
+                 scheduler: Scheduler | None = None) -> None:
         self.query = query
         self.config = config or SpectreConfig()
         self.predictor = predictor or self._default_predictor()
+        self.scheduler = scheduler or make_scheduler(self.config.scheduler)
         self.stats = RunStats()
         self.virtual_time = 0.0
         self.output: list[ComplexEvent] = []
@@ -134,15 +146,10 @@ class SpectreEngine:
         self._ledger = ConsumptionLedger()
         self._version_ids = IdGenerator()
         self._group_ids = IdGenerator()
-        self._trees: list[DependencyTree] = []
-        self._tree_ids = IdGenerator()
-        self._version_tree: dict[int, DependencyTree] = {}
-        self._factory_tree: Optional[DependencyTree] = None
-        # current parallelization degree; starts at config.k and can be
-        # adapted at cycle boundaries (Sec. 4.2.1 elasticity discussion)
-        self.k = self.config.k
-        self._instances = [_Instance(i) for i in range(self.config.k)]
-        self._ops: deque = deque()
+        # the layered runtime: forest + op-log + instance pool
+        self.forest = Forest(self._make_version)
+        self.oplog = OpLog()
+        self.pool = InstancePool(self.config.k)
         self._pending: deque[Window] = deque()
         self._unfinished = 0
         self._counter_lock = threading.Lock()
@@ -178,9 +185,18 @@ class SpectreEngine:
         self.stats.versions_created += 1
         with self._counter_lock:
             self._unfinished += 1
-        assert self._factory_tree is not None
-        self._version_tree[version.version_id] = self._factory_tree
         return version
+
+    # -- compatibility views over the runtime layers --------------------
+
+    @property
+    def k(self) -> int:
+        """Current parallelization degree (see :meth:`set_k`)."""
+        return self.pool.k
+
+    @property
+    def _instances(self):
+        return self.pool.instances
 
     # ------------------------------------------------------------------
     # main loop
@@ -204,7 +220,7 @@ class SpectreEngine:
     @property
     def done(self) -> bool:
         """All windows emitted?"""
-        return not self._pending and not self._trees
+        return not self._pending and not self.forest
 
     def result(self) -> SpectreResult:
         """Snapshot the run outcome (used after manual driving)."""
@@ -220,7 +236,7 @@ class SpectreEngine:
             max_cycles: int = 50_000_000) -> SpectreResult:
         """Process a finite stream to completion; return the result."""
         self.prepare(events)
-        while self._pending or self._trees:
+        while self._pending or self.forest:
             self.splitter_cycle()
             self.instance_phase()
             if self.stats.cycles > max_cycles:
@@ -241,99 +257,40 @@ class SpectreEngine:
 
     def splitter_cycle(self) -> None:
         """Maintenance + scheduling: one full splitter cycle."""
-        self._apply_ops()
+        self.oplog.apply_all(self.forest, self)
         self._emit_ready()
         self._admit_windows()
         self._schedule()
-        size = sum(tree.version_count for tree in self._trees)
+        size = self.forest.version_count
         if size > self.stats.max_tree_size:
             self.stats.max_tree_size = size
 
-    # -- buffered tree operations --------------------------------------
+    # -- op-log hooks (RuntimeHooks protocol) ---------------------------
 
-    def _apply_ops(self) -> None:
-        while self._ops:
-            op = self._ops.popleft()
-            kind = op[0]
-            if kind == "created":
-                self._apply_created(op[1], op[2])
-            elif kind == "completed":
-                self._apply_resolved(op[1], op[2], completed=True,
-                                     final=op[3])
-            elif kind == "abandoned":
-                self._apply_resolved(op[1], op[2], completed=False)
-            else:
-                assert kind == "retract"
-                self._apply_retract(op[1], op[2])
+    def on_group_completed(self) -> None:
+        self.stats.groups_completed += 1
 
-    def _apply_created(self, version: WindowVersion,
-                       group: ConsumptionGroup) -> None:
-        if not version.alive or group not in version.own_groups:
-            return  # version dropped or rolled back since the call
-        tree = self._version_tree.get(version.version_id)
-        if tree is None:
-            return
-        self._factory_tree = tree
-        try:
-            tree.group_created(version, group)
-        finally:
-            self._factory_tree = None
+    def on_group_abandoned(self) -> None:
+        self.stats.groups_abandoned += 1
 
-    def _apply_resolved(self, version: WindowVersion,
-                        group: ConsumptionGroup, completed: bool,
-                        final: tuple[Event, ...] = ()) -> None:
-        if not version.alive or not group.is_open:
-            return
-        if group not in version.own_groups:
-            return  # owner rolled back since the call; the retract op
-                    # queued behind us will dispose of the group
-        tree = self._version_tree.get(version.version_id)
-        if completed:
-            group.complete(final_events=final)
-            self.stats.groups_completed += 1
-        else:
-            group.abandon()
-            self.stats.groups_abandoned += 1
-        if tree is not None:
-            dropped = tree.group_resolved(group, completed=completed)
-            self._handle_dropped(dropped)
-
-    def _apply_retract(self, version: WindowVersion,
-                       groups: list[ConsumptionGroup]) -> None:
-        tree = self._version_tree.get(version.version_id)
-        for group in groups:
-            group.retract()
-            if tree is not None:
-                self._factory_tree = tree
-                try:
-                    dropped = tree.retract_group(group)
-                finally:
-                    self._factory_tree = None
-                self._handle_dropped(dropped)
-
-    def _handle_dropped(self, dropped: list[WindowVersion]) -> None:
+    def on_versions_dropped(self, dropped: list[WindowVersion]) -> None:
         for version in dropped:
             self.stats.versions_dropped += 1
             self.stats.wasted_steps += version.steps_spent
             if not version.finished:
                 with self._counter_lock:
                     self._unfinished -= 1
-            self._version_tree.pop(version.version_id, None)
-            if version.scheduled_on is not None:
-                instance = self._instances[version.scheduled_on]
-                if instance.version is version:
-                    instance.version = None
-                version.scheduled_on = None
+            self.forest.forget(version)
+            self.pool.release(version)
 
     # -- emission ---------------------------------------------------------
 
     def _emit_ready(self) -> None:
         """Emit finished, fully-resolved, validated root windows in order."""
-        while self._trees:
-            tree = self._trees[0]
-            if tree.is_exhausted:
-                self._trees.pop(0)
-                continue
+        while True:
+            tree = self.forest.front()
+            if tree is None:
+                break
             root = tree.root_version()
             assert root is not None
             if not root.finished:
@@ -355,15 +312,24 @@ class SpectreEngine:
                     self.virtual_time - admitted_at)
             self.stats.windows_emitted += 1
             self._last_progress_cycle = self.stats.cycles
-            self._version_tree.pop(root.version_id, None)
-            if root.scheduled_on is not None:
-                instance = self._instances[root.scheduled_on]
-                if instance.version is root:
-                    instance.version = None
-                root.scheduled_on = None
-            tree.advance_root()
-            if tree.is_exhausted:
-                self._trees.pop(0)
+            self.forest.forget(root)
+            self.pool.release(root)
+            self.forest.advance_front(on_stale=self._rollback_stale)
+
+    def _rollback_stale(self, version: WindowVersion) -> None:
+        """A surviving version used an event of a group whose completion
+        just became final at root emission: its speculation is wrong but
+        no consistency check caught it.  Roll it back now; the retract op
+        is buffered like any instance-side rollback."""
+        with version.lock:
+            was_finished = version.finished
+            retired = version.rollback()
+        if was_finished:
+            with self._counter_lock:
+                self._unfinished += 1
+        self.stats.rollbacks += 1
+        if retired:
+            self.oplog.record_retract(version, retired)
 
     # -- admission ---------------------------------------------------------
 
@@ -376,18 +342,7 @@ class SpectreEngine:
         """
         if new_k < 1:
             raise ValueError("k must be >= 1")
-        if new_k == self.k:
-            return
-        if new_k > self.k:
-            self._instances.extend(_Instance(i)
-                                   for i in range(self.k, new_k))
-        else:
-            for instance in self._instances[new_k:]:
-                if instance.version is not None:
-                    instance.version.scheduled_on = None
-                    instance.version = None
-            del self._instances[new_k:]
-        self.k = new_k
+        self.pool.set_k(new_k)
 
     def _admission_target(self) -> int:
         """Schedulable-version pool size the splitter aims for."""
@@ -396,27 +351,13 @@ class SpectreEngine:
     def _admit_windows(self) -> None:
         target = self._admission_target()
         while self._pending:
-            total_versions = sum(tree.version_count for tree in self._trees)
-            if self._trees and (self._unfinished >= target
-                                or total_versions >= self.config.max_versions):
+            if self.forest and (self._unfinished >= target
+                                or self.forest.version_count
+                                >= self.config.max_versions):
                 break
-            self._admit(self._pending.popleft())
-
-    def _admit(self, window: Window) -> None:
-        self._admitted_at[window.window_id] = self.virtual_time
-        max_end = max((tree.max_unresolved_end() for tree in self._trees),
-                      default=0)
-        independent = not self._trees or window.start_pos >= max_end
-        if independent:
-            tree = DependencyTree(self._tree_ids.next(), self._make_version)
-            self._factory_tree = tree
-            tree.seed(window)
-            self._trees.append(tree)
-        else:
-            tree = self._trees[-1]
-            self._factory_tree = tree
-            tree.new_window(window)
-        self._factory_tree = None
+            window = self._pending.popleft()
+            self._admitted_at[window.window_id] = self.virtual_time
+            self.forest.admit(window)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -433,45 +374,12 @@ class SpectreEngine:
         self._prob_cache[group.group_id] = probability
         return probability
 
-    def _select_versions(self) -> list[WindowVersion]:
-        """Pick the k versions to run this cycle."""
-        if self.config.scheduler == "fifo":
-            # ablation baseline: oldest unfinished versions, probability
-            # ignored (breadth-first over the tree, Sec. 4 discussion)
-            candidates = [version
-                          for tree in self._trees
-                          for version in tree.iter_versions()
-                          if version.alive and not version.finished]
-            candidates.sort(key=lambda version: version.version_id)
-            return candidates[:self.k]
-        top = find_top_k(self._trees, self.k,
-                         self._group_probability)
-        return [version for version, _probability in top]
-
     def _schedule(self) -> None:
-        """Fig. 7: keep already-placed top-k versions, fill free instances."""
+        """Strategy selection + Fig. 7 placement on the instance pool."""
         self._prob_cache = {}
-        top = self._select_versions()
-        selected = {version.version_id for version in top}
-
-        free: list[_Instance] = []
-        for instance in self._instances:
-            version = instance.version
-            if version is None or not version.alive or version.finished or \
-                    version.version_id not in selected:
-                if version is not None:
-                    version.scheduled_on = None
-                instance.version = None
-                free.append(instance)
-
-        to_place = [version for version in top
-                    if version.scheduled_on is None]
-        for version in to_place:
-            if not free:
-                break
-            instance = free.pop()
-            instance.version = version
-            version.scheduled_on = instance.index
+        selected = self.scheduler.select(self.forest, self.pool.k,
+                                         self._group_probability)
+        self.pool.place(selected)
 
     # ------------------------------------------------------------------
     # instance side (Fig. 8)
@@ -480,7 +388,7 @@ class SpectreEngine:
     def instance_phase(self) -> None:
         """Every instance spends one cycle's virtual-time budget."""
         cycle_budget = self.config.steps_per_cycle * self.config.costs.process
-        for instance in self._instances:
+        for instance in self.pool:
             version = instance.version
             if version is None or not version.alive:
                 continue
@@ -547,7 +455,7 @@ class SpectreEngine:
         been resolved — so its δ dynamics reflect reality, not
         speculation.
         """
-        tree = self._version_tree.get(version.version_id)
+        tree = self.forest.tree_of(version)
         if tree is None or tree.root is None:
             return False
         return tree.root.version is version
@@ -581,7 +489,7 @@ class SpectreEngine:
             group.owner = version
             version.register_group(group, match)
             self.stats.groups_created += 1
-            self._ops.append(("created", version, group))
+            self.oplog.record_created(version, group)
         for match, event in feedback.added:
             group = version.group_for_match(match)
             if group is not None and group.is_open:
@@ -595,7 +503,7 @@ class SpectreEngine:
                 group.owner = version
                 version.register_group(group, completion.match)
                 self.stats.groups_created += 1
-                self._ops.append(("created", version, group))
+                self.oplog.record_created(version, group)
             else:
                 for event in completion.consumed:
                     if group.is_open:
@@ -603,12 +511,11 @@ class SpectreEngine:
             version.local_consumed_seqs.update(
                 event.seq for event in completion.consumed)
             version.buffered.append(self._complex_event(version, completion))
-            self._ops.append(("completed", version, group,
-                              completion.consumed))
+            self.oplog.record_completed(version, group, completion.consumed)
         for match in feedback.abandoned:
             group = version.group_for_match(match)
             if group is not None and group.is_open:
-                self._ops.append(("abandoned", version, group))
+                self.oplog.record_abandoned(version, group)
 
     def _complex_event(self, version: WindowVersion,
                        completion) -> ComplexEvent:
@@ -627,7 +534,7 @@ class SpectreEngine:
             with self._counter_lock:
                 self._unfinished += 1
         if retired:
-            self._ops.append(("retract", version, retired))
+            self.oplog.record_retract(version, retired)
 
     def _rollback_from_splitter(self, version: WindowVersion) -> None:
         """Splitter-side rollback (validation failure at emission); takes
@@ -639,7 +546,7 @@ class SpectreEngine:
             with self._counter_lock:
                 self._unfinished += 1
         self.stats.validation_rollbacks += 1
-        self._apply_retract(version, retired)
+        self.oplog.apply_retract(self.forest, self, version, retired)
 
 
 def run_spectre(query: Query, events: Iterable[Event],

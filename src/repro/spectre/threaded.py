@@ -32,6 +32,7 @@ from typing import Iterable
 
 from repro.events.event import Event
 from repro.patterns.query import Query
+from repro.runtime.scheduler import Scheduler
 from repro.spectre.config import SpectreConfig
 from repro.spectre.engine import SpectreEngine, SpectreResult
 from repro.spectre.prediction import CompletionPredictor
@@ -57,15 +58,16 @@ class ThreadedSpectreEngine(SpectreEngine):
     """SPECTRE with a real splitter thread and k worker threads."""
 
     def __init__(self, query: Query, config: SpectreConfig | None = None,
-                 predictor: CompletionPredictor | None = None) -> None:
-        super().__init__(query, config, predictor)
+                 predictor: CompletionPredictor | None = None,
+                 scheduler: Scheduler | None = None) -> None:
+        super().__init__(query, config, predictor, scheduler)
         self.predictor = LockedPredictor(self.predictor)
         self._counter_lock = threading.Lock()
         self._stop = threading.Event()
         self.wall_seconds = 0.0
 
     def _worker(self, index: int) -> None:
-        instance = self._instances[index]
+        instance = self.pool[index]
         while not self._stop.is_set():
             version = instance.version
             if version is None or not version.alive or version.finished:
@@ -86,7 +88,7 @@ class ThreadedSpectreEngine(SpectreEngine):
             worker.start()
         try:
             # the calling thread plays the splitter
-            while self._pending or self._trees:
+            while self._pending or self.forest:
                 self.splitter_cycle()
                 self.stats.cycles += 1
                 time.sleep(0.0002)  # let workers grab the GIL

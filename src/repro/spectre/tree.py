@@ -435,15 +435,30 @@ class DependencyTree:
             node = node.valid_child()
         return True
 
-    def advance_root(self) -> Optional[WindowVersion]:
+    def advance_root(self, on_stale: Optional[
+            Callable[[WindowVersion], None]] = None
+            ) -> Optional[WindowVersion]:
         """Pop the (finished, resolved, emitted) root.
 
         The resolved group vertices of the old root are spliced out here —
         their consumption is in the global ledger from now on — and the
         surviving version of the next window becomes the new root.
+
+        Because the spliced groups leave the tree, they are also removed
+        from the ``assumes_completed``/``assumes_abandoned`` tuples of
+        every surviving version: the assumption became a certainty the
+        moment the owner window was emitted (suppression now flows from
+        the global ledger), and keeping it would let a version's recorded
+        assumptions drift from its actual root path.  A surviving version
+        that *used* an event of a completed spliced group violated its
+        assumption without being caught by a consistency check; each such
+        version is passed to ``on_stale`` so the engine can roll it back
+        before the violation can reach the output.
+
         Returns the new root version, or None if the tree is exhausted."""
         assert self.root is not None
         node = self.root.child
+        spliced: list[GroupVertex] = []
         while isinstance(node, GroupVertex):
             registry = self._group_vertices.get(node.group.group_id)
             if registry is not None:
@@ -453,6 +468,7 @@ class DependencyTree:
                     pass
                 if not registry:
                     del self._group_vertices[node.group.group_id]
+            spliced.append(node)
             next_node = node.valid_child()
             node = next_node
         assert node is None or isinstance(node, VersionVertex)
@@ -466,8 +482,34 @@ class DependencyTree:
         if node is not None:
             node.parent = None
             node.parent_edge = EDGE_CHILD
+            if spliced:
+                self._strip_emitted_assumptions(node, spliced, on_stale)
             return node.version
         return None
+
+    def _strip_emitted_assumptions(
+            self, subtree: Vertex, spliced: list[GroupVertex],
+            on_stale: Optional[Callable[[WindowVersion], None]]) -> None:
+        """Drop the spliced-out groups from every surviving version's
+        assumptions (their outcome is final and their consumption, if
+        any, is in the global ledger)."""
+        gone = {vertex.group.group_id for vertex in spliced}
+        completed_spliced = [vertex.group for vertex in spliced
+                             if vertex.group.state is GroupState.COMPLETED]
+        for version in self.collect_versions(subtree):
+            stale = any(not version.used_seqs.isdisjoint(group.event_seqs)
+                        for group in completed_spliced
+                        if group in version.assumes_completed)
+            if any(g.group_id in gone for g in version.assumes_completed):
+                version.assumes_completed = tuple(
+                    g for g in version.assumes_completed
+                    if g.group_id not in gone)
+            if any(g.group_id in gone for g in version.assumes_abandoned):
+                version.assumes_abandoned = tuple(
+                    g for g in version.assumes_abandoned
+                    if g.group_id not in gone)
+            if stale and on_stale is not None:
+                on_stale(version)
 
     @property
     def is_exhausted(self) -> bool:

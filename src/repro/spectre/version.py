@@ -157,10 +157,16 @@ class WindowVersion:
         """Backstop before emission: with every assumed group now resolved,
         was every assumption honoured by the actual processing?
 
-        * no used event may sit in a completed suppressed group, and
+        * no used event may sit in a completed suppressed group,
+        * no used event may sit in the global ledger (assumptions whose
+          owner window was already emitted are stripped from the tuples
+          at root advancement; their consumption lives in the ledger), and
         * every assumed-abandoned group must really be abandoned,
         * every assumed-completed group must really be completed.
         """
+        if self.ledger is not None and \
+                self.ledger.overlaps_seqs(self.used_seqs):
+            return False
         for group in self.assumes_completed:
             if group.state is not GroupState.COMPLETED:
                 return False

@@ -80,3 +80,93 @@ class TestVerify:
                      "--param", "upperLimit=60"])
         assert code == 0
         assert "OK" in capsys.readouterr().out
+
+
+@pytest.fixture
+def pairs_query_file(tmp_path):
+    """Second pipeline stage: two band oscillations in a row."""
+    path = tmp_path / "pairs.sql"
+    path.write_text("""
+PATTERN (A B)
+DEFINE
+    A AS (A.source_operator = 'band'),
+    B AS (B.source_operator = 'band')
+WITHIN 4 events FROM every 4 events
+CONSUME (A B)
+""")
+    return str(path)
+
+
+class TestEngineAndSchedulerFlags:
+    @pytest.mark.parametrize("engine", ["elastic", "approximate"])
+    def test_run_engine_variants(self, query_file, walk_csv, capsys,
+                                 engine):
+        code = main(["run", "--query", query_file, "--data", walk_csv,
+                     "--engine", engine, "--k", "2",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complex events" in out
+        marker = "adaptations" if engine == "elastic" else \
+            "early_emissions"
+        assert marker in out
+
+    @pytest.mark.parametrize("scheduler", ["topk", "fifo", "roundrobin"])
+    def test_verify_under_every_scheduler(self, query_file, walk_csv,
+                                          capsys, scheduler):
+        code = main(["verify", "--query", query_file, "--data", walk_csv,
+                     "--k", "4", "--scheduler", scheduler,
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_engine_variant(self, query_file, walk_csv, capsys):
+        code = main(["verify", "--query", query_file, "--data", walk_csv,
+                     "--engine", "elastic", "--k", "2",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "ELASTIC" in capsys.readouterr().out
+
+    def test_unknown_scheduler_rejected(self, query_file, walk_csv):
+        with pytest.raises(SystemExit):
+            main(["run", "--query", query_file, "--data", walk_csv,
+                  "--scheduler", "quantum"])
+
+
+class TestGraphCommand:
+    def test_two_stage_pipeline(self, query_file, pairs_query_file,
+                                walk_csv, capsys):
+        code = main(["graph", "--data", walk_csv,
+                     "--stage", f"band={query_file}",
+                     "--stage", f"bandpairs={pairs_query_file}",
+                     "--engine", "spectre", "--k", "2",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "band:" in out
+        assert "bandpairs:" in out
+
+    def test_verify_flag_compares_to_sequential(self, query_file,
+                                                pairs_query_file,
+                                                walk_csv, capsys):
+        code = main(["graph", "--data", walk_csv,
+                     "--stage", f"band={query_file}",
+                     "--stage", f"bandpairs={pairs_query_file}",
+                     "--engine", "spectre", "--k", "4",
+                     "--scheduler", "roundrobin", "--verify",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "OK: pipeline output identical" in capsys.readouterr().out
+
+    def test_stage_required(self, walk_csv):
+        with pytest.raises(SystemExit):
+            main(["graph", "--data", walk_csv])
+
+    def test_bad_stage_spec(self, walk_csv):
+        with pytest.raises(SystemExit):
+            main(["graph", "--data", walk_csv, "--stage", "oops"])

@@ -149,3 +149,85 @@ class TestOperatorGraph:
         run = graph.run({"quotes": []})
         with pytest.raises(GraphError):
             run.of("nope")
+
+
+def _ab_stream(n_pairs=24, noise=4):
+    """Repeating A B X... blocks: one pair per window of 8."""
+    events = []
+    seq = 0
+    for _ in range(n_pairs):
+        for etype in ("A", "B") + ("X",) * noise + ("X", "X"):
+            events.append(make_event(seq, etype, timestamp=float(seq)))
+            seq += 1
+    return events
+
+
+def _signature(run, node):
+    return [e.attributes["constituent_seqs"] for e in run.of(node)]
+
+
+def _two_stage_graph(engine="spectre", config=None):
+    """stream → pairs(A,B) → meta(pairs, pairs): stepwise inference."""
+    graph = OperatorGraph()
+    graph.add_source("stream")
+    graph.add_operator(Operator("pairs", ab_query(), engine=engine,
+                                config=config),
+                       upstream=["stream"])
+    meta_query = ab_query(name="meta", a="pairs", b="pairs", window=4,
+                          slide=4)
+    graph.add_operator(Operator("meta", meta_query, engine=engine,
+                                config=config),
+                       upstream=["pairs"])
+    return graph
+
+
+class TestGraphOnSpeculativeRuntime:
+    """The tentpole contract: whole pipelines run on the layered
+    speculative runtime and stay sequential-identical, complex events
+    of one operator re-entering the next as events."""
+
+    def test_two_stage_pipeline_matches_sequential(self):
+        from repro.spectre import SpectreConfig
+        events = _ab_stream()
+        reference = _two_stage_graph("sequential").run({"stream": events})
+        run = _two_stage_graph(
+            "spectre", SpectreConfig(k=4)).run({"stream": events})
+        assert _signature(run, "pairs") == _signature(reference, "pairs")
+        assert _signature(run, "meta") == _signature(reference, "meta")
+        assert len(run.of("meta")) > 0  # stage 2 really fired
+
+    def test_run_level_engine_override(self):
+        from repro.spectre import SpectreConfig
+        events = _ab_stream()
+        graph = _two_stage_graph("sequential")
+        reference = graph.run({"stream": events})
+        overridden = graph.run({"stream": events}, engine="spectre",
+                               config=SpectreConfig(k=2))
+        assert _signature(overridden, "meta") == \
+            _signature(reference, "meta")
+        assert graph.operators["pairs"].last_report.engine == "spectre"
+
+    @pytest.mark.parametrize("engine", ["spectre-elastic",
+                                        "spectre-approximate"])
+    def test_variant_engines_in_graph(self, engine):
+        from repro.spectre import SpectreConfig
+        events = _ab_stream(n_pairs=12)
+        reference = _two_stage_graph("sequential").run({"stream": events})
+        run = _two_stage_graph(
+            engine, SpectreConfig(k=2)).run({"stream": events})
+        assert _signature(run, "meta") == _signature(reference, "meta")
+
+    @pytest.mark.parametrize("scheduler", ["topk", "fifo", "roundrobin"])
+    def test_pipeline_under_every_scheduler(self, scheduler):
+        from repro.spectre import SpectreConfig
+        events = _ab_stream(n_pairs=16)
+        reference = _two_stage_graph("sequential").run({"stream": events})
+        config = SpectreConfig(k=4, scheduler=scheduler)
+        run = _two_stage_graph("spectre", config).run({"stream": events})
+        assert _signature(run, "pairs") == _signature(reference, "pairs")
+        assert _signature(run, "meta") == _signature(reference, "meta")
+
+    def test_invalid_override_engine_rejected(self):
+        graph = _two_stage_graph("sequential")
+        with pytest.raises(ValueError):
+            graph.run({"stream": _ab_stream(n_pairs=2)}, engine="quantum")

@@ -76,13 +76,24 @@ class TestSequentialInvariants:
 
     @settings(max_examples=60, deadline=None)
     @given(stream=streams)
-    def test_no_consumption_is_superset(self, stream):
-        """Consumption can only remove matches, never add them."""
+    def test_consumption_never_creates_matching_windows(self, stream):
+        """Consumption can *shift* a window's match to later events or
+        kill it, but never make a non-matching window match, nor raise a
+        window's match count: the pattern language is monotone, so a
+        match over the consumption-filtered event set is also a match
+        over the full set.  (Match identities are NOT a subset — an A B C
+        window whose B was consumed elsewhere legitimately matches the
+        *next* B; that shifting is exactly why SPECTRE must speculate.)"""
+        from collections import Counter
         with_cp = run_sequential(abc_query(10, 5, ConsumptionPolicy.all()),
                                  stream)
         without = run_sequential(abc_query(10, 5, ConsumptionPolicy.none()),
                                  stream)
-        assert set(with_cp.identities()) <= set(without.identities())
+        with_counts = Counter(ce.window_id for ce in with_cp.complex_events)
+        without_counts = Counter(ce.window_id
+                                 for ce in without.complex_events)
+        for window_id, count in with_counts.items():
+            assert count <= without_counts.get(window_id, 0)
 
     @settings(max_examples=40, deadline=None)
     @given(stream=streams)

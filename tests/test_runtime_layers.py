@@ -1,0 +1,299 @@
+"""Unit tests for the layered runtime subsystems in isolation:
+:class:`Forest`, :class:`OpLog`, and :class:`InstancePool`."""
+
+import pytest
+
+from repro.consumption.group import GroupState
+from repro.runtime import Forest, InstancePool, OpLog
+from repro.runtime.scheduler import make_scheduler
+
+from tests.helpers import TreeHarness
+
+
+class ForestHarness:
+    """A Forest wired to the same trivial factory as TreeHarness."""
+
+    def __init__(self):
+        self.inner = TreeHarness()
+        self.created = []
+        self.forest = Forest(self._factory)
+
+    def _factory(self, window, completed, abandoned):
+        version = self.inner._make_version(window, completed, abandoned)
+        self.created.append(version)
+        return version
+
+    def window(self, start, size=10):
+        return self.inner.window(start=start, size=size)
+
+    def group(self, events=()):
+        return self.inner.group(events=events)
+
+
+@pytest.fixture
+def fh():
+    return ForestHarness()
+
+
+class RecordingHooks:
+    """RuntimeHooks implementation that just counts."""
+
+    def __init__(self):
+        self.completed = 0
+        self.abandoned = 0
+        self.dropped = []
+
+    def on_group_completed(self):
+        self.completed += 1
+
+    def on_group_abandoned(self):
+        self.abandoned += 1
+
+    def on_versions_dropped(self, dropped):
+        self.dropped.extend(dropped)
+
+
+class TestForest:
+    def test_disjoint_windows_seed_separate_trees(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(20, size=10))
+        assert len(fh.forest) == 2
+        assert fh.forest.version_count == 2
+
+    def test_overlapping_window_attaches_to_newest_tree(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(5, size=10))
+        assert len(fh.forest) == 1
+        assert fh.forest.version_count == 2
+
+    def test_versions_registered_to_their_tree(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(30, size=10))
+        first, second = fh.created
+        assert fh.forest.tree_of(first) is not fh.forest.tree_of(second)
+        assert fh.forest.tree_of(first).root.version is first
+
+    def test_front_skips_and_pops_exhausted_trees(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(20, size=10))
+        front = fh.forest.front()
+        assert front.root.version is fh.created[0]
+        fh.forest.advance_front()
+        # first tree exhausted and popped; second tree is the new front
+        assert len(fh.forest) == 1
+        assert fh.forest.front().root.version is fh.created[1]
+
+    def test_advance_front_strips_emitted_assumptions(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(5, size=10))
+        root = fh.created[0]
+        group = fh.group(events=[3])
+        group.owner = root
+        root.own_groups.append(group)
+        fh.forest.group_created(root, group)
+        group.complete()
+        fh.forest.group_resolved(root, group, completed=True)
+        fh.forest.advance_front()
+        new_root = fh.forest.front().root.version
+        assert new_root.assumes_completed == ()
+
+    def test_advance_front_reports_stale_versions(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(5, size=10))
+        root = fh.created[0]
+        group = fh.group(events=[3])
+        group.owner = root
+        root.own_groups.append(group)
+        fh.forest.group_created(root, group)
+        group.complete()
+        fh.forest.group_resolved(root, group, completed=True)
+        survivor = fh.forest.front().root.child.completion_child.version
+        survivor.used_seqs.add(3)  # violated the suppression assumption
+        stale = []
+        fh.forest.advance_front(on_stale=stale.append)
+        assert stale == [survivor]
+
+    def test_group_ops_ignore_forgotten_versions(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        root = fh.created[0]
+        group = fh.group()
+        fh.forest.forget(root)
+        fh.forest.group_created(root, group)  # no-op, no crash
+        assert fh.forest.group_resolved(root, group, completed=True) == []
+        assert fh.forest.retract_group(root, group) == []
+
+    def test_iter_versions_spans_all_trees(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(20, size=10))
+        fh.forest.admit(fh.window(25, size=10))
+        assert sorted(v.version_id for v in fh.forest.iter_versions()) == \
+            sorted(v.version_id for v in fh.created)
+
+
+class TestOpLog:
+    def _owned_group(self, fh, owner, events=()):
+        group = fh.group(events=events)
+        group.owner = owner
+        owner.own_groups.append(group)
+        return group
+
+    def test_created_is_buffered_until_applied(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(5, size=10))
+        root = fh.created[0]
+        group = self._owned_group(fh, root)
+        log = OpLog()
+        log.record_created(root, group)
+        tree = fh.forest.tree_of(root)
+        assert not any(g is group for g in
+                       (v.group for v in tree.iter_vertices()
+                        if hasattr(v, "group")))
+        log.apply_all(fh.forest, RecordingHooks())
+        assert len(log) == 0
+        assert tree.root.child.group is group
+
+    def test_completion_prunes_and_reports(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        fh.forest.admit(fh.window(5, size=10))
+        root = fh.created[0]
+        group = self._owned_group(fh, root)
+        log = OpLog()
+        log.record_created(root, group)
+        log.record_completed(root, group, ())
+        hooks = RecordingHooks()
+        log.apply_all(fh.forest, hooks)
+        assert hooks.completed == 1
+        assert group.state is GroupState.COMPLETED
+        # the abandon-side version of the dependent window was dropped
+        assert len(hooks.dropped) == 1
+        assert not hooks.dropped[0].alive
+
+    def test_abandonment_reports(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        root = fh.created[0]
+        group = self._owned_group(fh, root)
+        log = OpLog()
+        log.record_created(root, group)
+        log.record_abandoned(root, group)
+        hooks = RecordingHooks()
+        log.apply_all(fh.forest, hooks)
+        assert hooks.abandoned == 1
+        assert group.state is GroupState.ABANDONED
+
+    def test_ops_for_rolled_back_owner_are_skipped(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        root = fh.created[0]
+        group = self._owned_group(fh, root)
+        log = OpLog()
+        log.record_created(root, group)
+        root.own_groups.clear()  # rollback already retired the group
+        hooks = RecordingHooks()
+        log.apply_all(fh.forest, hooks)
+        assert hooks.completed == hooks.abandoned == 0
+
+    def test_retract_forces_abandonment(self, fh):
+        fh.forest.admit(fh.window(0, size=10))
+        root = fh.created[0]
+        group = self._owned_group(fh, root)
+        log = OpLog()
+        log.record_created(root, group)
+        log.apply_all(fh.forest, RecordingHooks())
+        log.record_retract(root, [group])
+        log.apply_all(fh.forest, RecordingHooks())
+        assert group.state is GroupState.ABANDONED
+
+
+class TestInstancePool:
+    def _versions(self, fh, n, spread=30):
+        for i in range(n):
+            fh.forest.admit(fh.window(i * spread, size=10))
+        return list(fh.created)
+
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            InstancePool(0)
+
+    def test_place_fills_free_instances_in_order(self, fh):
+        pool = InstancePool(2)
+        versions = self._versions(fh, 3)
+        pool.place(versions)
+        placed = [v for v in versions if v.scheduled_on is not None]
+        assert len(placed) == 2
+        assert versions[2].scheduled_on is None  # only k slots
+
+    def test_selected_versions_keep_their_instance(self, fh):
+        pool = InstancePool(2)
+        versions = self._versions(fh, 2)
+        pool.place(versions)
+        before = {v.version_id: v.scheduled_on for v in versions}
+        pool.place(list(reversed(versions)))  # same set, new order
+        after = {v.version_id: v.scheduled_on for v in versions}
+        assert before == after
+
+    def test_deselected_versions_are_released(self, fh):
+        pool = InstancePool(1)
+        first, second = self._versions(fh, 2)
+        pool.place([first])
+        pool.place([second])
+        assert first.scheduled_on is None
+        assert second.scheduled_on is not None
+
+    def test_finished_versions_free_their_instance(self, fh):
+        pool = InstancePool(1)
+        (version,) = self._versions(fh, 1)
+        pool.place([version])
+        version.finished = True
+        pool.place([version])
+        assert version.scheduled_on is None
+
+    def test_set_k_shrink_unschedules(self, fh):
+        pool = InstancePool(4)
+        versions = self._versions(fh, 4)
+        pool.place(versions)
+        pool.set_k(2)
+        assert pool.k == 2
+        assert sum(1 for v in versions if v.scheduled_on is not None) == 2
+        with pytest.raises(ValueError):
+            pool.set_k(0)
+
+    def test_set_k_grow_adds_idle_instances(self):
+        pool = InstancePool(1)
+        pool.set_k(3)
+        assert pool.k == 3
+        assert [i.index for i in pool] == [0, 1, 2]
+        assert pool.scheduled_versions() == []
+
+    def test_release_is_idempotent(self, fh):
+        pool = InstancePool(1)
+        (version,) = self._versions(fh, 1)
+        pool.place([version])
+        pool.release(version)
+        pool.release(version)
+        assert version.scheduled_on is None
+        assert pool.scheduled_versions() == []
+
+
+class TestSchedulerRegistry:
+    def test_known_names(self):
+        for name in ("topk", "fifo", "roundrobin"):
+            assert make_scheduler(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("quantum")
+
+    def test_roundrobin_rotates_across_trees(self, fh):
+        for i in range(3):
+            fh.forest.admit(fh.window(i * 30, size=10))
+        scheduler = make_scheduler("roundrobin")
+        first = scheduler.select(fh.forest, 1, lambda g: 0.5)
+        second = scheduler.select(fh.forest, 1, lambda g: 0.5)
+        assert first != second  # the offset rotated the front tree
+
+    def test_fifo_selects_oldest(self, fh):
+        for i in range(3):
+            fh.forest.admit(fh.window(i * 30, size=10))
+        scheduler = make_scheduler("fifo")
+        selected = scheduler.select(fh.forest, 2, lambda g: 0.5)
+        assert [v.version_id for v in selected] == \
+            sorted(v.version_id for v in fh.created)[:2]

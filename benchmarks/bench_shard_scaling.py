@@ -1,0 +1,144 @@
+"""Shard-scaling benchmark: the repo's first real-multicore datapoint.
+
+Sweeps the sharded runtime over worker-process counts {1, 2, 4} on an
+island-heavy NYSE workload (Q1 with sparse leading symbols and small
+windows, so the window decomposition falls apart into many independent
+islands = shards) and writes a machine-readable
+``BENCH_shard_scaling.json`` at the repository root.
+
+Unlike the pytest-benchmark figures in this directory, this is a plain
+script — CI runs it in ``--quick`` mode and archives the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--quick]
+
+The 1-worker run executes the shards in-process (no fork), so
+``speedup_vs_1_worker`` includes all process overhead — it is a
+conservative, honest speedup.  ``environment.cpu_count`` is recorded
+because on a single-core machine the expected speedup is ~1.0 (the
+sharded engine then only proves overhead is small); real speedup needs
+real cores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_nyse, leading_symbols  # noqa: E402
+from repro.queries import make_q1  # noqa: E402
+from repro.runtime.sharding import (  # noqa: E402
+    ShardedSpectreEngine,
+    plan_shards,
+)
+from repro.sequential import run_sequential  # noqa: E402
+from repro.spectre import SpectreConfig  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_shard_scaling.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_workload(quick: bool):
+    """Island-heavy NYSE stream + Q1 with sparse leading quotes."""
+    n_events = 4000 if quick else 60000
+    events = generate_nyse(n_events, n_symbols=150, n_leading=2, seed=13)
+    query = make_q1(q=8, window_size=120, leading_symbols=leading_symbols(2))
+    return query, events, {
+        "dataset": "nyse",
+        "events": n_events,
+        "n_symbols": 150,
+        "n_leading": 2,
+        "seed": 13,
+        "query": "q1",
+        "q": 8,
+        "window_size": 120,
+    }
+
+
+def bench(query, events, workers: int, k: int, repeats: int, expected):
+    """Best-of-``repeats`` wall-clock for one worker count; every timed
+    run is also the parity check against the sequential identities."""
+    best = None
+    shards = complex_events = 0
+    for _ in range(repeats):
+        engine = ShardedSpectreEngine(query, SpectreConfig(k=k),
+                                      workers=workers)
+        started = time.perf_counter()
+        result = engine.run(events)
+        elapsed = time.perf_counter() - started
+        if result.identities() != expected:
+            raise SystemExit(f"parity violation at workers={workers}")
+        shards = len(engine.plan)
+        complex_events = len(result.complex_events)
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "workers": workers,
+        "wall_seconds": round(best, 4),
+        "events_per_second": round(len(events) / best, 1),
+        "shards": shards,
+        "complex_events": complex_events,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small stream, single repeat (CI smoke)")
+    parser.add_argument("--k", type=int, default=2,
+                        help="operator instances per shard engine")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    query, events, workload = build_workload(args.quick)
+    plan = plan_shards(query.window, events)
+    print(f"workload: {workload['events']} events, "
+          f"{plan.total_windows} windows, {len(plan)} shards")
+
+    expected = run_sequential(query, events).identities()
+    repeats = 1 if args.quick else 3
+
+    runs = []
+    for workers in WORKER_COUNTS:
+        row = bench(query, events, workers, args.k, repeats, expected)
+        runs.append(row)
+        print(f"workers={workers}: {row['wall_seconds']:.3f}s "
+              f"({row['events_per_second']:,.0f} events/s)")
+
+    base = runs[0]["wall_seconds"]
+    for row in runs:
+        row["speedup_vs_1_worker"] = round(base / row["wall_seconds"], 3)
+
+    payload = {
+        "benchmark": "shard_scaling",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "quick": args.quick,
+        "workload": workload,
+        "plan": {"shards": len(plan), "windows": plan.total_windows},
+        "config": {"k": args.k, "scheduler": "topk", "repeats": repeats},
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system(),
+        },
+        "parity": "identical to sequential at every worker count",
+        "runs": runs,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

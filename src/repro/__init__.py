@@ -44,8 +44,12 @@ from repro.runtime import (
     OpLog,
     RoundRobinScheduler,
     Scheduler,
+    ShardedSpectreEngine,
+    ShardPlan,
     TopKProbabilityScheduler,
     make_scheduler,
+    plan_shards,
+    run_spectre_sharded,
 )
 from repro.sequential import SequentialEngine, run_sequential
 from repro.spectre import (
@@ -100,6 +104,10 @@ __all__ = [
     "Forest",
     "OpLog",
     "InstancePool",
+    "ShardPlan",
+    "ShardedSpectreEngine",
+    "plan_shards",
+    "run_spectre_sharded",
     "Scheduler",
     "TopKProbabilityScheduler",
     "FifoScheduler",

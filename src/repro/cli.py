@@ -17,6 +17,10 @@ binary:
     python -m repro verify --query q.sql --data quotes.csv --k 8 \\
         --engine elastic --scheduler roundrobin
 
+    # process-parallel: shard the stream across worker processes
+    python -m repro run --query q.sql --data quotes.csv \\
+        --engine sharded --workers 4 --k 2
+
     # run a multi-stage operator pipeline on the speculative runtime
     python -m repro graph --data quotes.csv --stage band=q.sql \\
         --stage meta=meta.sql --engine spectre --k 4
@@ -48,7 +52,8 @@ from repro.sequential.engine import run_sequential
 from repro.spectre.config import SpectreConfig
 from repro.spectre.elasticity import ElasticityPolicy, ElasticSpectreEngine
 
-SPECULATIVE_ENGINES = ("spectre", "threaded", "elastic", "approximate")
+SPECULATIVE_ENGINES = ("spectre", "threaded", "elastic", "approximate",
+                       "sharded")
 RUN_ENGINES = ("sequential",) + SPECULATIVE_ENGINES
 
 # CLI engine name -> Operator engine name (graph subcommand)
@@ -58,6 +63,7 @@ OPERATOR_ENGINES = {
     "threaded": "spectre-threaded",
     "elastic": "spectre-elastic",
     "approximate": "spectre-approximate",
+    "sharded": "spectre-sharded",
 }
 
 
@@ -81,7 +87,8 @@ def _load_query(path: str, params: Sequence[str], name: str | None = None):
 
 
 def _make_config(args: argparse.Namespace) -> SpectreConfig:
-    return SpectreConfig(k=args.k, scheduler=args.scheduler)
+    return SpectreConfig(k=args.k, scheduler=args.scheduler,
+                         workers=getattr(args, "workers", 1))
 
 
 def _make_engine(name: str, query, config: SpectreConfig):
@@ -133,6 +140,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             extra += f" adaptations={len(engine.adaptations)}"
         elif args.engine == "approximate":
             extra += f" early_emissions={len(engine.early)}"
+        elif args.engine == "sharded":
+            extra += (f" shards={len(engine.plan)} "
+                      f"workers={engine.workers_used}")
     elapsed = time.perf_counter() - started
     print(f"{query.name}: {len(complex_events)} complex events from "
           f"{len(events)} input events in {elapsed:.2f}s ({extra})")
@@ -222,6 +232,9 @@ def _add_speculative_flags(parser: argparse.ArgumentParser,
                            default_k: int = 4) -> None:
     parser.add_argument("--k", type=int, default=default_k,
                         help="operator instances (speculative engines)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (sharded engine; 1 runs "
+                             "the shards in-process)")
     parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
                         default="topk",
                         help="scheduling strategy (speculative engines)")

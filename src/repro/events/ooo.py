@@ -29,9 +29,13 @@ class SlackSorter:
 
     Events are buffered until the maximum timestamp seen so far exceeds
     their own by more than ``slack``; then they are released in
-    ``(timestamp, seq)`` order.  An event older than the current release
-    horizon is *late*: with ``late_policy="drop"`` it is discarded and
-    counted, with ``"raise"`` a :class:`LateEventError` is raised.
+    ``(timestamp, seq)`` order.  An event at or below the current release
+    horizon — its full ``order_key`` not after the last released event's —
+    is *late*: with ``late_policy="drop"`` it is discarded and counted,
+    with ``"raise"`` a :class:`LateEventError` is raised.  Comparing the
+    full ``(timestamp, seq)`` key (not just the timestamp) keeps the
+    released stream totally ordered even when an arrival ties the horizon
+    timestamp with a lower sequence number.
     """
 
     def __init__(self, slack: float, late_policy: str = "drop") -> None:
@@ -43,16 +47,24 @@ class SlackSorter:
         self.late_events = 0
         self._heap: list[tuple[tuple[float, int], Event]] = []
         self._max_seen = float("-inf")
-        self._released = float("-inf")
+        # order key of the last released event: anything at or below it
+        # would be emitted out of order, hence is late
+        self._released_key: tuple[float, float] = (float("-inf"),
+                                                   float("-inf"))
+
+    @property
+    def released_horizon(self) -> tuple[float, float]:
+        """Order key of the last released event (-inf before the first)."""
+        return self._released_key
 
     def push(self, event: Event) -> list[Event]:
         """Offer one event; returns the events released by its arrival."""
-        if event.timestamp < self._released:
+        if event.order_key <= self._released_key:
             self.late_events += 1
             if self.late_policy == "raise":
                 raise LateEventError(
-                    f"{event!r} arrived after the release horizon "
-                    f"{self._released}")
+                    f"{event!r} arrived at or behind the release horizon "
+                    f"{self._released_key}")
             return []
         heapq.heappush(self._heap, (event.order_key, event))
         self._max_seen = max(self._max_seen, event.timestamp)
@@ -61,8 +73,8 @@ class SlackSorter:
         while self._heap and self._heap[0][1].timestamp <= horizon:
             released.append(heapq.heappop(self._heap)[1])
         if released:
-            self._released = max(self._released,
-                                 released[-1].timestamp)
+            self._released_key = max(self._released_key,
+                                     released[-1].order_key)
         return released
 
     def flush(self) -> list[Event]:
@@ -70,7 +82,8 @@ class SlackSorter:
         released = [event for _key, event in sorted(self._heap)]
         self._heap = []
         if released:
-            self._released = max(self._released, released[-1].timestamp)
+            self._released_key = max(self._released_key,
+                                     released[-1].order_key)
         return released
 
     def sort(self, events: Iterable[Event]) -> Iterator[Event]:

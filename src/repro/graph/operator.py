@@ -51,6 +51,11 @@ def _spectre_approximate(query: Query, config: SpectreConfig):
     return ApproximateSpectreEngine(query, config)
 
 
+def _spectre_sharded(query: Query, config: SpectreConfig):
+    from repro.runtime.sharding import ShardedSpectreEngine
+    return ShardedSpectreEngine(query, config)  # workers = config.workers
+
+
 # single registry for every speculative engine variant: the operator
 # graph and the CLI both dispatch through it
 ENGINE_FACTORIES = {
@@ -58,6 +63,7 @@ ENGINE_FACTORIES = {
     "spectre-threaded": _spectre_threaded,
     "spectre-elastic": _spectre_elastic,
     "spectre-approximate": _spectre_approximate,
+    "spectre-sharded": _spectre_sharded,
 }
 
 ENGINES = ("sequential",) + tuple(ENGINE_FACTORIES)

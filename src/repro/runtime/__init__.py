@@ -12,6 +12,7 @@ dependency forest          :mod:`repro.runtime.forest`
 buffered op-log            :mod:`repro.runtime.oplog`
 operator instances         :mod:`repro.runtime.instances`
 scheduling strategies      :mod:`repro.runtime.scheduler`
+process sharding           :mod:`repro.runtime.sharding`
 ========================  =============================================
 
 :class:`~repro.spectre.engine.SpectreEngine` and its variants compose
@@ -31,6 +32,13 @@ from repro.runtime.scheduler import (
     TopKProbabilityScheduler,
     make_scheduler,
 )
+from repro.runtime.sharding import (
+    Shard,
+    ShardedSpectreEngine,
+    ShardPlan,
+    plan_shards,
+    run_spectre_sharded,
+)
 
 __all__ = [
     "Forest",
@@ -38,6 +46,11 @@ __all__ = [
     "RuntimeHooks",
     "InstancePool",
     "OperatorInstance",
+    "Shard",
+    "ShardPlan",
+    "ShardedSpectreEngine",
+    "plan_shards",
+    "run_spectre_sharded",
     "Scheduler",
     "TopKProbabilityScheduler",
     "FifoScheduler",

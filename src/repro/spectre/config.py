@@ -88,6 +88,10 @@ class SpectreConfig:
     max_versions:
         Hard cap on simultaneously maintained window versions (memory
         guard; the paper observed natural peaks of ~6.7k at k=32).
+    workers:
+        Default process count of the *sharded* runtime
+        (:class:`repro.runtime.sharding.ShardedSpectreEngine`); 1 runs
+        the shards in-process.  Ignored by every other engine.
     """
 
     k: int = 1
@@ -99,11 +103,13 @@ class SpectreConfig:
     markov: MarkovParams = field(default_factory=MarkovParams)
     admission_factor: float = 2.0
     max_versions: int = 20_000
+    workers: int = 1
     costs: CostModel = field(default_factory=CostModel)
     collect_transition_stats: bool = True
 
     def __post_init__(self) -> None:
         require(self.k >= 1, "k must be >= 1")
+        require(self.workers >= 1, "workers must be >= 1")
         require(self.steps_per_cycle >= 1, "steps_per_cycle must be >= 1")
         require(self.consistency_check_freq >= 1,
                 "consistency_check_freq must be >= 1")

@@ -54,6 +54,12 @@ class LockedPredictor:
             self._inner.observe(delta_old, delta_new)
 
 
+# idle backoff: sleep only after a cycle/poll that made no progress,
+# doubling from the minimum up to the original fixed 0.2 ms yield
+_BACKOFF_MIN = 0.0000125
+_BACKOFF_MAX = 0.0002
+
+
 class ThreadedSpectreEngine(SpectreEngine):
     """SPECTRE with a real splitter thread and k worker threads."""
 
@@ -68,12 +74,27 @@ class ThreadedSpectreEngine(SpectreEngine):
 
     def _worker(self, index: int) -> None:
         instance = self.pool[index]
+        delay = _BACKOFF_MIN
         while not self._stop.is_set():
             version = instance.version
             if version is None or not version.alive or version.finished:
-                time.sleep(0.0002)  # nothing scheduled: yield
+                time.sleep(delay)  # nothing scheduled: yield, backing off
+                delay = min(delay * 2.0, _BACKOFF_MAX)
                 continue
             self._step_version(version)
+            delay = _BACKOFF_MIN
+
+    def _splitter_progress(self) -> tuple:
+        """Snapshot of the splitter-side counters a cycle can move.
+
+        Instance-side counters (steps processed, ...) are deliberately
+        excluded: while the workers make progress the splitter must keep
+        yielding the GIL to them rather than spin on no-op cycles.
+        """
+        return (self.stats.windows_emitted, self.stats.versions_created,
+                self.stats.groups_completed, self.stats.groups_abandoned,
+                self.stats.validation_rollbacks, len(self._pending),
+                self.forest.version_count)
 
     def run(self, events: Iterable[Event],
             timeout_seconds: float = 300.0) -> SpectreResult:
@@ -88,10 +109,18 @@ class ThreadedSpectreEngine(SpectreEngine):
             worker.start()
         try:
             # the calling thread plays the splitter
+            delay = _BACKOFF_MIN
             while self._pending or self.forest:
+                before = self._splitter_progress()
                 self.splitter_cycle()
                 self.stats.cycles += 1
-                time.sleep(0.0002)  # let workers grab the GIL
+                # always yield at least once so workers can grab the GIL,
+                # but back off only while cycles make no progress
+                time.sleep(delay)
+                if self._splitter_progress() == before:
+                    delay = min(delay * 2.0, _BACKOFF_MAX)
+                else:
+                    delay = _BACKOFF_MIN
                 if time.perf_counter() - started > timeout_seconds:
                     raise RuntimeError(
                         f"threaded run exceeded {timeout_seconds}s "

@@ -136,6 +136,64 @@ class TestEngineAndSchedulerFlags:
                   "--scheduler", "quantum"])
 
 
+@pytest.fixture
+def tumbling_query_file(tmp_path):
+    """Tumbling-window variant of the band query: windows never overlap,
+    so the sharded engine actually splits the stream."""
+    path = tmp_path / "tumble.sql"
+    path.write_text(QUERY_TEXT.replace("WITHIN 200 events FROM every 50",
+                                       "WITHIN 50 events FROM every 50"))
+    return str(path)
+
+
+class TestShardedEngine:
+    def test_run_reports_shards_and_workers(self, tumbling_query_file,
+                                            walk_csv, capsys):
+        code = main(["run", "--query", tumbling_query_file,
+                     "--data", walk_csv, "--engine", "sharded",
+                     "--workers", "2", "--k", "2",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards=" in out
+        assert "workers=2" in out
+
+    def test_verify_sharded(self, tumbling_query_file, walk_csv, capsys):
+        code = main(["verify", "--query", tumbling_query_file,
+                     "--data", walk_csv, "--engine", "sharded",
+                     "--workers", "2", "--k", "2",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "SHARDED" in out
+
+    def test_verify_sharded_single_shard_query(self, query_file,
+                                               walk_csv, capsys):
+        """Chained windows degrade to one in-process shard but must
+        still verify."""
+        code = main(["verify", "--query", query_file, "--data", walk_csv,
+                     "--engine", "sharded", "--workers", "2", "--k", "2",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_graph_sharded_pipeline(self, tumbling_query_file,
+                                    pairs_query_file, walk_csv, capsys):
+        code = main(["graph", "--data", walk_csv,
+                     "--stage", f"band={tumbling_query_file}",
+                     "--stage", f"bandpairs={pairs_query_file}",
+                     "--engine", "sharded", "--workers", "2", "--k", "2",
+                     "--verify",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "OK: pipeline output identical" in capsys.readouterr().out
+
+
 class TestGraphCommand:
     def test_two_stage_pipeline(self, query_file, pairs_query_file,
                                 walk_csv, capsys):

@@ -47,6 +47,38 @@ class TestSlackSorter:
         with pytest.raises(LateEventError):
             sorter.push(ev(3, 1.0))
 
+    def test_horizon_tie_is_late(self):
+        """Regression: an arrival whose timestamp *equals* the release
+        horizon but whose seq is lower than an already-released event
+        must be treated as late, not re-admitted behind it.
+
+        With the old ``timestamp < released`` check, ``Event(1, .., 0.0)``
+        slipped into the buffer after ``Event(5, .., 0.0)`` had been
+        released, producing keys ``[(0.0,5), (0.0,1), (5.0,10)]`` — a
+        violation of the documented global ``(timestamp, seq)`` order.
+        """
+        sorter = SlackSorter(slack=1.0, late_policy="drop")
+        out = list(sorter.push(make_event(5, "A", timestamp=0.0)))
+        out += sorter.push(make_event(10, "A", timestamp=5.0))  # releases 5
+        assert [e.seq for e in out] == [5]
+        late = sorter.push(make_event(1, "A", timestamp=0.0))
+        assert late == []
+        assert sorter.late_events == 1
+        out += sorter.flush()
+        assert [e.order_key for e in out] == [(0.0, 5), (5.0, 10)]
+        assert validate_order(out)
+
+    def test_horizon_tie_higher_seq_still_admitted(self):
+        """Same-timestamp arrivals *after* the released seq stay valid:
+        only keys at or below the released (timestamp, seq) are late."""
+        sorter = SlackSorter(slack=1.0, late_policy="raise")
+        out = list(sorter.push(make_event(5, "A", timestamp=0.0)))
+        out += sorter.push(make_event(10, "A", timestamp=5.0))
+        out += sorter.push(make_event(7, "A", timestamp=0.0))  # 7 > 5: ok
+        out += sorter.flush()
+        assert [e.order_key for e in out] == [(0.0, 5), (0.0, 7), (5.0, 10)]
+        assert sorter.late_events == 0
+
     def test_zero_slack_passthrough(self):
         sorter = SlackSorter(slack=0.0)
         out = list(sorter.sort([ev(0, 1.0), ev(1, 2.0), ev(2, 3.0)]))

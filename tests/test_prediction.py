@@ -125,6 +125,54 @@ class TestMarkovLearning:
         low, high = min(p10, p20), max(p10, p20)
         assert low - 1e-12 <= p14 <= high + 1e-12
 
+    def test_refresh_invalidates_power_and_prob_caches(self):
+        """A model update must clear both lazy caches — otherwise
+        ``probability`` would keep serving matrices of the old T1."""
+        predictor = MarkovPredictor(delta_max=4,
+                                    params=MarkovParams(rho=20))
+        predictor.probability(3, 25)  # populate _powers and _prob_cache
+        assert predictor._powers and predictor._prob_cache
+        for _ in range(20):  # exactly rho observations → one _refresh
+            predictor.observe(4, 3)
+        assert predictor.updates == 1
+        assert not predictor._powers
+        assert not predictor._prob_cache
+
+    def test_no_stale_matrices_served_after_refresh(self):
+        """Post-refresh predictions must equal those of a fresh predictor
+        seeded with the refreshed T1 (i.e. nothing cached survived), and
+        must differ from the pre-refresh prior prediction."""
+        params = MarkovParams(rho=20)
+        predictor = MarkovPredictor(delta_max=4, params=params)
+        before = predictor.probability(3, 25)
+        for _ in range(20):
+            predictor.observe(2, 1)  # always advance from state 2
+        after = predictor.probability(3, 25)
+        fresh = MarkovPredictor(delta_max=4, params=params)
+        fresh._t1 = predictor.transition_matrix
+        assert after == pytest.approx(fresh.probability(3, 25))
+        assert abs(after - before) > 1e-6
+
+    def test_monotone_in_delta_for_interpolated_n(self):
+        """Fig. 5 line 6 interpolation (n % ell != 0) must preserve the
+        monotonicity in δ that the scheduler relies on — on the prior
+        and after learning one-step-advance statistics."""
+        params = MarkovParams(ell=10, rho=100)
+        predictor = MarkovPredictor(delta_max=8, params=params)
+        for n in (13, 17, 25):
+            assert n % params.ell != 0
+            probabilities = [predictor.probability(d, n)
+                             for d in range(1, 9)]
+            assert all(a >= b - 1e-12 for a, b in
+                       zip(probabilities, probabilities[1:]))
+        self._train(predictor, advance_probability=0.6)
+        assert predictor.updates > 0
+        for n in (13, 17, 25):
+            probabilities = [predictor.probability(d, n)
+                             for d in range(1, 9)]
+            assert all(a >= b - 1e-12 for a, b in
+                       zip(probabilities, probabilities[1:]))
+
     def test_rows_remain_stochastic_after_updates(self):
         predictor = MarkovPredictor(delta_max=4,
                                     params=MarkovParams(rho=20))

@@ -272,6 +272,59 @@ class TestInstancePool:
         assert version.scheduled_on is None
         assert pool.scheduled_versions() == []
 
+    def test_set_k_shrink_leaves_no_stale_pointers(self, fh):
+        """After a shrink, every version's ``scheduled_on`` is either
+        None or a valid index of a surviving instance that still holds
+        it — a stale pointer would make ``place`` skip the version."""
+        pool = InstancePool(4)
+        versions = self._versions(fh, 4)
+        pool.place(versions)
+        pool.set_k(2)
+        for version in versions:
+            assert version.scheduled_on is None or \
+                version.scheduled_on < pool.k
+        for instance in pool:
+            if instance.version is not None:
+                assert instance.version.scheduled_on == instance.index
+
+    def test_shrink_evicted_versions_are_placeable_again(self, fh):
+        pool = InstancePool(4)
+        versions = self._versions(fh, 4)
+        pool.place(versions)
+        evicted = [v for v in versions if v.scheduled_on is None
+                   or v.scheduled_on >= 2]
+        pool.set_k(2)
+        pool.place(evicted[:2])
+        assert sorted(v.scheduled_on for v in evicted[:2]) == [0, 1]
+        for instance in pool:
+            assert instance.version is not None
+            assert instance.version.scheduled_on == instance.index
+
+    def test_release_with_stale_index_is_safe(self, fh):
+        """A ``scheduled_on`` recorded before a shrink may point past the
+        pool; release must clear it without touching live instances."""
+        pool = InstancePool(2)
+        first, second = self._versions(fh, 2)
+        pool.place([first, second])
+        second.scheduled_on = 7  # simulate a stale pointer
+        pool.release(second)
+        assert second.scheduled_on is None
+        # the instance that actually held it still does (by identity),
+        # and releasing the stale pointer never evicted the other version
+        assert first.scheduled_on is not None
+
+    def test_place_fills_free_list_from_highest_index(self, fh):
+        """Documented fill order: the first unplaced selected version
+        takes the highest-index free instance (free list is a stack)."""
+        pool = InstancePool(3)
+        first, second, third = self._versions(fh, 3)
+        pool.place([first])
+        assert first.scheduled_on == 2
+        pool.place([first, second, third])
+        assert first.scheduled_on == 2  # kept its instance (Fig. 7)
+        assert second.scheduled_on == 1
+        assert third.scheduled_on == 0
+
 
 class TestSchedulerRegistry:
     def test_known_names(self):

@@ -19,7 +19,7 @@ import pytest
 from benchmarks.conftest import Q1_WINDOW
 from benchmarks.figure_output import format_series, write_figure
 from repro.queries import make_q1
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 from repro.spectre import SpectreConfig, SpectreEngine
 from repro.spectre.config import MarkovParams
 
@@ -35,7 +35,7 @@ def _query(nyse_leaders, q=64):
 def test_ablation_consistency_check_frequency(benchmark, nyse_events,
                                               nyse_leaders):
     query = _query(nyse_leaders)
-    expected = run_sequential(query, nyse_events).identities()
+    expected = SequentialEngine(query).run(nyse_events).identities()
 
     def sweep():
         rows = {}
@@ -69,7 +69,7 @@ def test_ablation_topk_vs_fifo_scheduling(benchmark, nyse_events,
     # high completion probability: FIFO keeps burning instances on stale
     # abandon-side versions, top-k follows the likely path
     query = _query(nyse_leaders, q=16)
-    expected = run_sequential(query, nyse_events).identities()
+    expected = SequentialEngine(query).run(nyse_events).identities()
 
     def sweep():
         rows = {}
@@ -116,7 +116,7 @@ def test_ablation_speculation_speedup(benchmark, nyse_events, nyse_leaders):
 @pytest.mark.benchmark(group="ablations")
 def test_ablation_markov_parameters(benchmark, nyse_events, nyse_leaders):
     query = _query(nyse_leaders)
-    expected = run_sequential(query, nyse_events).identities()
+    expected = SequentialEngine(query).run(nyse_events).identities()
 
     def sweep():
         rows = {}

@@ -12,9 +12,9 @@ import pytest
 
 from benchmarks.figure_output import format_series, write_figure
 from repro.queries import make_q1, make_q2
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 from repro.spectre import SpectreConfig, SpectreEngine
-from repro.spectre.approximate import run_spectre_approximate
+from repro.spectre.approximate import ApproximateSpectreEngine
 from repro.spectre.elasticity import ElasticityPolicy, ElasticSpectreEngine
 
 
@@ -25,9 +25,10 @@ def test_extension_approximate_emission(benchmark, price_walk_events):
     def sweep():
         rows = {}
         for threshold in (0.99, 0.7, 0.5):
-            result = run_spectre_approximate(
-                query, price_walk_events, SpectreConfig(k=8),
-                emission_threshold=threshold)
+            result = ApproximateSpectreEngine(
+                query, SpectreConfig(k=8),
+                emission_threshold=threshold
+            ).run_approximate(price_walk_events)
             rows[threshold] = (len(result.early), result.precision,
                                result.recall)
         return rows
@@ -52,7 +53,7 @@ def test_extension_approximate_emission(benchmark, price_walk_events):
 @pytest.mark.benchmark(group="extensions")
 def test_extension_elasticity(benchmark, nyse_events, nyse_leaders):
     query = make_q1(q=176, window_size=800, leading_symbols=nyse_leaders)
-    truth = run_sequential(query, nyse_events).completion_probability
+    truth = SequentialEngine(query).run(nyse_events).completion_probability
 
     def sweep():
         # wide mid band: the *observed* completion probability fluctuates

@@ -19,7 +19,7 @@ import pytest
 from benchmarks.conftest import KS, Q2_SLIDE, Q2_WINDOW
 from benchmarks.figure_output import format_series, write_figure
 from repro.queries import make_q2
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 from repro.simulation import scalability_sweep
 from repro.spectre import SpectreConfig
 
@@ -59,7 +59,7 @@ def test_fig10b_scalability_q2(benchmark, price_walk_events):
 
     # average pattern size per band (the paper's x-axis)
     for half_width in BAND_HALF_WIDTHS:
-        result = run_sequential(_query_for(half_width), price_walk_events)
+        result = SequentialEngine(_query_for(half_width)).run(price_walk_events)
         sizes = [len(ce.constituents) for ce in result.complex_events]
         avg_sizes[half_width] = sum(sizes) / len(sizes) if sizes else \
             float("nan")

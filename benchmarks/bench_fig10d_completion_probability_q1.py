@@ -17,7 +17,7 @@ from benchmarks.bench_fig10a_scalability_q1 import Q_VALUES
 from benchmarks.conftest import Q1_WINDOW
 from benchmarks.figure_output import format_series, write_figure
 from repro.queries import make_q1
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 
 
 def _ground_truths(nyse_events, nyse_leaders):
@@ -25,7 +25,7 @@ def _ground_truths(nyse_events, nyse_leaders):
     for q in Q_VALUES:
         query = make_q1(q=q, window_size=Q1_WINDOW,
                         leading_symbols=nyse_leaders)
-        result = run_sequential(query, nyse_events)
+        result = SequentialEngine(query).run(nyse_events)
         truths[q / Q1_WINDOW] = result.completion_probability
     return truths
 

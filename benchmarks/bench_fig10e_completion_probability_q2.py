@@ -11,13 +11,13 @@ import pytest
 
 from benchmarks.bench_fig10b_scalability_q2 import BAND_HALF_WIDTHS, _query_for
 from benchmarks.figure_output import format_series, write_figure
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 
 
 def _ground_truths(price_walk_events):
     truths = {}
     for half_width in BAND_HALF_WIDTHS:
-        result = run_sequential(_query_for(half_width), price_walk_events)
+        result = SequentialEngine(_query_for(half_width)).run(price_walk_events)
         truths[half_width] = result.completion_probability
     return truths
 

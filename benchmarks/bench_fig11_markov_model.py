@@ -19,7 +19,7 @@ import pytest
 from benchmarks.conftest import Q3_SLIDE, Q3_WINDOW
 from benchmarks.figure_output import format_series, write_figure
 from repro.queries import make_q3
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 from repro.spectre import SpectreConfig, SpectreEngine
 
 K = 32
@@ -33,7 +33,7 @@ def _query(set_size):
 
 def _sweep(rand_events, set_size):
     query = _query(set_size)
-    sequential = run_sequential(query, rand_events)
+    sequential = SequentialEngine(query).run(rand_events)
     expected = sequential.identities()
     throughputs = {}
     for model in FIXED_MODELS:

@@ -38,7 +38,7 @@ from repro.runtime.sharding import (  # noqa: E402
     ShardedSpectreEngine,
     plan_shards,
 )
-from repro.sequential import run_sequential  # noqa: E402
+from repro.sequential import SequentialEngine  # noqa: E402
 from repro.spectre import SpectreConfig  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -105,7 +105,7 @@ def main(argv=None) -> int:
     print(f"workload: {workload['events']} events, "
           f"{plan.total_windows} windows, {len(plan)} shards")
 
-    expected = run_sequential(query, events).identities()
+    expected = SequentialEngine(query).run(events).identities()
     repeats = 1 if args.quick else 3
 
     runs = []

@@ -27,9 +27,9 @@ import pytest
 
 from benchmarks.figure_output import format_series, write_figure
 from repro.queries import make_q1
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 from repro.spectre import SpectreConfig, SpectreEngine
-from repro.trex import q1_ast_query, run_trex
+from repro.trex import TRexEngine, q1_ast_query
 
 Q = 8
 WINDOW = 400
@@ -41,7 +41,7 @@ _RESULTS: dict[str, float] = {}
 def test_trex_automaton_throughput(benchmark, nyse_events, nyse_leaders):
     query = q1_ast_query(q=Q, window_size=WINDOW,
                          leading_symbols=nyse_leaders)
-    result = benchmark.pedantic(lambda: run_trex(query, nyse_events),
+    result = benchmark.pedantic(lambda: TRexEngine(query).run(nyse_events),
                                 rounds=3, iterations=1)
     _RESULTS["trex"] = result.input_events / benchmark.stats.stats.mean
     benchmark.extra_info["events_per_second"] = _RESULTS["trex"]
@@ -50,7 +50,7 @@ def test_trex_automaton_throughput(benchmark, nyse_events, nyse_leaders):
 @pytest.mark.benchmark(group="trex")
 def test_spectre_udf_throughput(benchmark, nyse_events, nyse_leaders):
     query = make_q1(q=Q, window_size=WINDOW, leading_symbols=nyse_leaders)
-    benchmark.pedantic(lambda: run_sequential(query, nyse_events),
+    benchmark.pedantic(lambda: SequentialEngine(query).run(nyse_events),
                        rounds=3, iterations=1)
     _RESULTS["udf"] = len(nyse_events) / benchmark.stats.stats.mean
     benchmark.extra_info["events_per_second"] = _RESULTS["udf"]

@@ -9,7 +9,7 @@ a miniature of Fig. 10(a).
 Run:  python examples/algorithmic_trading.py
 """
 
-from repro import SpectreConfig, SpectreEngine, make_q1, run_sequential
+from repro import SequentialEngine, SpectreConfig, SpectreEngine, make_q1
 from repro.datasets import generate_nyse, leading_symbols
 from repro.metrics import calibrate_events_per_second
 
@@ -22,7 +22,7 @@ def main() -> None:
           f"{len(leaders)} leading symbols")
     print(f"query: {query.name} -- {query.description}")
 
-    sequential = run_sequential(query, events)
+    sequential = SequentialEngine(query).run(events)
     print(f"\nsequential: {len(sequential.complex_events)} complex events, "
           f"ground-truth completion probability "
           f"{sequential.completion_probability:.0%}")

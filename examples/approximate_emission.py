@@ -24,7 +24,7 @@ Run:  python examples/approximate_emission.py
 from repro import SpectreConfig
 from repro.datasets import generate_price_walk
 from repro.queries import make_q2
-from repro.spectre.approximate import run_spectre_approximate
+from repro.spectre.approximate import ApproximateSpectreEngine
 
 
 def main() -> None:
@@ -35,9 +35,9 @@ def main() -> None:
     print(f"{'threshold':>9} {'early':>6} {'precision':>9} {'recall':>7} "
           f"{'final':>6}")
     for threshold in (0.99, 0.9, 0.7, 0.5, 0.3):
-        result = run_spectre_approximate(
-            query, events, SpectreConfig(k=8),
-            emission_threshold=threshold)
+        result = ApproximateSpectreEngine(
+            query, SpectreConfig(k=8), emission_threshold=threshold
+        ).run_approximate(events)
         print(f"{threshold:>9} {len(result.early):>6} "
               f"{result.precision:>9.0%} {result.recall:>7.0%} "
               f"{len(result.final.complex_events):>6}")

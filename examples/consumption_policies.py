@@ -10,7 +10,7 @@ The stream A1 A2 B1 B2 B3 is processed under query QE with two policies:
 Run:  python examples/consumption_policies.py
 """
 
-from repro import make_qe, run_sequential
+from repro import SequentialEngine, make_qe
 from repro.events import make_event
 
 
@@ -35,7 +35,7 @@ def describe(ce) -> str:
 def main() -> None:
     stream = figure1_stream()
     for policy, figure in (("none", "Fig. 1a"), ("selected-b", "Fig. 1b")):
-        result = run_sequential(make_qe(policy), stream)
+        result = SequentialEngine(make_qe(policy)).run(stream)
         rendered = ", ".join(describe(ce) for ce in result.complex_events)
         print(f"{figure}  CP={policy:<10} -> {len(result.complex_events)} "
               f"complex events: {rendered}")

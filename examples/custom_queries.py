@@ -8,7 +8,7 @@ conjunction) and negation, all runnable on the same engines.
 Run:  python examples/custom_queries.py
 """
 
-from repro import SpectreConfig, parse_query, run_sequential, run_spectre
+from repro import SequentialEngine, SpectreConfig, SpectreEngine, parse_query
 from repro.datasets import generate_price_walk
 from repro.events import make_event
 
@@ -33,8 +33,8 @@ def run_band_query() -> None:
     query = parse_query(BAND_QUERY, name="band-breakout",
                         params={"lowerLimit": 35.0, "upperLimit": 65.0})
     events = generate_price_walk(3000, step_scale=4.0, seed=17)
-    sequential = run_sequential(query, events)
-    speculative = run_spectre(query, events, SpectreConfig(k=4))
+    sequential = SequentialEngine(query).run(events)
+    speculative = SpectreEngine(query, SpectreConfig(k=4)).run(events)
     assert speculative.identities() == sequential.identities()
     print(f"[band-breakout] {len(sequential.complex_events)} matches; "
           f"completion probability "
@@ -53,7 +53,7 @@ def run_negation_query() -> None:
         make_event(5, "ORDER"), make_event(6, "CANCEL"),   # cancelled
         make_event(7, "SHIP"),
     ]
-    result = run_sequential(query, stream)
+    result = SequentialEngine(query).run(stream)
     print(f"[order-shipped] matches: "
           f"{[ce.constituent_seqs for ce in result.complex_events]} "
           f"(the cancelled order produced none)")

@@ -14,13 +14,13 @@ Run:  python examples/elastic_scaling.py
 
 from repro import ElasticityPolicy, ElasticSpectreEngine, make_q1
 from repro.datasets import generate_nyse, leading_symbols
-from repro.sequential import run_sequential
+from repro.sequential import SequentialEngine
 
 
 def run_case(label: str, q: int, events) -> None:
     query = make_q1(q=q, window_size=400,
                     leading_symbols=leading_symbols(2))
-    truth = run_sequential(query, events).completion_probability
+    truth = SequentialEngine(query).run(events).completion_probability
     policy = ElasticityPolicy(max_k=16, plateau_k=4, period=50,
                               min_resolved=5)
     engine = ElasticSpectreEngine(query, policy)

@@ -12,7 +12,7 @@ This walks through the core workflow:
 Run:  python examples/quickstart.py
 """
 
-from repro import SpectreConfig, make_qe, run_sequential, run_spectre
+from repro import SequentialEngine, SpectreConfig, SpectreEngine, make_qe
 from repro.events import make_event
 
 
@@ -34,7 +34,7 @@ def main() -> None:
     print(f"  window: 1 minute from each A (consumption: "
           f"{query.consumption.describe()})")
 
-    sequential = run_sequential(query, stream)
+    sequential = SequentialEngine(query).run(stream)
     print(f"\nsequential engine: {len(sequential.complex_events)} "
           f"complex events")
     for ce in sequential.complex_events:
@@ -43,7 +43,7 @@ def main() -> None:
 
     # SPECTRE processes the two overlapping, *dependent* windows in
     # parallel by speculating on event consumption.
-    result = run_spectre(query, stream, SpectreConfig(k=4))
+    result = SpectreEngine(query, SpectreConfig(k=4)).run(stream)
     print(f"\nSPECTRE (k=4): {len(result.complex_events)} complex events")
     print(f"  windows: {result.stats.windows_total}, "
           f"versions created: {result.stats.versions_created}, "

@@ -9,7 +9,7 @@ the output still equals the sequential engine's exactly.
 Run:  python examples/threaded_runtime.py
 """
 
-from repro import SpectreConfig, make_q1, run_sequential
+from repro import SequentialEngine, SpectreConfig, make_q1
 from repro.datasets import generate_nyse, leading_symbols
 from repro.spectre.threaded import ThreadedSpectreEngine
 
@@ -18,7 +18,7 @@ def main() -> None:
     events = generate_nyse(1500, n_symbols=60, n_leading=2, seed=21)
     query = make_q1(q=8, window_size=250,
                     leading_symbols=leading_symbols(2))
-    expected = run_sequential(query, events)
+    expected = SequentialEngine(query).run(events)
     print(f"sequential: {len(expected.complex_events)} complex events")
 
     for k in (1, 2, 4):

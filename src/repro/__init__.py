@@ -8,7 +8,10 @@ instances.
 
 Quickstart
 ----------
->>> from repro import (make_qe, run_sequential, run_spectre, SpectreConfig)
+Batch — the fluent pipeline facade runs any engine over a finite
+stream:
+
+>>> from repro import SpectreConfig, SpectreEngine, make_qe, pipeline
 >>> from repro.events import make_event
 >>> stream = [make_event(0, "A", 0.0, change=2.0),
 ...           make_event(1, "A", 10.0, change=4.0),
@@ -16,9 +19,20 @@ Quickstart
 ...           make_event(3, "B", 30.0, change=8.0),
 ...           make_event(4, "B", 70.0, change=2.0)]
 >>> query = make_qe("selected-b")
->>> sequential = run_sequential(query, stream)
->>> speculative = run_spectre(query, stream, SpectreConfig(k=4))
+>>> sequential = pipeline(query).engine("sequential").run(stream)
+>>> speculative = pipeline(query).engine("spectre", k=4).run(stream)
 >>> sequential.identities() == speculative.identities()
+True
+
+Streaming — every engine opens a push-based session that emits each
+match on the event that validated it (``Engine.open() -> Session``):
+
+>>> session = SpectreEngine(query, SpectreConfig(k=4)).open()
+>>> matches = []
+>>> for event in stream:
+...     matches.extend(session.push(event))
+>>> matches.extend(session.close())   # flushes trailing windows
+>>> [ce.identity() for ce in matches] == sequential.identities()
 True
 """
 
@@ -52,6 +66,15 @@ from repro.runtime import (
     run_spectre_sharded,
 )
 from repro.sequential import SequentialEngine, run_sequential
+from repro.streaming import (
+    Engine,
+    Pipeline,
+    PipelineSession,
+    Session,
+    SessionStateError,
+    build_engine,
+    pipeline,
+)
 from repro.spectre import (
     ApproximateSpectreEngine,
     ElasticityPolicy,
@@ -69,9 +92,16 @@ from repro.spectre import (
 from repro.trex import TRexEngine, run_trex
 from repro.windows import WindowSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Engine",
+    "Session",
+    "SessionStateError",
+    "Pipeline",
+    "PipelineSession",
+    "pipeline",
+    "build_engine",
     "Event",
     "ComplexEvent",
     "EventStream",

@@ -21,6 +21,11 @@ binary:
     python -m repro run --query q.sql --data quotes.csv \\
         --engine sharded --workers 4 --k 2
 
+    # streaming: read events from stdin (or tail a growing CSV with
+    # --poll), emit matches the moment they validate
+    tail -n +1 -f quotes.csv | python -m repro run --query q.sql \\
+        --data - --follow --engine threaded --k 4 --slack 10
+
     # run a multi-stage operator pipeline on the speculative runtime
     python -m repro graph --data quotes.csv --stage band=q.sql \\
         --stage meta=meta.sql --engine spectre --k 4
@@ -32,12 +37,14 @@ binary:
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 import time
 from pathlib import Path
 from typing import Sequence
 
 from repro.datasets import (
+    event_from_row,
     generate_nyse,
     generate_price_walk,
     generate_rand,
@@ -45,26 +52,16 @@ from repro.datasets import (
     save_events_csv,
 )
 from repro.graph import Operator, OperatorGraph
-from repro.graph.operator import ENGINE_FACTORIES
 from repro.patterns.parser import parse_query
 from repro.runtime.scheduler import SCHEDULER_NAMES
-from repro.sequential.engine import run_sequential
+from repro.sequential.engine import SequentialEngine
 from repro.spectre.config import SpectreConfig
-from repro.spectre.elasticity import ElasticityPolicy, ElasticSpectreEngine
+from repro.streaming.builder import ENGINE_ALIASES, build_engine, pipeline
 
 SPECULATIVE_ENGINES = ("spectre", "threaded", "elastic", "approximate",
                        "sharded")
-RUN_ENGINES = ("sequential",) + SPECULATIVE_ENGINES
-
-# CLI engine name -> Operator engine name (graph subcommand)
-OPERATOR_ENGINES = {
-    "sequential": "sequential",
-    "spectre": "spectre",
-    "threaded": "spectre-threaded",
-    "elastic": "spectre-elastic",
-    "approximate": "spectre-approximate",
-    "sharded": "spectre-sharded",
-}
+RUN_ENGINES = ("sequential",) + SPECULATIVE_ENGINES + ("trex",)
+GRAPH_ENGINES = ("sequential",) + SPECULATIVE_ENGINES
 
 
 def _parse_params(pairs: Sequence[str]) -> dict:
@@ -92,14 +89,8 @@ def _make_config(args: argparse.Namespace) -> SpectreConfig:
 
 
 def _make_engine(name: str, query, config: SpectreConfig):
-    """Instantiate a speculative engine variant by CLI name."""
-    if name == "elastic":
-        # honour --k as the resource budget: the policy may shrink the
-        # instance count but never exceed what the user granted
-        policy = ElasticityPolicy(max_k=config.k,
-                                  plateau_k=min(8, config.k))
-        return ElasticSpectreEngine(query, policy, config=config)
-    return ENGINE_FACTORIES[OPERATOR_ENGINES[name]](query, config)
+    """Instantiate an engine by CLI name (shared fluent-builder path)."""
+    return build_engine(query, name, config=config)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -118,15 +109,82 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tail_complete_lines(handle, poll: float):
+    """Yield only newline-terminated lines, waiting ``poll`` seconds at
+    end-of-file.  A producer appending rows non-atomically must never
+    surface a half-written line as a (corrupt) CSV row, so partial
+    reads are buffered until their terminator arrives."""
+    buffer = ""
+    while True:
+        chunk = handle.readline()
+        if not chunk:
+            time.sleep(poll)
+            continue
+        buffer += chunk
+        if buffer.endswith("\n"):
+            yield buffer
+            buffer = ""
+
+
+def _iter_csv_events(args: argparse.Namespace):
+    """Replay CSV rows from ``--data`` ('-' = stdin) as events.
+
+    With ``--poll`` > 0 the file is *tailed*: at end-of-file the reader
+    waits for appended rows instead of stopping — the original
+    deployment's "client program sends events over a TCP connection"
+    (Sec. 4.1), with a growing file standing in for the socket.
+    """
+    handle = sys.stdin if args.data == "-" else open(args.data, newline="")
+    try:
+        source = handle if args.data == "-" or args.poll <= 0 \
+            else _tail_complete_lines(handle, args.poll)
+        for row in csv.DictReader(source):
+            yield event_from_row(row)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def cmd_run_follow(args: argparse.Namespace, query) -> int:
+    """Streaming run: push events one at a time, print matches as their
+    window version validates."""
+    builder = pipeline(query).engine(args.engine,
+                                     config=_make_config(args))
+    if args.slack is not None:
+        builder.out_of_order(args.slack)
+    shown = 0
+    with builder.open() as session:
+        for event in _iter_csv_events(args):
+            for ce in session.push(event):
+                shown += 1
+                print(f"match #{shown} @event {session.events_pushed - 1}: "
+                      f"{ce!r}", flush=True)
+        for ce in session.flush():
+            shown += 1
+            print(f"match #{shown} @flush: {ce!r}", flush=True)
+        late = getattr(session, "late_events", 0)
+        print(f"{query.name}: {shown} complex events from "
+              f"{session.events_pushed} streamed events "
+              f"({args.engine}, late_dropped={late})")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     query = _load_query(args.query, args.param)
+    if args.follow:
+        return cmd_run_follow(args, query)
     events = load_events_csv(args.data)
     started = time.perf_counter()
     if args.engine == "sequential":
-        result = run_sequential(query, events)
+        result = SequentialEngine(query).run(events)
         complex_events = result.complex_events
         extra = (f"ground-truth completion probability "
                  f"{result.completion_probability:.0%}")
+    elif args.engine == "trex":
+        result = _make_engine("trex", query, _make_config(args)).run(events)
+        complex_events = result.complex_events
+        extra = (f"automaton baseline, "
+                 f"{result.events_per_second:,.0f} events/s")
     else:
         engine = _make_engine(args.engine, query, _make_config(args))
         result = engine.run(events)
@@ -157,7 +215,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     query = _load_query(args.query, args.param)
     events = load_events_csv(args.data)
-    sequential = run_sequential(query, events)
+    sequential = SequentialEngine(query).run(events)
     engine = _make_engine(args.engine, query, _make_config(args))
     result = engine.run(events)
     label = (f"{args.engine.upper()}(k={args.k}, "
@@ -188,7 +246,7 @@ def cmd_graph(args: argparse.Namespace) -> int:
         raise SystemExit("need at least one --stage name=queryfile")
     events = load_events_csv(args.data)
     config = _make_config(args)
-    op_engine = OPERATOR_ENGINES[args.engine]
+    op_engine = ENGINE_ALIASES[args.engine]
 
     graph = OperatorGraph()
     graph.add_source("stream")
@@ -266,12 +324,24 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run a query over a CSV stream")
     run.add_argument("--query", required=True,
                      help="file in extended MATCH-RECOGNIZE notation")
-    run.add_argument("--data", required=True, help="events CSV")
+    run.add_argument("--data", required=True,
+                     help="events CSV ('-' reads rows from stdin with "
+                          "--follow)")
     run.add_argument("--engine", choices=list(RUN_ENGINES),
                      default="spectre")
     _add_speculative_flags(run)
     run.add_argument("--show", type=int, default=5,
                      help="complex events to print")
+    run.add_argument("--follow", action="store_true",
+                     help="streaming mode: push events one at a time "
+                          "through a session and print matches as they "
+                          "validate")
+    run.add_argument("--poll", type=float, default=0.0,
+                     help="with --follow on a file: seconds to wait for "
+                          "appended rows at EOF (0 stops at EOF)")
+    run.add_argument("--slack", type=float, default=None,
+                     help="with --follow: out-of-order slack buffer "
+                          "(time units) in front of the engine")
     run.set_defaults(func=cmd_run)
 
     verify = commands.add_parser(
@@ -293,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     graph.add_argument("--stage", action="append", default=[],
                        help="pipeline stage name=queryfile (repeatable, "
                             "in order)")
-    graph.add_argument("--engine", choices=list(RUN_ENGINES),
+    graph.add_argument("--engine", choices=list(GRAPH_ENGINES),
                        default="spectre")
     _add_speculative_flags(graph)
     graph.add_argument("--verify", action="store_true",

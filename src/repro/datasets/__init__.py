@@ -1,6 +1,7 @@
 """Datasets: synthetic NYSE-like quotes, the RAND stream, CSV replay."""
 
 from repro.datasets.loader import (
+    event_from_row,
     load_events_csv,
     save_events_csv,
     stream_events_csv,
@@ -20,6 +21,7 @@ __all__ = [
     "symbol_names",
     "leading_symbols",
     "save_events_csv",
+    "event_from_row",
     "load_events_csv",
     "stream_events_csv",
 ]

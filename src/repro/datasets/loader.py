@@ -38,20 +38,24 @@ def load_events_csv(path: str | Path) -> list[Event]:
     return list(stream_events_csv(path))
 
 
+def event_from_row(row: dict) -> Event:
+    """One CSV row (as a ``DictReader`` dict) → :class:`Event`."""
+    attributes = {}
+    if row["symbol"]:
+        attributes["symbol"] = row["symbol"]
+    for key in ("openPrice", "closePrice", "change"):
+        if row[key] != "":
+            attributes[key] = float(row[key])
+    return Event(
+        seq=int(row["seq"]),
+        etype=row["etype"],
+        timestamp=float(row["timestamp"]),
+        attributes=attributes,
+    )
+
+
 def stream_events_csv(path: str | Path) -> Iterator[Event]:
     """Replay events from disk one at a time (the 'client program')."""
     with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        for row in reader:
-            attributes = {}
-            if row["symbol"]:
-                attributes["symbol"] = row["symbol"]
-            for key in ("openPrice", "closePrice", "change"):
-                if row[key] != "":
-                    attributes[key] = float(row[key])
-            yield Event(
-                seq=int(row["seq"]),
-                etype=row["etype"],
-                timestamp=float(row["timestamp"]),
-                attributes=attributes,
-            )
+        for row in csv.DictReader(handle):
+            yield event_from_row(row)

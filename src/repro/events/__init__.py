@@ -6,6 +6,7 @@ from repro.events.ooo import LateEventError, SlackSorter
 from repro.events.stream import (
     EventStream,
     StreamOrderError,
+    imerge_streams,
     merge_streams,
     validate_order,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "ComplexEvent",
     "EventStream",
     "StreamOrderError",
+    "imerge_streams",
     "merge_streams",
     "validate_order",
     "SlackSorter",

@@ -4,6 +4,12 @@ An :class:`EventStream` is an ordered, indexable sequence of events — the
 "shared memory" event buffer of the data-parallelization framework
 (Fig. 2): the splitter appends incoming events, windows reference ranges of
 it by index, and operator instances read events by position.
+
+Positions are *global*: they keep counting monotonically even after the
+retired prefix of the buffer has been dropped with :meth:`EventStream.trim`
+(streaming sessions garbage-collect the prefix once no live window can
+reference it, which is what makes unbounded streams run in bounded
+memory).
 """
 
 from __future__ import annotations
@@ -27,16 +33,21 @@ class EventStream:
 
     def __init__(self, events: Iterable[Event] = ()) -> None:
         self._events: list[Event] = []
+        self._offset = 0  # global position of self._events[0]
+        # last appended order key, kept separately so the order check
+        # survives trim() emptying the retained buffer
+        self._last_key: tuple[float, int] | None = None
         for event in events:
             self.append(event)
 
     def append(self, event: Event) -> None:
         """Append ``event``, enforcing the global order."""
-        if self._events and event.order_key < self._events[-1].order_key:
+        if self._last_key is not None and event.order_key < self._last_key:
             raise StreamOrderError(
                 f"event {event!r} (key {event.order_key}) arrives after "
-                f"{self._events[-1]!r} (key {self._events[-1].order_key})"
+                f"key {self._last_key}"
             )
+        self._last_key = event.order_key
         self._events.append(event)
 
     def extend(self, events: Iterable[Event]) -> None:
@@ -44,31 +55,81 @@ class EventStream:
             self.append(event)
 
     def __len__(self) -> int:
-        return len(self._events)
+        """Total number of events ever appended (= next global position)."""
+        return self._offset + len(self._events)
 
     def __getitem__(self, index: int) -> Event:
-        return self._events[index]
+        if index < 0:
+            index += len(self)
+        local = index - self._offset
+        if local < 0:
+            raise IndexError(
+                f"position {index} was trimmed (stream offset "
+                f"{self._offset})")
+        return self._events[local]
 
     def __iter__(self) -> Iterator[Event]:
+        """Iterate over the *retained* events (post-trim suffix)."""
         return iter(self._events)
 
     def slice(self, start: int, end: int) -> Sequence[Event]:
-        """Events in positions ``[start, end)``."""
-        return self._events[start:end]
+        """Events in global positions ``[start, end)``."""
+        local_start = start - self._offset
+        if local_start < 0 and end > start:
+            raise IndexError(
+                f"positions [{start}, {end}) reach into the trimmed "
+                f"prefix (stream offset {self._offset})")
+        return self._events[max(0, local_start):max(0, end - self._offset)]
 
     @property
     def last(self) -> Event | None:
         return self._events[-1] if self._events else None
 
+    # -- prefix garbage collection ----------------------------------------
 
-def merge_streams(*streams: Iterable[Event]) -> list[Event]:
-    """Merge several individually ordered streams into one global order.
+    @property
+    def offset(self) -> int:
+        """Global position of the first retained event."""
+        return self._offset
+
+    @property
+    def retained(self) -> int:
+        """Number of events currently held in memory."""
+        return len(self._events)
+
+    def trim(self, upto_pos: int) -> int:
+        """Drop the prefix below global position ``upto_pos``.
+
+        Positions stay global: ``len`` keeps counting appended events and
+        indexing below ``upto_pos`` raises.  Returns the number of events
+        dropped.
+        """
+        drop = min(upto_pos, len(self)) - self._offset
+        if drop <= 0:
+            return 0
+        del self._events[:drop]
+        self._offset += drop
+        return drop
+
+
+def imerge_streams(*streams: Iterable[Event]) -> Iterator[Event]:
+    """Lazily merge several individually ordered streams into one global
+    order.
 
     This models events from different sources arriving at one operator
     (Sec. 2.1: "events from different streams arriving at an operator have
-    a well-defined global ordering").
+    a well-defined global ordering").  The merge is ``heapq.merge``-backed
+    and never materialises its inputs, so unbounded session feeds can be
+    composed from multiple sources without buffering the whole stream;
+    ties on ``order_key`` are broken by argument position (stable).
     """
-    return list(heapq.merge(*streams, key=lambda event: event.order_key))
+    return heapq.merge(*streams, key=lambda event: event.order_key)
+
+
+def merge_streams(*streams: Iterable[Event]) -> list[Event]:
+    """List-returning wrapper around :func:`imerge_streams` (back-compat
+    for callers that index or ``==``-compare the merged stream)."""
+    return list(imerge_streams(*streams))
 
 
 def validate_order(events: Sequence[Event]) -> bool:

@@ -1,12 +1,14 @@
 """Operator graph: chained DCEP operators (Sec. 2.1's DCEP system model)."""
 
-from repro.graph.graph import GraphError, GraphRun, OperatorGraph
-from repro.graph.operator import Operator, OperatorReport
+from repro.graph.graph import GraphError, GraphRun, GraphSession, OperatorGraph
+from repro.graph.operator import Operator, OperatorReport, OperatorSession
 
 __all__ = [
     "Operator",
     "OperatorReport",
+    "OperatorSession",
     "OperatorGraph",
     "GraphRun",
+    "GraphSession",
     "GraphError",
 ]

@@ -17,12 +17,13 @@ events of one operator re-enter the next operator as events.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
 from repro.events.event import Event
-from repro.events.stream import merge_streams
-from repro.graph.operator import Operator
+from repro.events.stream import imerge_streams
+from repro.graph.operator import Operator, OperatorSession
 from repro.spectre.config import SpectreConfig
 from repro.utils.validation import require
 
@@ -131,18 +132,195 @@ class OperatorGraph:
             operator = self._operators[name]
             upstream_streams = [outputs[node]
                                 for node in self._upstream[name]]
-            merged = merge_streams(*upstream_streams) \
-                if len(upstream_streams) > 1 else list(upstream_streams[0])
+            merged = imerge_streams(*upstream_streams) \
+                if len(upstream_streams) > 1 else iter(upstream_streams[0])
             merged = self._renumber(merged)
             outputs[name] = operator.process(merged, engine=engine,
                                              config=config)
         return GraphRun(outputs=outputs)
 
+    def open(self, engine: Optional[str] = None,
+             config: SpectreConfig | None = None) -> "GraphSession":
+        """Open a streaming session over the whole graph: source events
+        are pushed one at a time and each operator's derived events flow
+        to its successors as soon as their order is final."""
+        return GraphSession(self, engine=engine, config=config)
+
     @staticmethod
-    def _renumber(events: list[Event]) -> list[Event]:
+    def _renumber(events: Iterable[Event]) -> list[Event]:
         """Dense, gap-free sequence numbers for a merged stream (keeps
         the (timestamp, seq) total order well-defined per operator)."""
         return [Event(seq=index, etype=event.etype,
                       timestamp=event.timestamp,
                       attributes=event.attributes)
                 for index, event in enumerate(events)]
+
+
+class GraphSession:
+    """Streaming evaluation of an operator graph.
+
+    Each operator runs an eager :class:`OperatorSession`; edges carry
+    per-upstream FIFO buffers merged by a low-watermark rule.  An input
+    event is fed to an operator only when it is the minimum
+    ``(order_key, upstream_index)`` among buffered heads *and* every
+    upstream with an empty buffer has a watermark strictly above its
+    timestamp — which reproduces exactly the stable
+    ``heapq.merge``-by-``order_key`` interleaving (and the dense
+    per-operator renumbering) of the batch :meth:`OperatorGraph.run`,
+    one event at a time.  ``flush()`` lifts every watermark to infinity
+    and drains the pipeline; ``result()`` then equals the batch run.
+    """
+
+    def __init__(self, graph: OperatorGraph,
+                 engine: Optional[str] = None,
+                 config: SpectreConfig | None = None) -> None:
+        self._graph = graph
+        self._order = graph.topological_order()
+        self._upstream = {name: list(graph._upstream[name])
+                          for name in self._order}
+        self._sessions: dict[str, OperatorSession] = {
+            name: graph._operators[name].open(engine=engine, config=config)
+            for name in self._order}
+        self._buffers: dict[str, dict[str, deque[Event]]] = {
+            name: {up: deque() for up in self._upstream[name]}
+            for name in self._order}
+        self._watermarks: dict[str, float] = {
+            node: float("-inf")
+            for node in (*graph.sources, *self._order)}
+        self._in_seq = {name: 0 for name in self._order}
+        self._outputs: dict[str, list[Event]] = {
+            node: [] for node in (*graph.sources, *self._order)}
+        self._flushed = False
+        self._closed = False
+
+    # -- merge-and-feed ----------------------------------------------------
+
+    def _deliver(self, node: str, events: list[Event]) -> None:
+        """Route ``node``'s new output events to its consumers."""
+        if not events:
+            return
+        for name in self._order:
+            if node in self._buffers[name]:
+                self._buffers[name][node].extend(events)
+
+    def _feedable(self, name: str) -> Optional[str]:
+        """The upstream whose head event is next in merged order, or
+        ``None`` while the merge is undecidable (an empty upstream could
+        still produce something at or before the candidate)."""
+        buffers = self._buffers[name]
+        candidate: Optional[tuple[tuple, int, str]] = None
+        for index, up in enumerate(self._upstream[name]):
+            head = buffers[up][0] if buffers[up] else None
+            if head is not None:
+                key = (head.order_key, index)
+                if candidate is None or key < (candidate[0], candidate[1]):
+                    candidate = (head.order_key, index, up)
+        if candidate is None:
+            return None
+        for up in self._upstream[name]:
+            if not buffers[up] and \
+                    self._watermarks[up] <= candidate[0][0]:
+                return None
+        return candidate[2]
+
+    def _pump(self, name: str, emitted: dict[str, list[Event]]) -> None:
+        session = self._sessions[name]
+        released: list[Event] = []
+        while True:
+            up = self._feedable(name)
+            if up is None:
+                break
+            event = self._buffers[name][up].popleft()
+            fed = Event(seq=self._in_seq[name], etype=event.etype,
+                        timestamp=event.timestamp,
+                        attributes=event.attributes)
+            self._in_seq[name] += 1
+            released.extend(session.push(fed))
+        self._watermarks[name] = min(
+            session.watermark,
+            min((buf[0].timestamp
+                 for buf in self._buffers[name].values() if buf),
+                default=float("inf")),
+            min(self._watermarks[up] for up in self._upstream[name]),
+        )
+        if released:
+            self._outputs[name].extend(released)
+            self._deliver(name, released)
+            emitted[name] = released
+
+    def _pump_all(self) -> dict[str, list[Event]]:
+        emitted: dict[str, list[Event]] = {}
+        for name in self._order:
+            self._pump(name, emitted)
+        return emitted
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _require_open(self, operation: str) -> None:
+        if self._closed:
+            raise RuntimeError(f"cannot {operation}: graph session closed")
+        if self._flushed:
+            raise RuntimeError(
+                f"cannot {operation}: graph session already flushed")
+
+    def push(self, event: Event,
+             source: Optional[str] = None) -> dict[str, list[Event]]:
+        """Push one event into ``source`` (optional when the graph has
+        exactly one); returns the derived events each operator released
+        because of it, keyed by operator name."""
+        self._require_open("push")
+        sources = self._graph.sources
+        if source is None:
+            require(len(sources) == 1,
+                    "graph has several sources; pass source=")
+            source = sources[0]
+        if source not in sources:
+            raise GraphError(f"no source named {source!r}")
+        self._outputs[source].append(event)
+        self._watermarks[source] = event.timestamp
+        self._deliver(source, [event])
+        return self._pump_all()
+
+    def flush(self) -> dict[str, list[Event]]:
+        """End every source stream and drain the pipeline in topological
+        order; returns the final per-operator releases."""
+        self._require_open("flush")
+        for source in self._graph.sources:
+            self._watermarks[source] = float("inf")
+        emitted: dict[str, list[Event]] = {}
+        for name in self._order:
+            self._pump(name, emitted)
+            final = self._sessions[name].flush()
+            if final:
+                self._outputs[name].extend(final)
+                self._deliver(name, final)
+                emitted[name] = emitted.get(name, []) + final
+            self._watermarks[name] = float("inf")
+        self._flushed = True
+        return emitted
+
+    def close(self) -> None:
+        """Flush (if needed) and close every operator session."""
+        if self._closed:
+            return
+        if not self._flushed:
+            self.flush()
+        self._closed = True
+        for session in self._sessions.values():
+            session.close()
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._closed = True
+            for session in self._sessions.values():
+                session.session.abort()
+        else:
+            self.close()
+
+    def result(self) -> GraphRun:
+        """Per-node outputs so far (equals the batch run once flushed)."""
+        return GraphRun(outputs={node: list(events)
+                                 for node, events in self._outputs.items()})

@@ -20,6 +20,7 @@ the speculative runtime in one call.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -174,3 +175,86 @@ class Operator:
             engine=engine,
         )
         return output
+
+    def open(self, engine: Optional[str] = None,
+             config: SpectreConfig | None = None) -> "OperatorSession":
+        """Open a streaming session on this operator (one per stream)."""
+        if engine is not None:
+            require(engine in ENGINES, f"engine must be one of {ENGINES}")
+        return OperatorSession(self, engine or self.engine,
+                               config or self.config)
+
+
+class OperatorSession:
+    """Streaming face of one operator: an engine session plus
+    incremental re-materialisation of its complex events.
+
+    Engines emit in window order, but the derived stream must be in
+    *anchor* order (:meth:`Operator.materialize`).  Matches are staged
+    in a heap keyed by ``(anchor_ts, anchor_seq, emission_index)`` and
+    released once the engine session's watermark proves no future match
+    can anchor earlier — so the streamed derived events appear in
+    exactly the batch order, with the same dense sequence numbers.
+    """
+
+    def __init__(self, operator: Operator, engine: str,
+                 config: SpectreConfig) -> None:
+        self.operator = operator
+        self.engine_name = engine
+        if engine == "sequential":
+            self._engine = SequentialEngine(operator.query)
+        else:
+            self._engine = ENGINE_FACTORIES[engine](operator.query, config)
+        self.session = self._engine.open()
+        self._staged: list[tuple[float, int, int, ComplexEvent]] = []
+        self._emit_index = 0
+        self._out_seq = 0
+        self.complex_events: list[ComplexEvent] = []
+        self.output_events: list[Event] = []
+
+    def _stage(self, ce: ComplexEvent) -> None:
+        anchor = ce.constituents[-1]
+        heapq.heappush(self._staged, (anchor.timestamp, anchor.seq,
+                                      self._emit_index, ce))
+        self._emit_index += 1
+
+    def _materialize_one(self, ce: ComplexEvent) -> Event:
+        last = ce.constituents[-1]
+        attributes = dict(ce.attributes)
+        attributes["source_operator"] = self.operator.name
+        attributes["constituent_seqs"] = ce.constituent_seqs
+        event = Event(seq=self._out_seq, etype=self.operator.output_type,
+                      timestamp=last.timestamp, attributes=attributes)
+        self._out_seq += 1
+        self.complex_events.append(ce)
+        self.output_events.append(event)
+        return event
+
+    def _release(self, horizon: float) -> list[Event]:
+        released: list[Event] = []
+        while self._staged and self._staged[0][0] < horizon:
+            released.append(self._materialize_one(
+                heapq.heappop(self._staged)[3]))
+        return released
+
+    def push(self, event: Event) -> list[Event]:
+        """Feed one (operator-locally renumbered) event; return derived
+        events whose anchor order is now final."""
+        for ce in self.session.push(event):
+            self._stage(ce)
+        return self._release(self.session.watermark)
+
+    def flush(self) -> list[Event]:
+        """End-of-stream: release every staged match, in anchor order."""
+        for ce in self.session.flush():
+            self._stage(ce)
+        return self._release(float("inf"))
+
+    def close(self) -> None:
+        self.session.close()
+
+    @property
+    def watermark(self) -> float:
+        """No future derived event will carry a timestamp below this."""
+        staged = self._staged[0][0] if self._staged else float("inf")
+        return min(staged, self.session.watermark)

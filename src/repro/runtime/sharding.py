@@ -49,6 +49,7 @@ from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.events.event import Event
+from repro.streaming.session import Session, drive
 from repro.utils.validation import require
 from repro.windows.splitter import Splitter
 
@@ -176,6 +177,34 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def execute_shard(query: "Query", config: "SpectreConfig", shard: Shard,
+                  events: Sequence[Event]) -> ShardOutcome:
+    """Run one dependency-closed slice through a fresh SPECTRE engine.
+
+    Shared by the batch workers and the streaming session so the
+    re-split guard, window-id remap and outcome assembly cannot drift
+    between the two paths.
+    """
+    from repro.spectre.engine import SpectreEngine
+    engine = SpectreEngine(query, config)
+    result = engine.run(list(events))
+    if result.stats.windows_total != shard.window_count:
+        raise RuntimeError(
+            f"shard {shard.index} re-split into "
+            f"{result.stats.windows_total} windows, plan expected "
+            f"{shard.window_count} — window decomposition is not "
+            f"shift-invariant for this spec")
+    return ShardOutcome(
+        index=shard.index,
+        complex_events=[replace(ce, window_id=shard.window_id_offset
+                                + ce.window_id)
+                        for ce in result.complex_events],
+        stats=result.stats,
+        virtual_time=result.virtual_time,
+        consumed_seqs=engine._ledger.snapshot(),
+    )
+
+
 class ShardedSpectreEngine:
     """SPECTRE sharded across worker processes.
 
@@ -219,10 +248,32 @@ class ShardedSpectreEngine:
     # driving
     # ------------------------------------------------------------------
 
+    def open(self, *, eager: bool = True,
+             gc: bool | None = None) -> "ShardedSession":
+        """Open a push-based streaming session (Engine protocol).
+
+        Eager sessions detect shard boundaries as windows open, run
+        each completed shard in-process the moment it is sealed, and
+        drop its events — bounded memory on unbounded streams.  Lazy
+        sessions buffer the stream and delegate ``flush`` to the
+        (possibly forked) batch path.
+        """
+        return ShardedSession(self, eager=eager, gc=gc)
+
     def run(self, events: Iterable[Event]) -> "SpectreResult":
         """Process a finite stream to completion; return the merged
         result (``virtual_time`` is the longest shard's virtual clock —
-        the parallel makespan)."""
+        the parallel makespan).
+
+        Thin batch wrapper over the session API:
+        ``open(eager=False)`` → ``push*`` → ``flush()``.
+        """
+        with self.open(eager=False) as session:
+            drive(session, events)
+            return session.result()
+
+    def _run_batch(self, events: Iterable[Event]) -> "SpectreResult":
+        """The historical batch path (plan → fork workers → merge)."""
         from repro.spectre.engine import SpectreResult
         events = list(events)
         started = time.perf_counter()
@@ -266,24 +317,8 @@ class ShardedSpectreEngine:
     # ------------------------------------------------------------------
 
     def _run_shard(self, shard: Shard) -> ShardOutcome:
-        from repro.spectre.engine import SpectreEngine
-        engine = SpectreEngine(self.query, self.config)
-        result = engine.run(self._slices[shard.index])
-        if result.stats.windows_total != shard.window_count:
-            raise RuntimeError(
-                f"shard {shard.index} re-split into "
-                f"{result.stats.windows_total} windows, plan expected "
-                f"{shard.window_count} — window decomposition is not "
-                f"shift-invariant for this spec")
-        return ShardOutcome(
-            index=shard.index,
-            complex_events=[replace(ce, window_id=shard.window_id_offset
-                                    + ce.window_id)
-                            for ce in result.complex_events],
-            stats=result.stats,
-            virtual_time=result.virtual_time,
-            consumed_seqs=engine._ledger.snapshot(),
-        )
+        return execute_shard(self.query, self.config, shard,
+                             self._slices[shard.index])
 
     # ------------------------------------------------------------------
     # forked execution
@@ -346,8 +381,155 @@ class ShardedSpectreEngine:
         return outcomes
 
 
+class ShardedSession(Session):
+    """Push-based driving of the sharded runtime.
+
+    Eager mode applies the Forest independence rule *online*: a shard
+    boundary is detected the moment a window opens at or beyond the
+    maximum end of every earlier window (with no earlier end still
+    unknown) — the same cuts :func:`plan_shards` finds statically.  The
+    sealed shard is immediately processed by a full in-process
+    :class:`~repro.spectre.engine.SpectreEngine`, its complex events are
+    returned from that ``push``, and its events are dropped from the
+    buffer, so unbounded island-structured streams run in bounded
+    memory.  Lazy mode buffers the stream and delegates ``flush`` to
+    the (possibly forked) batch path — exact historical behavior.
+    """
+
+    def __init__(self, engine: ShardedSpectreEngine, *,
+                 eager: bool = True, gc: bool | None = None) -> None:
+        super().__init__(eager=eager, gc=gc)
+        self.engine = engine
+        self._buffer: list[Event] = []           # lazy mode
+        self._batch_result: "SpectreResult | None" = None
+        self._splitter = Splitter(engine.query.window) if eager else None
+        self.shards: list[Shard] = []
+        self.outcomes: list[ShardOutcome] = []
+        self._complex: list["ComplexEvent"] = []
+        self._windows_seen = 0
+        self._cur_first = 0    # first window id of the current shard
+        self._cur_start = 0    # first stream position of the current shard
+        self._max_end = 0      # max known end over all seen windows
+        self._unknown_ids: set[int] = set()  # open windows, end unknown
+        self._sealed: list[tuple[int, int]] = []  # (next_first, boundary)
+
+    # -- eager bookkeeping -------------------------------------------------
+
+    def _note_closed(self) -> None:
+        assert self._splitter is not None
+        for window in self._splitter.drain_closed():
+            if window.window_id in self._unknown_ids:
+                self._unknown_ids.discard(window.window_id)
+                assert window.end_pos is not None
+                self._max_end = max(self._max_end, window.end_pos)
+
+    def _ingest(self, event: Event) -> None:
+        if not self.eager:
+            self._buffer.append(event)
+            return
+        assert self._splitter is not None
+        opened = self._splitter.ingest(event)
+        # ends resolved by this event become visible *before* the
+        # boundary test, matching the static plan's full knowledge
+        self._note_closed()
+        for window in opened:
+            if (self._windows_seen > 0 and not self._unknown_ids
+                    and window.start_pos >= self._max_end):
+                self._sealed.append((window.window_id, window.start_pos))
+            self._windows_seen += 1
+            if window.end_pos is not None:
+                self._max_end = max(self._max_end, window.end_pos)
+            else:
+                self._unknown_ids.add(window.window_id)
+
+    def _finish(self) -> None:
+        if not self.eager:
+            return
+        assert self._splitter is not None
+        self._splitter.finish()
+        self._note_closed()
+        # the remainder — windows and trailing events — is the last shard
+        self._sealed.append((self._windows_seen, len(self._splitter.stream)))
+
+    def _run_sealed(self, next_first: int,
+                    boundary: int) -> list["ComplexEvent"]:
+        assert self._splitter is not None
+        shard = Shard(
+            index=len(self.shards),
+            start_pos=self._cur_start,
+            end_pos=boundary,
+            window_id_offset=self._cur_first,
+            window_count=next_first - self._cur_first,
+        )
+        outcome = execute_shard(
+            self.engine.query, self.engine.config, shard,
+            self._splitter.stream.slice(shard.start_pos, boundary))
+        self.shards.append(shard)
+        self.outcomes.append(outcome)
+        self._complex.extend(outcome.complex_events)
+        self._cur_first = next_first
+        self._cur_start = boundary
+        return outcome.complex_events
+
+    def _drain(self) -> list["ComplexEvent"]:
+        if not self.eager:
+            # only reached from flush(): the batch path does everything
+            self._batch_result = self.engine._run_batch(self._buffer)
+            self._buffer = []
+            return list(self._batch_result.complex_events)
+        emitted: list["ComplexEvent"] = []
+        for next_first, boundary in self._sealed:
+            emitted.extend(self._run_sealed(next_first, boundary))
+        self._sealed = []
+        return emitted
+
+    def _collect_garbage(self) -> None:
+        if self._splitter is None:
+            return
+        self._splitter.retire(self._cur_first - 1)
+        self._splitter.stream.trim(self._cur_start)
+
+    # -- results -----------------------------------------------------------
+
+    def result(self) -> "SpectreResult":
+        from repro.spectre.engine import RunStats, SpectreResult
+        if not self.eager:
+            if self._batch_result is not None:
+                return self._batch_result
+            return SpectreResult(
+                complex_events=[], input_events=self.events_pushed,
+                virtual_time=0.0, stats=RunStats(),
+                config=self.engine.config)
+        return SpectreResult(
+            complex_events=list(self._complex),
+            input_events=self.events_pushed,
+            virtual_time=max((outcome.virtual_time
+                              for outcome in self.outcomes), default=0.0),
+            stats=merge_run_stats(outcome.stats
+                                  for outcome in self.outcomes),
+            config=self.engine.config,
+        )
+
+    def consumed_seqs(self) -> frozenset[int]:
+        if not self.eager:
+            return self.engine.consumed_seqs
+        if not self.outcomes:
+            return frozenset()
+        return frozenset().union(
+            *(outcome.consumed_seqs for outcome in self.outcomes))
+
+
 def run_spectre_sharded(query: "Query", events: Iterable[Event],
                         config: "SpectreConfig | None" = None,
                         workers: Optional[int] = None) -> "SpectreResult":
-    """One-call convenience wrapper for the sharded runtime."""
-    return ShardedSpectreEngine(query, config, workers=workers).run(events)
+    """Deprecated: use ``repro.pipeline(query).engine("sharded")``
+    (or ``ShardedSpectreEngine(query, config, workers=...).run/open``)."""
+    import warnings
+    warnings.warn(
+        "run_spectre_sharded() is deprecated; use repro.pipeline(query)"
+        ".engine('sharded', config=config, workers=workers).run(events) "
+        "— or .open() for streaming",
+        DeprecationWarning, stacklevel=2)
+    from repro.streaming.builder import pipeline
+    return pipeline(query).engine("sharded", config=config,
+                                  workers=workers).run(events)

@@ -19,6 +19,7 @@ the number of produced complex events provides the ground truth value"
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -27,6 +28,7 @@ from repro.events.event import Event
 from repro.consumption.ledger import ConsumptionLedger
 from repro.matching.base import Feedback
 from repro.patterns.query import Query
+from repro.streaming.session import Session, drive
 from repro.windows.splitter import Splitter
 from repro.windows.window import Window
 
@@ -54,23 +56,75 @@ class SequentialResult:
         return [ce.identity() for ce in self.complex_events]
 
 
+class SequentialSession(Session):
+    """Push-based driving of the sequential engine.
+
+    A window is processed the moment the stream proves it complete (the
+    splitter closes it), against the ledger state left by all earlier
+    windows — exactly the batch order, so streaming and batch results
+    are identical, statistics included.
+    """
+
+    def __init__(self, engine: "SequentialEngine", *, eager: bool = True,
+                 gc: bool | None = None) -> None:
+        super().__init__(eager=eager, gc=gc)
+        self.engine = engine
+        self._splitter = Splitter(engine.query.window)
+        self._ledger = ConsumptionLedger()
+        self._pending: deque[Window] = deque()
+        self._result = SequentialResult(
+            complex_events=[], windows=0, groups_created=0,
+            groups_completed=0, events_fed=0, events_skipped_consumed=0)
+        self._last_window_id = -1
+
+    def _ingest(self, event: Event) -> None:
+        self._splitter.ingest(event)
+        self._pending.extend(self._splitter.drain_closed())
+
+    def _finish(self) -> None:
+        self._splitter.finish()
+        self._pending.extend(self._splitter.drain_closed())
+
+    def _drain(self) -> list[ComplexEvent]:
+        before = len(self._result.complex_events)
+        while self._pending:
+            window = self._pending.popleft()
+            self._result.windows += 1
+            self.engine._process_window(window, self._ledger, self._result)
+            self._last_window_id = window.window_id
+        return self._result.complex_events[before:]
+
+    def _collect_garbage(self) -> None:
+        self._splitter.retire(self._last_window_id)
+        self._splitter.stream.trim(self._splitter.min_live_start())
+
+    def result(self) -> SequentialResult:
+        return self._result
+
+    def consumed_seqs(self) -> frozenset[int]:
+        return self._ledger.snapshot()
+
+
 class SequentialEngine:
-    """Runs a query over a finite stream, one window at a time."""
+    """Runs a query over a stream, one window at a time."""
 
     def __init__(self, query: Query) -> None:
         self.query = query
 
+    def open(self, *, eager: bool = True,
+             gc: bool | None = None) -> SequentialSession:
+        """Open a push-based streaming session (Engine protocol)."""
+        return SequentialSession(self, eager=eager, gc=gc)
+
     def run(self, events: Iterable[Event]) -> SequentialResult:
-        """Split ``events`` into windows and process them in order."""
-        splitter = Splitter(self.query.window)
-        windows = splitter.split_all(events)
-        ledger = ConsumptionLedger()
-        result = SequentialResult(
-            complex_events=[], windows=len(windows), groups_created=0,
-            groups_completed=0, events_fed=0, events_skipped_consumed=0)
-        for window in windows:
-            self._process_window(window, ledger, result)
-        return result
+        """Process a finite stream to completion.
+
+        Thin batch wrapper over the session API:
+        ``open(eager=False)`` → ``push*`` → ``flush()``.
+        """
+        with self.open(eager=False) as session:
+            drive(session, events)
+            return session.result()
 
     def _process_window(self, window: Window, ledger: ConsumptionLedger,
                         result: SequentialResult) -> None:
@@ -101,8 +155,15 @@ class SequentialEngine:
 
 
 def run_sequential(query: Query, events: Iterable[Event]) -> SequentialResult:
-    """One-call convenience wrapper."""
-    return SequentialEngine(query).run(events)
+    """Deprecated: use ``repro.pipeline(query).engine("sequential")``
+    (or ``SequentialEngine(query).run/open``)."""
+    import warnings
+    warnings.warn(
+        "run_sequential() is deprecated; use repro.pipeline(query)"
+        ".engine('sequential').run(events) — or .open() for streaming",
+        DeprecationWarning, stacklevel=2)
+    from repro.streaming.builder import pipeline
+    return pipeline(query).engine("sequential").run(events)
 
 
 def ground_truth_completion_probability(

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.events.event import Event
 from repro.patterns.query import Query
-from repro.sequential.engine import run_sequential
+from repro.sequential.engine import SequentialEngine
 from repro.spectre.config import SpectreConfig
 from repro.spectre.engine import SpectreEngine, SpectreResult
 
@@ -53,7 +53,7 @@ def scalability_sweep(
     cells: list[ScalabilityCell] = []
     for parameter in parameters:
         query = query_for(parameter)
-        sequential = run_sequential(query, events)
+        sequential = SequentialEngine(query).run(events)
         expected = sequential.identities()
         for k in ks:
             engine = SpectreEngine(query, config_for(k))

@@ -105,5 +105,13 @@ class ElasticSpectreEngine(SpectreEngine):
 def run_spectre_elastic(query: Query, events: Iterable[Event],
                         policy: ElasticityPolicy | None = None
                         ) -> SpectreResult:
-    """One-call convenience wrapper."""
-    return ElasticSpectreEngine(query, policy).run(events)
+    """Deprecated: use ``repro.pipeline(query).engine("elastic")``
+    (or ``ElasticSpectreEngine(query, policy).run/open``)."""
+    import warnings
+    warnings.warn(
+        "run_spectre_elastic() is deprecated; use repro.pipeline(query)"
+        ".engine('elastic', policy=policy).run(events) — or .open() "
+        "for streaming",
+        DeprecationWarning, stacklevel=2)
+    from repro.streaming.builder import pipeline
+    return pipeline(query).engine("elastic", policy=policy).run(events)

@@ -54,6 +54,7 @@ from repro.spectre.prediction import (
     MarkovPredictor,
 )
 from repro.spectre.version import WindowVersion
+from repro.streaming.session import Session, drive
 from repro.utils.ids import IdGenerator
 from repro.windows.splitter import Splitter
 from repro.windows.window import Window
@@ -207,15 +208,59 @@ class SpectreEngine:
 
         After ``prepare``, callers may drive :meth:`splitter_cycle` and
         :meth:`instance_phase` manually (the Fig. 10(c) overhead benchmark
-        times isolated splitter cycles this way); :meth:`run` does the
-        same internally.
+        times isolated splitter cycles this way); :meth:`run` feeds the
+        same queues incrementally through a lazy session.
         """
         splitter = Splitter(self.query.window)
         windows = splitter.split_all(events)
+        splitter.drain_closed()  # discard: windows are queued wholesale
         self._splitter = splitter
         self._pending = deque(windows)
         self._input_count = len(splitter.stream)
         self.stats.windows_total = len(windows)
+
+    # -- incremental ingestion (the session feeds these) -------------------
+
+    def ingest_event(self, event: Event) -> None:
+        """Admit one event; queue the windows it proved complete."""
+        if self._splitter is None:
+            self._splitter = Splitter(self.query.window)
+        self._splitter.ingest(event)
+        self._input_count += 1
+        for window in self._splitter.drain_closed():
+            self._pending.append(window)
+            self.stats.windows_total += 1
+
+    def finish_stream(self) -> None:
+        """End-of-stream: close and queue the trailing windows."""
+        if self._splitter is None:
+            self._splitter = Splitter(self.query.window)
+        self._splitter.finish()
+        for window in self._splitter.drain_closed():
+            self._pending.append(window)
+            self.stats.windows_total += 1
+
+    def drain(self, max_cycles: int = 50_000_000) -> None:
+        """Cycle until every queued window is emitted (the batch loop).
+
+        ``max_cycles`` bounds *this* drain, not the engine's lifetime —
+        a long-lived eager session drains on every push and must not
+        trip the guard once its cumulative cycle count grows large.
+        """
+        drained_from = self.stats.cycles
+        while self._pending or self.forest:
+            self.splitter_cycle()
+            self.instance_phase()
+            if self.stats.cycles - drained_from > max_cycles:
+                raise RuntimeError(
+                    f"engine exceeded {max_cycles} cycles in one drain; "
+                    f"emitted {self.stats.windows_emitted}/"
+                    f"{self.stats.windows_total} windows")
+            if self.stats.cycles - self._last_progress_cycle > 2_000_000:
+                raise RuntimeError(
+                    "engine stalled: no window emitted for 2M cycles "
+                    f"(emitted {self.stats.windows_emitted}/"
+                    f"{self.stats.windows_total})")
 
     @property
     def done(self) -> bool:
@@ -232,24 +277,31 @@ class SpectreEngine:
             config=self.config,
         )
 
+    def open(self, *, eager: bool = True, gc: bool | None = None,
+             max_cycles: int = 50_000_000) -> "SpectreSession":
+        """Open a push-based streaming session (Engine protocol).
+
+        Eager sessions emit each window's matches on the push that
+        completed the window and garbage-collect the retired stream
+        prefix; lazy sessions (``eager=False``) defer all processing to
+        ``flush()``, reproducing the historical batch run exactly.
+        """
+        if self._splitter is not None:
+            raise RuntimeError(
+                "engine already driven; use a fresh engine per stream")
+        return SpectreSession(self, eager=eager, gc=gc,
+                              max_cycles=max_cycles)
+
     def run(self, events: Iterable[Event],
             max_cycles: int = 50_000_000) -> SpectreResult:
-        """Process a finite stream to completion; return the result."""
-        self.prepare(events)
-        while self._pending or self.forest:
-            self.splitter_cycle()
-            self.instance_phase()
-            if self.stats.cycles > max_cycles:
-                raise RuntimeError(
-                    f"engine exceeded {max_cycles} cycles; "
-                    f"emitted {self.stats.windows_emitted}/"
-                    f"{self.stats.windows_total} windows")
-            if self.stats.cycles - self._last_progress_cycle > 2_000_000:
-                raise RuntimeError(
-                    "engine stalled: no window emitted for 2M cycles "
-                    f"(emitted {self.stats.windows_emitted}/"
-                    f"{self.stats.windows_total})")
-        return self.result()
+        """Process a finite stream to completion; return the result.
+
+        Thin batch wrapper over the session API:
+        ``open(eager=False)`` → ``push*`` → ``flush()``.
+        """
+        with self.open(eager=False, max_cycles=max_cycles) as session:
+            drive(session, events)
+            return session.result()
 
     # ------------------------------------------------------------------
     # splitter side
@@ -549,7 +601,76 @@ class SpectreEngine:
         self.oplog.apply_retract(self.forest, self, version, retired)
 
 
+class SpectreSession(Session):
+    """Push-based driving of the speculative runtime.
+
+    Eager mode closes the loop per event: the windows the event
+    completed are queued, cycled to emission, and their validated
+    complex events are returned from ``push``.  Speculation still
+    happens whenever several windows are in flight at once (bursts of
+    closures, dependent windows closed by one event); a batch run simply
+    sees deeper backlogs and therefore more of it — output is identical
+    either way by the sequential-equivalence contract.
+
+    Garbage collection (eager mode): emitted windows are retired from
+    the splitter and the stream prefix below every live window is
+    trimmed, so an unbounded stream holds only the events of its open
+    windows plus the dependency forest.
+    """
+
+    def __init__(self, engine: SpectreEngine, *, eager: bool = True,
+                 gc: bool | None = None,
+                 max_cycles: int = 50_000_000) -> None:
+        super().__init__(eager=eager, gc=gc)
+        self.engine = engine
+        self.max_cycles = max_cycles
+        self._handed = 0  # prefix of engine.output already returned
+
+    def _ingest(self, event: Event) -> None:
+        self.engine.ingest_event(event)
+
+    def _finish(self) -> None:
+        self.engine.finish_stream()
+
+    def _run_cycles(self) -> None:
+        self.engine.drain(self.max_cycles)
+
+    def _drain(self) -> list[ComplexEvent]:
+        self._run_cycles()
+        output = self.engine.output
+        new = output[self._handed:]
+        self._handed = len(output)
+        return new
+
+    def _collect_garbage(self) -> None:
+        splitter = self.engine._splitter
+        if splitter is None:
+            return
+        # emission is in window-id order and ids are dense from 0, so
+        # everything below the emitted count is retired
+        splitter.retire(self.engine.stats.windows_emitted - 1)
+        splitter.stream.trim(splitter.min_live_start())
+
+    def result(self) -> SpectreResult:
+        return self.engine.result()
+
+    def consumed_seqs(self) -> frozenset[int]:
+        return self.engine._ledger.snapshot()
+
+    @property
+    def _splitter(self):  # watermark support (base class hook)
+        return self.engine._splitter
+
+
 def run_spectre(query: Query, events: Iterable[Event],
                 config: SpectreConfig | None = None) -> SpectreResult:
-    """One-call convenience wrapper."""
-    return SpectreEngine(query, config).run(events)
+    """Deprecated: use ``repro.pipeline(query).engine("spectre")``
+    (or ``SpectreEngine(query, config).run/open``)."""
+    import warnings
+    warnings.warn(
+        "run_spectre() is deprecated; use repro.pipeline(query)"
+        ".engine('spectre', config=config).run(events) — or .open() "
+        "for streaming",
+        DeprecationWarning, stacklevel=2)
+    from repro.streaming.builder import pipeline
+    return pipeline(query).engine("spectre", config=config).run(events)

@@ -34,8 +34,9 @@ from repro.events.event import Event
 from repro.patterns.query import Query
 from repro.runtime.scheduler import Scheduler
 from repro.spectre.config import SpectreConfig
-from repro.spectre.engine import SpectreEngine, SpectreResult
+from repro.spectre.engine import SpectreEngine, SpectreResult, SpectreSession
 from repro.spectre.prediction import CompletionPredictor
+from repro.streaming.session import drive
 
 
 class LockedPredictor:
@@ -58,6 +59,10 @@ class LockedPredictor:
 # doubling from the minimum up to the original fixed 0.2 ms yield
 _BACKOFF_MIN = 0.0000125
 _BACKOFF_MAX = 0.0002
+# between session pushes there is no work at all: let idle workers back
+# off much further so a quiet live feed doesn't busy-poll k cores
+# (worst case this adds one parked-worker wakeup to the next push)
+_PARKED_BACKOFF_MAX = 0.005
 
 
 class ThreadedSpectreEngine(SpectreEngine):
@@ -70,6 +75,7 @@ class ThreadedSpectreEngine(SpectreEngine):
         self.predictor = LockedPredictor(self.predictor)
         self._counter_lock = threading.Lock()
         self._stop = threading.Event()
+        self._idle_backoff_cap = _BACKOFF_MAX
         self.wall_seconds = 0.0
 
     def _worker(self, index: int) -> None:
@@ -79,7 +85,7 @@ class ThreadedSpectreEngine(SpectreEngine):
             version = instance.version
             if version is None or not version.alive or version.finished:
                 time.sleep(delay)  # nothing scheduled: yield, backing off
-                delay = min(delay * 2.0, _BACKOFF_MAX)
+                delay = min(delay * 2.0, self._idle_backoff_cap)
                 continue
             self._step_version(version)
             delay = _BACKOFF_MIN
@@ -96,53 +102,102 @@ class ThreadedSpectreEngine(SpectreEngine):
                 self.stats.validation_rollbacks, len(self._pending),
                 self.forest.version_count)
 
+    def open(self, *, eager: bool = True, gc: bool | None = None,
+             timeout_seconds: float = 300.0) -> "ThreadedSession":
+        """Open a push-based session with live worker threads."""
+        if self._splitter is not None:
+            raise RuntimeError(
+                "engine already driven; use a fresh engine per stream")
+        return ThreadedSession(self, eager=eager, gc=gc,
+                               timeout_seconds=timeout_seconds)
+
     def run(self, events: Iterable[Event],
             timeout_seconds: float = 300.0) -> SpectreResult:
         """Process a finite stream with real threads; returns like the
-        simulated engine (virtual_time is wall-clock seconds here)."""
-        self.prepare(events)
-        workers = [threading.Thread(target=self._worker, args=(i,),
-                                    daemon=True, name=f"op-instance-{i}")
-                   for i in range(self.config.k)]
-        started = time.perf_counter()
-        for worker in workers:
+        simulated engine (virtual_time is wall-clock seconds here).
+
+        Thin batch wrapper over the session API:
+        ``open(eager=False)`` → ``push*`` → ``flush()``.
+        """
+        with self.open(eager=False,
+                       timeout_seconds=timeout_seconds) as session:
+            drive(session, events)
+            return session.result()
+
+
+class ThreadedSession(SpectreSession):
+    """Push-based driving of the real-thread runtime.
+
+    The k worker threads start on the first drain and stay alive —
+    sleeping with exponential backoff — between pushes, so an eager
+    session is a long-lived deployment: each ``push`` hands the closed
+    windows to the workers and the calling thread plays the splitter
+    until they are emitted.  ``close()`` stops the workers.
+    """
+
+    def __init__(self, engine: ThreadedSpectreEngine, *,
+                 eager: bool = True, gc: bool | None = None,
+                 timeout_seconds: float = 300.0) -> None:
+        super().__init__(engine, eager=eager, gc=gc)
+        self.timeout_seconds = timeout_seconds
+        self._workers: list[threading.Thread] = []
+
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        self._workers = [
+            threading.Thread(target=self.engine._worker, args=(i,),
+                             daemon=True, name=f"op-instance-{i}")
+            for i in range(self.engine.config.k)]
+        for worker in self._workers:
             worker.start()
+
+    def _run_cycles(self) -> None:
+        engine = self.engine
+        self._ensure_workers()
+        engine._idle_backoff_cap = _BACKOFF_MAX  # tight while draining
+        started = time.perf_counter()
+        delay = _BACKOFF_MIN
         try:
-            # the calling thread plays the splitter
-            delay = _BACKOFF_MIN
-            while self._pending or self.forest:
-                before = self._splitter_progress()
-                self.splitter_cycle()
-                self.stats.cycles += 1
+            while engine._pending or engine.forest:
+                before = engine._splitter_progress()
+                engine.splitter_cycle()
+                engine.stats.cycles += 1
                 # always yield at least once so workers can grab the GIL,
                 # but back off only while cycles make no progress
                 time.sleep(delay)
-                if self._splitter_progress() == before:
+                if engine._splitter_progress() == before:
                     delay = min(delay * 2.0, _BACKOFF_MAX)
                 else:
                     delay = _BACKOFF_MIN
-                if time.perf_counter() - started > timeout_seconds:
+                if time.perf_counter() - started > self.timeout_seconds:
                     raise RuntimeError(
-                        f"threaded run exceeded {timeout_seconds}s "
-                        f"({self.stats.windows_emitted}/"
-                        f"{self.stats.windows_total} windows emitted)")
+                        f"threaded drain exceeded {self.timeout_seconds}s "
+                        f"({engine.stats.windows_emitted}/"
+                        f"{engine.stats.windows_total} windows emitted)")
         finally:
-            self._stop.set()
-            for worker in workers:
-                worker.join(timeout=5.0)
-        self.wall_seconds = time.perf_counter() - started
-        self.virtual_time = self.wall_seconds
-        return SpectreResult(
-            complex_events=self.output,
-            input_events=self._input_count,
-            virtual_time=self.wall_seconds,
-            stats=self.stats,
-            config=self.config,
-        )
+            # park the workers until the next push wakes the splitter
+            engine._idle_backoff_cap = _PARKED_BACKOFF_MAX
+            engine.wall_seconds += time.perf_counter() - started
+            engine.virtual_time = engine.wall_seconds
+
+    def _release(self) -> None:
+        self.engine._stop.set()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
 
 
 def run_spectre_threaded(query: Query, events: Iterable[Event],
                          config: SpectreConfig | None = None
                          ) -> SpectreResult:
-    """One-call convenience wrapper for the threaded runtime."""
-    return ThreadedSpectreEngine(query, config).run(events)
+    """Deprecated: use ``repro.pipeline(query).engine("threaded")``
+    (or ``ThreadedSpectreEngine(query, config).run/open``)."""
+    import warnings
+    warnings.warn(
+        "run_spectre_threaded() is deprecated; use repro.pipeline(query)"
+        ".engine('threaded', config=config).run(events) — or .open() "
+        "for streaming",
+        DeprecationWarning, stacklevel=2)
+    from repro.streaming.builder import pipeline
+    return pipeline(query).engine("threaded", config=config).run(events)

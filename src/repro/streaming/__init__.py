@@ -1,0 +1,41 @@
+"""Push-based streaming middleware API.
+
+* :class:`~repro.streaming.session.Session` / the
+  :class:`~repro.streaming.session.Engine` protocol — incremental
+  ``push(event) -> [ComplexEvent]`` processing on every engine;
+* :func:`~repro.streaming.builder.pipeline` — the fluent builder facade
+  (``pipeline(query).engine("threaded", k=4).out_of_order(slack=50)
+  .sink(callback)``) composing reordering, an engine session and sinks.
+
+The pipeline module is loaded lazily: engine modules import the session
+base from here, and the pipeline builder imports the engines, so a
+module-level import would be circular.
+"""
+
+from repro.streaming.session import (
+    Engine,
+    Session,
+    SessionStateError,
+    drive,
+)
+
+__all__ = [
+    "Engine",
+    "Session",
+    "SessionStateError",
+    "drive",
+    "Pipeline",
+    "PipelineSession",
+    "pipeline",
+    "build_engine",
+]
+
+_PIPELINE_NAMES = ("Pipeline", "PipelineSession", "pipeline", "build_engine")
+
+
+def __getattr__(name: str):
+    if name in _PIPELINE_NAMES:
+        import importlib
+        module = importlib.import_module("repro.streaming.builder")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

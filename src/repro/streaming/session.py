@@ -1,0 +1,234 @@
+"""The push-based streaming session protocol.
+
+SPECTRE is an *online* operator: the splitter admits events one at a
+time and complex events are emitted as soon as their window version is
+validated.  This module is the public face of that fact — a
+:class:`Session` is an incremental handle on one engine processing one
+(possibly unbounded) stream:
+
+.. code-block:: python
+
+    with engine.open() as session:           # Engine protocol
+        for event in source:
+            for match in session.push(event):
+                deliver(match)               # emitted *by this event*
+        session.flush()                      # end-of-stream: trailing windows
+    result = session.result()                # engine-native result object
+
+Every engine in the repo (sequential, spectre, threaded, elastic,
+approximate, sharded, trex) implements the :class:`Engine` protocol —
+``open() -> Session`` — and its batch ``run()`` is a thin wrapper over
+``open(eager=False)`` + ``push*`` + ``flush()``, so batch and streaming
+share one code path and one correctness contract.
+
+Two driving modes:
+
+* **eager** (the default for ``open()``): every ``push`` processes all
+  windows the event completed and returns the complex events validated
+  by it.  Retired state — the stream prefix below every live window,
+  emitted windows, emitted dependency trees — is garbage-collected, so
+  unbounded streams run in bounded memory.
+* **lazy** (``eager=False``; what batch ``run()`` uses): ``push`` only
+  ingests; ``flush()`` processes everything exactly like the historical
+  batch loop, preserving bit-for-bit result parity (including stats and
+  speculation dynamics) with the pre-session engines.
+
+Lifecycle: ``open → push* → flush → close``.  ``flush`` marks
+end-of-stream (closes trailing windows and drains them); pushing after a
+flush raises :class:`SessionStateError`.  ``close`` is idempotent,
+flushes implicitly if the caller did not, and releases engine resources
+(worker threads, buffers); sessions are context managers so a ``with``
+block always cleans up.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+
+if TYPE_CHECKING:
+    from repro.windows.splitter import Splitter
+
+
+class SessionStateError(RuntimeError):
+    """An operation was issued against a flushed or closed session."""
+
+
+class Session(abc.ABC):
+    """Incremental push-based processing of one event stream.
+
+    Subclasses implement the four primitive hooks (``_ingest``,
+    ``_drain``, ``_finish``, ``result``) plus optionally garbage
+    collection (``_collect_garbage``) and resource release
+    (``_release``); this base class owns the lifecycle state machine.
+    """
+
+    def __init__(self, *, eager: bool = True, gc: bool | None = None) -> None:
+        self.eager = eager
+        # GC only makes sense while draining incrementally; lazy (batch)
+        # sessions keep everything so results match the historical runs.
+        self.gc = eager if gc is None else gc
+        self.events_pushed = 0
+        self.matches_emitted = 0
+        self._flushed = False
+        self._closed = False
+        self._last_ts = float("-inf")
+
+    # -- primitive hooks ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _ingest(self, event: Event) -> None:
+        """Admit one event (split into windows, queue closed windows)."""
+
+    @abc.abstractmethod
+    def _drain(self) -> list[ComplexEvent]:
+        """Process every queued window; return newly validated matches."""
+
+    @abc.abstractmethod
+    def _finish(self) -> None:
+        """Signal end-of-stream (close and queue trailing windows)."""
+
+    @abc.abstractmethod
+    def result(self):
+        """Engine-native result snapshot (``SpectreResult``,
+        ``SequentialResult``, ...); callable at any lifecycle point."""
+
+    def consumed_seqs(self) -> frozenset[int]:
+        """Sequence numbers consumed so far (the resolved ledger)."""
+        return frozenset()
+
+    def _collect_garbage(self) -> None:
+        """Drop retired state (stream prefix, emitted windows)."""
+
+    def _release(self) -> None:
+        """Free engine resources (worker threads, buffers)."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _require_open(self, operation: str) -> None:
+        if self._closed:
+            raise SessionStateError(f"cannot {operation}: session is closed")
+        if self._flushed:
+            raise SessionStateError(
+                f"cannot {operation}: session already flushed "
+                f"(end-of-stream)")
+
+    @property
+    def is_flushed(self) -> bool:
+        return self._flushed
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def push(self, event: Event) -> list[ComplexEvent]:
+        """Offer one event; return the matches *it* validated.
+
+        Lazy sessions always return ``[]`` (everything surfaces at
+        ``flush``).
+        """
+        self._require_open("push")
+        self._ingest(event)
+        self.events_pushed += 1
+        self._last_ts = event.timestamp
+        if not self.eager:
+            return []
+        matches = self._drain()
+        if self.gc:
+            self._collect_garbage()
+        self.matches_emitted += len(matches)
+        return matches
+
+    def flush(self) -> list[ComplexEvent]:
+        """End-of-stream: close trailing windows, drain everything still
+        queued, and return the matches that surfaced.  A mid-stream
+        ``flush`` treats the events pushed so far as the whole stream."""
+        self._require_open("flush")
+        self._finish()
+        matches = self._drain()
+        self._flushed = True
+        if self.gc:
+            self._collect_garbage()
+        self.matches_emitted += len(matches)
+        return matches
+
+    def close(self) -> list[ComplexEvent]:
+        """Flush (if the caller did not) and release resources.
+
+        Idempotent: a second ``close`` is a no-op returning ``[]``.
+        Returns whatever the implicit flush surfaced so trailing matches
+        are never silently lost.
+        """
+        if self._closed:
+            return []
+        try:
+            matches = [] if self._flushed else self.flush()
+        finally:
+            self._closed = True
+            self._release()
+        return matches
+
+    def abort(self) -> None:
+        """Release resources without the implicit flush.
+
+        Used when an error interrupted the stream: flushing a broken
+        session would re-raise (or worse, emit partial results as if
+        they were final).  Idempotent, like ``close``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._release()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+    # -- streaming watermark ----------------------------------------------
+
+    def _live_window_starts(self) -> Iterable[float]:
+        """Start timestamps of windows that may still emit matches."""
+        splitter: "Splitter | None" = getattr(self, "_splitter", None)
+        if splitter is None:
+            return ()
+        return (window.start_event.timestamp for window in splitter.windows)
+
+    @property
+    def watermark(self) -> float:
+        """No future match can anchor strictly below this timestamp.
+
+        Every unemitted match belongs either to a window already opened
+        (known start) or to one that will open on a future event (whose
+        timestamp is at least the last pushed one, by global order).
+        Streaming operator graphs use this to release derived events
+        downstream in deterministic order.
+        """
+        return min(self._live_window_starts(), default=self._last_ts)
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The unified engine protocol: one way to open a stream, one way to
+    run a batch (which is just a pre-recorded stream)."""
+
+    def open(self, *, eager: bool = ...) -> Session: ...
+
+    def run(self, events: Iterable[Event]): ...
+
+
+def drive(session: Session, events: Iterable[Event]) -> list[ComplexEvent]:
+    """Push ``events`` through ``session`` and flush; return all matches
+    in emission order.  Convenience used by batch wrappers and tests."""
+    matches: list[ComplexEvent] = []
+    for event in events:
+        matches.extend(session.push(event))
+    matches.extend(session.flush())
+    return matches

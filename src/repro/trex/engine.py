@@ -14,6 +14,7 @@ which is what the throughput comparison of Sec. 4.2.3 is about.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -21,8 +22,10 @@ from repro.consumption.ledger import ConsumptionLedger
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.patterns.query import Query
+from repro.streaming.session import Session, drive
 from repro.trex.automaton import compile_detector
 from repro.windows.splitter import Splitter
+from repro.windows.window import Window
 
 
 @dataclass
@@ -45,49 +48,107 @@ class TRexResult:
         return [ce.identity() for ce in self.complex_events]
 
 
+class TRexSession(Session):
+    """Push-based driving of the T-REX baseline: each window is
+    evaluated by its compiled automaton the moment the stream proves it
+    complete, against the ledger left by all earlier windows — the batch
+    order, so streaming and batch results are identical."""
+
+    def __init__(self, engine: "TRexEngine", *, eager: bool = True,
+                 gc: bool | None = None) -> None:
+        super().__init__(eager=eager, gc=gc)
+        self.engine = engine
+        self._splitter = Splitter(engine.query.window)
+        self._ledger = ConsumptionLedger()
+        self._pending: deque[Window] = deque()
+        self._output: list[ComplexEvent] = []
+        self._windows = 0
+        self._events_fed = 0
+        self._wall_seconds = 0.0
+        self._last_window_id = -1
+
+    def _ingest(self, event: Event) -> None:
+        self._splitter.ingest(event)
+        self._pending.extend(self._splitter.drain_closed())
+
+    def _finish(self) -> None:
+        self._splitter.finish()
+        self._pending.extend(self._splitter.drain_closed())
+
+    def _drain(self) -> list[ComplexEvent]:
+        query = self.engine.query
+        before = len(self._output)
+        started = time.perf_counter()
+        while self._pending:
+            window = self._pending.popleft()
+            self._windows += 1
+            self._last_window_id = window.window_id
+            detector = compile_detector(query, window.start_event)
+            for event in window.events():
+                if detector.done:
+                    break
+                if self._ledger.is_consumed(event):
+                    continue
+                self._events_fed += 1
+                feedback = detector.process(event)
+                for completion in feedback.completed:
+                    self._ledger.consume(completion.consumed)
+                    self._output.append(ComplexEvent(
+                        query_name=query.name,
+                        window_id=window.window_id,
+                        constituents=completion.constituents,
+                        attributes=completion.attributes,
+                    ))
+            detector.close()
+        self._wall_seconds += time.perf_counter() - started
+        return self._output[before:]
+
+    def _collect_garbage(self) -> None:
+        self._splitter.retire(self._last_window_id)
+        self._splitter.stream.trim(self._splitter.min_live_start())
+
+    def result(self) -> TRexResult:
+        return TRexResult(
+            complex_events=self._output,
+            input_events=self.events_pushed,
+            wall_seconds=self._wall_seconds,
+            windows=self._windows,
+            events_fed=self._events_fed,
+        )
+
+    def consumed_seqs(self) -> frozenset[int]:
+        return self._ledger.snapshot()
+
+
 class TRexEngine:
     """Sequential automaton engine with consumption support."""
 
     def __init__(self, query: Query) -> None:
         self.query = query
 
+    def open(self, *, eager: bool = True,
+             gc: bool | None = None) -> TRexSession:
+        """Open a push-based streaming session (Engine protocol)."""
+        return TRexSession(self, eager=eager, gc=gc)
+
     def run(self, events: Iterable[Event]) -> TRexResult:
-        splitter = Splitter(self.query.window)
-        windows = splitter.split_all(events)
-        ledger = ConsumptionLedger()
-        output: list[ComplexEvent] = []
-        events_fed = 0
+        """Process a finite stream to completion.
 
-        started = time.perf_counter()
-        for window in windows:
-            detector = compile_detector(self.query, window.start_event)
-            for event in window.events():
-                if detector.done:
-                    break
-                if ledger.is_consumed(event):
-                    continue
-                events_fed += 1
-                feedback = detector.process(event)
-                for completion in feedback.completed:
-                    ledger.consume(completion.consumed)
-                    output.append(ComplexEvent(
-                        query_name=self.query.name,
-                        window_id=window.window_id,
-                        constituents=completion.constituents,
-                        attributes=completion.attributes,
-                    ))
-            detector.close()
-        elapsed = time.perf_counter() - started
-
-        return TRexResult(
-            complex_events=output,
-            input_events=len(splitter.stream),
-            wall_seconds=elapsed,
-            windows=len(windows),
-            events_fed=events_fed,
-        )
+        Thin batch wrapper over the session API:
+        ``open(eager=False)`` → ``push*`` → ``flush()``.
+        """
+        with self.open(eager=False) as session:
+            drive(session, events)
+            return session.result()
 
 
 def run_trex(query: Query, events: Iterable[Event]) -> TRexResult:
-    """One-call convenience wrapper."""
-    return TRexEngine(query).run(events)
+    """Deprecated: use ``repro.pipeline(query).engine("trex")``
+    (or ``TRexEngine(query).run/open``)."""
+    import warnings
+    warnings.warn(
+        "run_trex() is deprecated; use repro.pipeline(query)"
+        ".engine('trex').run(events) — or .open() for streaming",
+        DeprecationWarning, stacklevel=2)
+    from repro.streaming.builder import pipeline
+    return pipeline(query).engine("trex").run(events)

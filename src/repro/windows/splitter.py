@@ -57,7 +57,9 @@ class Splitter:
         self.stats = SplitterStats()
         self._ids = IdGenerator()
         self._open_windows: list[Window] = []
-        self.windows: list[Window] = []  # all windows, by id
+        self.windows: list[Window] = []  # all non-retired windows, by id
+        self._newly_closed: list[Window] = []
+        self._retired = 0  # windows dropped from the front of `windows`
         self._finished = False
 
     @property
@@ -121,6 +123,7 @@ class Splitter:
         # count-scoped windows already carry end_pos
         self.stats.windows_closed += 1
         self.stats.closed_size_sum += window.size()  # type: ignore[arg-type]
+        self._newly_closed.append(window)
 
     def finish(self) -> None:
         """Signal end-of-stream: close every remaining open window."""
@@ -136,7 +139,21 @@ class Splitter:
                 window.end_pos = end
             self.stats.windows_closed += 1
             self.stats.closed_size_sum += window.size()  # type: ignore[arg-type]
+            self._newly_closed.append(window)
         self._open_windows = []
+
+    def drain_closed(self) -> list[Window]:
+        """Windows closed since the last call, in window-id order.
+
+        Closure order equals id order: for a single scope kind a later
+        window can never close before an earlier one, and windows closing
+        on the same event are finalized in open order.  Streaming sessions
+        poll this after every :meth:`ingest` (and after :meth:`finish`)
+        to feed engines windows as soon as they become fully readable.
+        """
+        closed = self._newly_closed
+        self._newly_closed = []
+        return closed
 
     def is_window_complete(self, window: Window) -> bool:
         """Is every event of ``window`` already in the stream?"""
@@ -154,3 +171,37 @@ class Splitter:
 
     def iter_windows(self) -> Iterator[Window]:
         return iter(self.windows)
+
+    # -- prefix garbage collection -----------------------------------------
+
+    @property
+    def retired(self) -> int:
+        """Windows dropped from the front of :attr:`windows` so far."""
+        return self._retired
+
+    def retire(self, upto_window_id: int) -> int:
+        """Forget fully processed windows with id <= ``upto_window_id``.
+
+        Only closed windows are retired (an open window at the front
+        stops the sweep).  Together with :meth:`EventStream.trim` this is
+        what keeps unbounded streaming sessions in bounded memory; batch
+        runs never call it, so ``split_all`` callers still see every
+        window.  Returns the number of windows retired.
+        """
+        keep = 0
+        for window in self.windows:
+            if window.window_id > upto_window_id or not window.is_closed:
+                break
+            keep += 1
+        if keep:
+            del self.windows[:keep]
+            self._retired += keep
+        return keep
+
+    def min_live_start(self) -> int:
+        """Smallest stream position a non-retired window references
+        (= the stream length when no window is live): the safe
+        :meth:`EventStream.trim` horizon."""
+        if not self.windows:
+            return len(self.stream)
+        return min(window.start_pos for window in self.windows)

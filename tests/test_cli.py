@@ -73,6 +73,53 @@ class TestRun:
                   "--param", "oops"])
 
 
+class TestRunFollow:
+    ARGS = ["--param", "lowerLimit=40", "--param", "upperLimit=60"]
+
+    def test_follow_streams_matches_from_file(self, query_file, walk_csv,
+                                              capsys):
+        code = main(["run", "--query", query_file, "--data", walk_csv,
+                     "--follow", "--engine", "spectre", "--k", "2",
+                     *self.ARGS])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed events" in out
+        # match lines carry the triggering event position
+        assert "match #1 @event" in out
+
+    def test_follow_matches_batch_run_count(self, query_file, walk_csv,
+                                            capsys):
+        assert main(["run", "--query", query_file, "--data", walk_csv,
+                     *self.ARGS]) == 0
+        batch_out = capsys.readouterr().out
+        batch_count = int(batch_out.split(":")[1].split()[0])
+        assert main(["run", "--query", query_file, "--data", walk_csv,
+                     "--follow", *self.ARGS]) == 0
+        follow_out = capsys.readouterr().out
+        assert f"{batch_count} complex events" in follow_out
+
+    def test_follow_reads_stdin(self, query_file, walk_csv, capsys,
+                                monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(open(walk_csv).read()))
+        code = main(["run", "--query", query_file, "--data", "-",
+                     "--follow", "--engine", "sequential",
+                     "--slack", "5", *self.ARGS])
+        assert code == 0
+        assert "late_dropped=0" in capsys.readouterr().out
+
+
+class TestTRexEngineFlag:
+    def test_run_trex(self, query_file, walk_csv, capsys):
+        code = main(["run", "--query", query_file, "--data", walk_csv,
+                     "--engine", "trex",
+                     "--param", "lowerLimit=40",
+                     "--param", "upperLimit=60"])
+        assert code == 0
+        assert "automaton baseline" in capsys.readouterr().out
+
+
 class TestVerify:
     def test_equivalence_check_passes(self, query_file, walk_csv, capsys):
         code = main(["verify", "--query", query_file, "--data", walk_csv,

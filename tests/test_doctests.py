@@ -1,0 +1,22 @@
+"""Executable documentation: the README and the package quickstart run
+under pytest, so the published examples cannot rot."""
+
+import doctest
+from pathlib import Path
+
+import repro
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_package_quickstart_doctests():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0, "quickstart lost its examples"
+    assert results.failed == 0
+
+
+def test_readme_doctests():
+    results = doctest.testfile(str(README), module_relative=False,
+                               verbose=False)
+    assert results.attempted > 0, "README lost its >>> examples"
+    assert results.failed == 0

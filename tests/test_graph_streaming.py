@@ -1,0 +1,118 @@
+"""Streaming operator graphs: GraphSession/OperatorSession parity with
+the batch OperatorGraph.run, including multi-source watermark merges."""
+
+import random
+
+import pytest
+
+from repro import Operator, OperatorGraph, SpectreConfig, make_qe
+from repro.events import make_event
+from repro.graph import GraphError
+
+
+def qe_stream(n, seed=7):
+    rng = random.Random(seed)
+    return [make_event(i, rng.choice("AB"), float(i),
+                       change=rng.uniform(0, 10)) for i in range(n)]
+
+
+def linear_graph():
+    graph = OperatorGraph()
+    graph.add_source("quotes")
+    graph.add_operator(Operator("first", make_qe("selected-b"),
+                                output_type="A",
+                                config=SpectreConfig(k=2)),
+                       upstream=["quotes"])
+    graph.add_operator(Operator("second", make_qe("none"),
+                                output_type="B",
+                                config=SpectreConfig(k=2)),
+                       upstream=["first"])
+    return graph
+
+
+class TestLinearPipelineStreaming:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return qe_stream(500)
+
+    @pytest.mark.parametrize("engine", ["sequential", "spectre"])
+    def test_streamed_outputs_equal_batch(self, events, engine):
+        batch = linear_graph().run({"quotes": events}, engine=engine)
+        with linear_graph().open(engine=engine) as session:
+            incremental = 0
+            for index, event in enumerate(events):
+                released = session.push(event)
+                if released and index < len(events) - 1:
+                    incremental += sum(len(v) for v in released.values())
+            session.flush()
+            streamed = session.result()
+        for node in ("quotes", "first", "second"):
+            assert streamed.of(node) == batch.of(node)
+        # derived events flowed downstream before end-of-stream
+        assert incremental > 0
+
+    def test_operator_session_standalone(self, events):
+        operator = Operator("solo", make_qe("selected-b"),
+                            config=SpectreConfig(k=2))
+        batch = operator.process(events, engine="spectre")
+        session = operator.open(engine="spectre")
+        streamed = []
+        for event in events:
+            streamed.extend(session.push(event))
+        streamed.extend(session.flush())
+        session.close()
+        assert streamed == batch
+        assert session.complex_events == \
+            operator.last_report.complex_events
+
+
+class TestMultiSourceMerge:
+    def two_source_graph(self):
+        graph = OperatorGraph()
+        graph.add_source("a")
+        graph.add_source("b")
+        graph.add_operator(Operator("merge", make_qe("selected-b"),
+                                    config=SpectreConfig(k=2)),
+                           upstream=["a", "b"])
+        return graph
+
+    def test_interleaved_sources_equal_batch_merge(self):
+        a = [make_event(i, "A", float(2 * i), change=3.0)
+             for i in range(120)]
+        b = [make_event(i, "B", float(2 * i + 1), change=6.0)
+             for i in range(120)]
+        batch = self.two_source_graph().run({"a": a, "b": b},
+                                            engine="spectre")
+        with self.two_source_graph().open(engine="spectre") as session:
+            for ea, eb in zip(a, b):
+                session.push(ea, source="a")
+                session.push(eb, source="b")
+            session.flush()
+            streamed = session.result()
+        assert streamed.of("merge") == batch.of("merge")
+
+    def test_idle_source_holds_back_the_merge_until_flush(self):
+        a = [make_event(i, "A", float(i), change=3.0) for i in range(50)]
+        graph = self.two_source_graph()
+        batch = graph.run({"a": a, "b": []}, engine="spectre")
+        with self.two_source_graph().open(engine="spectre") as session:
+            for event in a:
+                # source b never speaks: its watermark pins the merge
+                session.push(event, source="a")
+            session.flush()  # lifts b's watermark; everything drains
+            streamed = session.result()
+        assert streamed.of("merge") == batch.of("merge")
+
+    def test_source_must_be_named_when_ambiguous(self):
+        session = self.two_source_graph().open()
+        with pytest.raises(ValueError, match="several sources"):
+            session.push(make_event(0, "A", 0.0))
+        with pytest.raises(GraphError, match="no source named"):
+            session.push(make_event(0, "A", 0.0), source="nope")
+
+    def test_push_after_flush_raises(self):
+        session = linear_graph().open()
+        session.push(make_event(0, "A", 0.0, change=1.0))
+        session.flush()
+        with pytest.raises(RuntimeError, match="already flushed"):
+            session.push(make_event(1, "B", 1.0, change=2.0))

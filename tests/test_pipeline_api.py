@@ -1,0 +1,237 @@
+"""The fluent pipeline facade and the deprecated run_* shims.
+
+``repro.pipeline(query).engine(...).out_of_order(...).sink(...)`` must
+compose reordering, any engine and sinks without changing results; the
+seven historical ``run_*`` helpers must keep returning exactly what they
+always did, now routed through the session API and warning about it.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import (
+    SpectreConfig,
+    pipeline,
+    run_sequential,
+    run_spectre,
+    run_spectre_approximate,
+    run_spectre_elastic,
+    run_spectre_sharded,
+    run_spectre_threaded,
+    run_trex,
+)
+from repro.events import make_event
+from repro.patterns import Atom, ConsumptionPolicy, make_query
+from repro.patterns.ast import sequence
+from repro.sequential.engine import SequentialEngine
+from repro.spectre.approximate import ApproximateSpectreEngine
+from repro.spectre.elasticity import ElasticityPolicy, ElasticSpectreEngine
+from repro.spectre.engine import SpectreEngine
+from repro.spectre.threaded import ThreadedSpectreEngine
+from repro.runtime.sharding import ShardedSpectreEngine
+from repro.streaming.builder import build_engine
+from repro.trex.engine import TRexEngine
+from repro.windows import WindowSpec
+
+
+def abc_query(window=10, slide=5):
+    pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"),
+                       Atom("C", etype="C"))
+    return make_query("abc", pattern,
+                      WindowSpec.count_sliding(window, slide),
+                      consumption=ConsumptionPolicy.all())
+
+
+def abc_stream(n=200, seed=41):
+    rng = random.Random(seed)
+    return [make_event(i, rng.choice("ABCX")) for i in range(n)]
+
+
+class TestFluentBuilder:
+    def test_run_matches_direct_engine(self):
+        query, events = abc_query(), abc_stream()
+        direct = SpectreEngine(query, SpectreConfig(k=4)).run(events)
+        fluent = pipeline(query).engine("spectre", k=4).run(events)
+        assert fluent.identities() == direct.identities()
+        assert fluent.stats.windows_total == direct.stats.windows_total
+
+    def test_builder_chains_and_is_reusable(self):
+        query, events = abc_query(), abc_stream(80)
+        builder = pipeline(query).engine("sequential")
+        assert builder.run(events).identities() == \
+            builder.run(events).identities()  # one engine per run
+
+    def test_sinks_fire_per_validated_match(self):
+        query, events = abc_query(6, 6), abc_stream(120)
+        seen = []
+        session = (pipeline(query).engine("spectre", k=2)
+                   .sink(seen.append).open())
+        returned = []
+        for event in events:
+            returned.extend(session.push(event))
+        returned.extend(session.close())
+        assert seen == returned
+        assert seen  # workload produces matches
+
+    def test_out_of_order_stage_repairs_shuffled_input(self):
+        query = abc_query(8, 4)
+        ordered = abc_stream(150, seed=5)
+        # jitter arrival within a bounded horizon, keep timestamps intact
+        rng = random.Random(9)
+        shuffled = list(ordered)
+        for i in range(0, len(shuffled) - 4, 4):
+            window = shuffled[i:i + 4]
+            rng.shuffle(window)
+            shuffled[i:i + 4] = window
+        expected = SequentialEngine(query).run(ordered)
+        session = (pipeline(query).engine("spectre", k=2)
+                   .out_of_order(slack=8).open())
+        matches = []
+        for event in shuffled:
+            matches.extend(session.push(event))
+        matches.extend(session.close())
+        assert [ce.identity() for ce in matches] == expected.identities()
+        assert session.late_events == 0
+
+    def test_late_events_are_counted(self):
+        query = abc_query(8, 4)
+        session = (pipeline(query).engine("sequential")
+                   .out_of_order(slack=1).open())
+        session.push(make_event(5, "A", 50.0))
+        session.push(make_event(6, "B", 60.0))  # releases up to 59
+        session.push(make_event(0, "C", 1.0))   # hopelessly late
+        assert session.late_events == 1
+        session.close()
+
+    def test_every_engine_alias_builds(self):
+        query = abc_query()
+        for name, cls in [
+            ("sequential", SequentialEngine),
+            ("trex", TRexEngine),
+            ("spectre", SpectreEngine),
+            ("threaded", ThreadedSpectreEngine),
+            ("spectre-threaded", ThreadedSpectreEngine),
+            ("elastic", ElasticSpectreEngine),
+            ("approximate", ApproximateSpectreEngine),
+            ("sharded", ShardedSpectreEngine),
+        ]:
+            assert type(build_engine(query, name, k=2)
+                        if name not in ("sequential", "trex")
+                        else build_engine(query, name)) is cls
+
+    def test_builder_option_validation(self):
+        query = abc_query()
+        with pytest.raises(ValueError, match="unknown engine"):
+            pipeline(query).engine("quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            build_engine(query, "quantum")
+        with pytest.raises(ValueError, match="policy="):
+            build_engine(query, "spectre", policy=ElasticityPolicy())
+        with pytest.raises(ValueError, match="emission_threshold="):
+            build_engine(query, "spectre", emission_threshold=0.5)
+        with pytest.raises(ValueError, match="workers="):
+            build_engine(query, "spectre", workers=2)
+        with pytest.raises(ValueError, match="not both"):
+            build_engine(query, "spectre", config=SpectreConfig(), k=2)
+
+    def test_elastic_policy_defaults(self):
+        query = abc_query()
+        # with a budget: policy honours k (the CLI behavior)
+        budgeted = build_engine(query, "elastic", k=4)
+        assert budgeted.policy.max_k == 4
+        # without options: the library default policy
+        default = build_engine(query, "elastic")
+        assert default.policy == ElasticityPolicy()
+
+    def test_approximate_threshold_is_wired(self):
+        engine = build_engine(abc_query(), "approximate", k=2,
+                              emission_threshold=0.42)
+        assert engine.emission_threshold == 0.42
+
+    def test_sharded_workers_override(self):
+        engine = build_engine(abc_query(), "sharded", k=2, workers=3)
+        assert engine.workers == 3
+
+
+SHIMS = [
+    ("run_sequential", run_sequential, {},
+     lambda q: SequentialEngine(q)),
+    ("run_spectre", run_spectre, {"config": SpectreConfig(k=2)},
+     lambda q: SpectreEngine(q, SpectreConfig(k=2))),
+    ("run_spectre_threaded", run_spectre_threaded,
+     {"config": SpectreConfig(k=2)},
+     lambda q: ThreadedSpectreEngine(q, SpectreConfig(k=2))),
+    ("run_spectre_elastic", run_spectre_elastic, {},
+     lambda q: ElasticSpectreEngine(q)),
+    ("run_spectre_sharded", run_spectre_sharded, {"workers": 1},
+     lambda q: ShardedSpectreEngine(q, workers=1)),
+]
+
+
+class TestDeprecationShims:
+    """The seven run_* helpers warn and preserve exact result parity
+    against the engine-class code path."""
+
+    @pytest.mark.parametrize("name,shim,kwargs,engine_factory", SHIMS)
+    def test_shim_warns_and_matches_engine_path(self, name, shim, kwargs,
+                                                engine_factory):
+        query, events = abc_query(), abc_stream(150)
+        with pytest.warns(DeprecationWarning, match=name):
+            shimmed = shim(query, events, **kwargs)
+        direct = engine_factory(query).run(events)
+        assert shimmed.identities() == direct.identities()
+        assert len(shimmed.complex_events) == len(direct.complex_events)
+
+    def test_run_sequential_full_result_parity(self):
+        query, events = abc_query(), abc_stream(150)
+        with pytest.warns(DeprecationWarning):
+            shimmed = run_sequential(query, events)
+        direct = SequentialEngine(query).run(events)
+        assert shimmed == direct  # SequentialResult is a plain dataclass
+
+    def test_run_spectre_result_fields(self):
+        query, events = abc_query(), abc_stream(150)
+        with pytest.warns(DeprecationWarning):
+            shimmed = run_spectre(query, events, SpectreConfig(k=2))
+        direct = SpectreEngine(query, SpectreConfig(k=2)).run(events)
+        assert shimmed.identities() == direct.identities()
+        assert shimmed.input_events == direct.input_events
+        assert shimmed.stats.windows_total == direct.stats.windows_total
+        assert shimmed.virtual_time == direct.virtual_time
+
+    def test_run_trex_warns_and_matches(self):
+        from repro.trex import q1_ast_query
+        from repro.datasets import generate_nyse, leading_symbols
+        events = generate_nyse(800, n_symbols=30, n_leading=2, seed=3)
+        query = q1_ast_query(q=4, window_size=100,
+                             leading_symbols=leading_symbols(2))
+        with pytest.warns(DeprecationWarning, match="run_trex"):
+            shimmed = run_trex(query, events)
+        direct = TRexEngine(query).run(events)
+        assert shimmed.identities() == direct.identities()
+        assert shimmed.windows == direct.windows
+        assert shimmed.events_fed == direct.events_fed
+
+    def test_run_spectre_approximate_warns_and_matches(self):
+        query, events = abc_query(), abc_stream(150)
+        with pytest.warns(DeprecationWarning,
+                          match="run_spectre_approximate"):
+            shimmed = run_spectre_approximate(query, events,
+                                              SpectreConfig(k=2),
+                                              emission_threshold=0.8)
+        engine = ApproximateSpectreEngine(query, SpectreConfig(k=2),
+                                          emission_threshold=0.8)
+        direct = engine.run_approximate(events)
+        assert shimmed.final.identities() == direct.final.identities()
+        assert {e.complex_event.identity() for e in shimmed.early} == \
+            {e.complex_event.identity() for e in direct.early}
+
+    def test_shims_remain_exported_from_the_facade(self):
+        for name in ("run_sequential", "run_spectre",
+                     "run_spectre_threaded", "run_spectre_elastic",
+                     "run_spectre_approximate", "run_spectre_sharded",
+                     "run_trex"):
+            assert name in repro.__all__
+            assert callable(getattr(repro, name))

@@ -1,0 +1,187 @@
+"""Multi-query serving benchmark: one hub pass vs N independent runs.
+
+The StreamHub's claim is architectural: N concurrent queries over one
+feed should share a single decode → reorder → fan-out pass instead of
+paying N redundant ones.  This benchmark times exactly that trade on a
+NYSE-like workload with N parameterized band queries, N ∈ {1, 4, 8}:
+
+* **independent** — each query drives its own
+  ``pipeline(q).engine(...).out_of_order(slack)`` session over the full
+  stream (N reorder stages, N event loops);
+* **hub** — one ``StreamHub(slack=...)`` serving N attachments (one
+  reorder stage, one event loop, N engine sessions).
+
+Every timed run is also a parity check: per query, the hub attachment
+must emit exactly the independent run's complex events.  Writes a
+machine-readable ``BENCH_multi_query.json`` at the repository root;
+CI runs ``--quick`` and archives the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_multi_query.py [--quick]
+
+At N=1 the hub is expected to *lose* slightly (fan-out bookkeeping with
+nothing to share); the number to read is the crossover — the shared
+pass must win from N ≥ 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_nyse  # noqa: E402
+from repro.hub import StreamHub  # noqa: E402
+from repro.patterns.parser import parse_query  # noqa: E402
+from repro.streaming.builder import pipeline  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_multi_query.json"
+
+QUERY_COUNTS = (1, 4, 8)
+SLACK = 50.0
+
+BAND_TEXT = """
+PATTERN (A B+ C)
+DEFINE
+    A AS (A.closePrice < lowerLimit),
+    B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit),
+    C AS (C.closePrice > upperLimit)
+WITHIN 200 events FROM every 50 events
+CONSUME (A B+ C)
+"""
+
+
+def band_query(index: int):
+    """One tenant's band query: each index gets its own limits, so the
+    N queries do distinct work (multi-tenant, not N clones)."""
+    return parse_query(BAND_TEXT, name=f"band{index}",
+                       params={"lowerLimit": 49.2 + index * 0.1,
+                               "upperLimit": 50.8 - index * 0.05})
+
+
+def build_workload(quick: bool):
+    n_events = 8000 if quick else 40000
+    events = generate_nyse(n_events, n_symbols=100, n_leading=2, seed=13)
+    return events, {
+        "dataset": "nyse",
+        "events": n_events,
+        "n_symbols": 100,
+        "seed": 13,
+        "query": "parameterized price-band (A B+ C), 200/50 sliding",
+        "slack": SLACK,
+    }
+
+
+def run_independent(queries, events, engine):
+    """N full pipeline passes; returns (total seconds, per-query ids)."""
+    identities = []
+    started = time.perf_counter()
+    for query in queries:
+        session = pipeline(query).engine(engine) \
+            .out_of_order(SLACK).open()
+        matches = []
+        for event in events:
+            matches.extend(session.push(event))
+        matches.extend(session.flush())
+        session.close()
+        identities.append([ce.identity() for ce in matches])
+    return time.perf_counter() - started, identities
+
+
+def run_hub(queries, events, engine):
+    """One shared pass; returns (total seconds, per-query ids)."""
+    collectors = [[] for _ in queries]
+    started = time.perf_counter()
+    hub = StreamHub(slack=SLACK)
+    for query, collector in zip(queries, collectors):
+        hub.attach(query, engine=engine, sink=collector.append)
+    for event in events:
+        hub.push(event)
+    hub.close()
+    elapsed = time.perf_counter() - started
+    return elapsed, [[ce.identity() for ce in collector]
+                     for collector in collectors]
+
+
+def bench(n_queries: int, events, engine: str, repeats: int) -> dict:
+    best_hub = best_independent = None
+    matches = 0
+    for _ in range(repeats):
+        queries = [band_query(index) for index in range(n_queries)]
+        independent_seconds, expected = \
+            run_independent(queries, events, engine)
+        hub_seconds, got = run_hub(queries, events, engine)
+        if got != expected:
+            raise SystemExit(f"parity violation at N={n_queries}")
+        matches = sum(len(ids) for ids in got)
+        if best_hub is None or hub_seconds < best_hub:
+            best_hub = hub_seconds
+        if best_independent is None or \
+                independent_seconds < best_independent:
+            best_independent = independent_seconds
+    return {
+        "n_queries": n_queries,
+        "hub_wall_seconds": round(best_hub, 4),
+        "independent_wall_seconds": round(best_independent, 4),
+        "hub_events_per_second": round(len(events) / best_hub, 1),
+        "speedup_hub_vs_independent":
+            round(best_independent / best_hub, 3),
+        "complex_events": matches,
+        "parity": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small stream, single repeat (CI smoke)")
+    parser.add_argument("--engine", default="sequential",
+                        help="engine every query runs on (both arms)")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    events, workload = build_workload(args.quick)
+    repeats = 1 if args.quick else 3
+    print(f"workload: {len(events)} events, engine={args.engine}, "
+          f"N ∈ {QUERY_COUNTS}")
+
+    runs = []
+    for n_queries in QUERY_COUNTS:
+        row = bench(n_queries, events, args.engine, repeats)
+        runs.append(row)
+        print(f"N={n_queries}: hub={row['hub_wall_seconds']:.3f}s "
+              f"independent={row['independent_wall_seconds']:.3f}s "
+              f"speedup={row['speedup_hub_vs_independent']:.2f}x")
+
+    payload = {
+        "benchmark": "multi_query",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "quick": args.quick,
+        "workload": workload,
+        "config": {"engine": args.engine, "slack": SLACK,
+                   "repeats": repeats},
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system(),
+        },
+        "parity": "per query, hub attachment output identical to its "
+                  "independent pipeline run",
+        "runs": runs,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

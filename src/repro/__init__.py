@@ -34,10 +34,30 @@ match on the event that validated it (``Engine.open() -> Session``):
 >>> matches.extend(session.close())   # flushes trailing windows
 >>> [ce.identity() for ce in matches] == sequential.identities()
 True
+
+Serving — a :class:`StreamHub` multiplexes many concurrent queries
+over one shared ingestion pass, with dynamic attach/detach:
+
+>>> from repro import StreamHub
+>>> hub = StreamHub()
+>>> attachment = hub.attach(query, engine="spectre", k=2)
+>>> for event in stream:
+...     _ = hub.push(event)           # one pass, every attachment
+>>> _ = hub.close()
+>>> [ce.identity() for ce in attachment] == sequential.identities()
+True
 """
 
 from repro.events import ComplexEvent, Event, EventStream, make_event
 from repro.graph import Operator, OperatorGraph
+from repro.hub import (
+    AsyncStreamHub,
+    Attachment,
+    BackpressureError,
+    HubClosedError,
+    HubStats,
+    StreamHub,
+)
 from repro.patterns import (
     Atom,
     ConsumptionPolicy,
@@ -71,7 +91,9 @@ from repro.streaming import (
     Pipeline,
     PipelineSession,
     Session,
+    SessionClosedError,
     SessionStateError,
+    SinkError,
     build_engine,
     pipeline,
 )
@@ -92,16 +114,24 @@ from repro.spectre import (
 from repro.trex import TRexEngine, run_trex
 from repro.windows import WindowSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Engine",
     "Session",
+    "SessionClosedError",
     "SessionStateError",
+    "SinkError",
     "Pipeline",
     "PipelineSession",
     "pipeline",
     "build_engine",
+    "StreamHub",
+    "AsyncStreamHub",
+    "Attachment",
+    "HubStats",
+    "HubClosedError",
+    "BackpressureError",
     "Event",
     "ComplexEvent",
     "EventStream",

@@ -30,6 +30,13 @@ binary:
     python -m repro graph --data quotes.csv --stage band=q.sql \\
         --stage meta=meta.sql --engine spectre --k 4
 
+    # serve MANY queries over one shared ingestion pass (multi-query
+    # StreamHub): one decode/reorder, N isolated engine sessions,
+    # matches tagged by query name
+    tail -n +1 -f quotes.csv | python -m repro serve \\
+        --query band=q.sql --query osc=q2.sql --data - \\
+        --engine threaded --k 4 --slack 10
+
 ``--query`` files use the paper's extended MATCH-RECOGNIZE notation
 (Fig. 9; see ``repro.patterns.parser``).
 """
@@ -229,6 +236,60 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _parse_query_specs(specs: Sequence[str]) -> list[tuple[str, str]]:
+    """``--query FILE`` or ``--query NAME=FILE`` → [(name, path)]."""
+    parsed: list[tuple[str, str]] = []
+    for spec in specs:
+        if "=" in spec:
+            name, path = spec.split("=", 1)
+        else:
+            name, path = Path(spec).stem, spec
+        parsed.append((name, path))
+    return parsed
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve many queries over one shared ingestion pass.
+
+    One decode + one reorder stage feed every attached query; each
+    attachment runs its own engine session (isolated ledger and stats)
+    and prints its matches tagged by query name the moment they
+    validate."""
+    from repro.hub import StreamHub
+
+    specs = _parse_query_specs(args.query)
+    if not specs:
+        raise SystemExit("need at least one --query [name=]file")
+    hub = StreamHub(slack=args.slack if args.slack is not None else 0.0)
+    counts: dict[str, int] = {}
+
+    def make_sink(name: str):
+        def sink(ce) -> None:
+            counts[name] += 1
+            print(f"[{name}] match #{counts[name]}: {ce!r}", flush=True)
+        return sink
+
+    try:
+        for name, path in specs:
+            query = _load_query(path, args.param, name=name)
+            counts[name] = 0
+            hub.attach(query, engine=args.engine, name=name,
+                       config=_make_config(args), sink=make_sink(name))
+    except ValueError as error:
+        raise SystemExit(f"bad --query spec: {error}") from None
+
+    with hub:
+        for event in _iter_csv_events(args):
+            hub.push(event)
+    for attachment in hub.stats().attachments:
+        print(f"{attachment.name}: {attachment.matches_emitted} complex "
+              f"events from {attachment.events_delivered} streamed events "
+              f"({attachment.engine})")
+    print(f"served {len(specs)} queries over {hub.events_pushed} events "
+          f"in one ingestion pass (late_dropped={hub.late_events})")
+    return 0
+
+
 def _parse_stages(pairs: Sequence[str]) -> list[tuple[str, str]]:
     stages = []
     for pair in pairs:
@@ -370,6 +431,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run the pipeline sequentially and "
                             "compare final-stage outputs")
     graph.set_defaults(func=cmd_graph)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve many queries concurrently over one shared "
+             "ingestion pass (multi-query StreamHub)")
+    serve.add_argument("--query", action="append", default=[],
+                       help="query file, optionally name=file "
+                            "(repeatable; one attachment each)")
+    serve.add_argument("--data", required=True,
+                       help="events CSV ('-' reads rows from stdin)")
+    serve.add_argument("--engine", choices=list(RUN_ENGINES),
+                       default="spectre")
+    _add_speculative_flags(serve)
+    serve.add_argument("--poll", type=float, default=0.0,
+                       help="on a file: seconds to wait for appended "
+                            "rows at EOF (0 stops at EOF)")
+    serve.add_argument("--slack", type=float, default=None,
+                       help="shared out-of-order slack buffer (time "
+                            "units) in front of every query")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -57,6 +57,23 @@ class SlackSorter:
         """Order key of the last released event (-inf before the first)."""
         return self._released_key
 
+    @property
+    def watermark(self) -> float:
+        """Timestamp of the last released event (-inf before the first).
+
+        Everything at or below this timestamp is final: any later
+        arrival there would be late.  The multi-query
+        :class:`~repro.hub.StreamHub` uses this as its ingestion
+        watermark — the admission point for dynamically attached
+        queries.
+        """
+        return self._released_key[0]
+
+    @property
+    def pending(self) -> int:
+        """Events currently held back in the slack buffer."""
+        return len(self._heap)
+
     def push(self, event: Event) -> list[Event]:
         """Offer one event; returns the events released by its arrival."""
         if event.order_key <= self._released_key:

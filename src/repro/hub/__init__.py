@@ -1,0 +1,33 @@
+"""Multi-query serving layer: one ingestion path, many attachments.
+
+* :class:`~repro.hub.core.StreamHub` — shared decode → reorder →
+  fan-out serving any number of concurrently attached queries, with
+  dynamic attach/detach at watermark-consistent admission points,
+  per-attachment isolation (ledger, stats, sinks) and bounded queues;
+* :class:`~repro.hub.aio.AsyncStreamHub` — the asyncio facade
+  (``await hub.push(event)``, async sinks, ``async for match in
+  attachment``) layered over the sync core;
+* ``python -m repro serve`` — the CLI face: many ``--query`` files over
+  one stdin/CSV-tail source, matches tagged by query name.
+"""
+
+from repro.hub.aio import AsyncAttachment, AsyncStreamHub
+from repro.hub.core import (
+    Attachment,
+    AttachmentStats,
+    BackpressureError,
+    HubClosedError,
+    HubStats,
+    StreamHub,
+)
+
+__all__ = [
+    "Attachment",
+    "AttachmentStats",
+    "AsyncAttachment",
+    "AsyncStreamHub",
+    "BackpressureError",
+    "HubClosedError",
+    "HubStats",
+    "StreamHub",
+]

@@ -1,0 +1,270 @@
+"""Asyncio facade over the multi-query hub.
+
+The sync :class:`~repro.hub.core.StreamHub` signals backpressure by
+raising; under asyncio it can be the real thing — ``await
+hub.push(event)`` *suspends* the producer until every consumer's queue
+has room:
+
+.. code-block:: python
+
+    async with AsyncStreamHub(slack=5.0) as hub:
+        spikes = hub.attach(spike_query, engine="threaded", k=4)
+
+        async def consume():
+            async for match in spikes:        # ends on detach/close
+                await alert(match)
+
+        task = asyncio.create_task(consume())
+        async for event in source:
+            await hub.push(event)             # suspends when behind
+        await hub.flush()
+        await task
+
+Sinks may be plain callables or coroutine functions (``async def``);
+they inherit the sync layer's isolation contract — a raising sink never
+starves the others, failures aggregate into one
+:class:`~repro.streaming.builder.SinkError` at ``flush()``/``close()``.
+
+The facade stays a thin layer: all CEP work happens synchronously in
+the wrapped hub (the engines are CPU-bound; an event loop cannot help
+them), only match *delivery* — queue puts and sink awaits — is async.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Mapping, Optional
+
+import asyncio
+
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+from repro.hub.core import Attachment, HubStats, StreamHub
+from repro.patterns.query import Query
+from repro.streaming.builder import SinkError
+
+_DONE = object()  # queue sentinel: this attachment will emit no more
+
+
+class AsyncAttachment:
+    """Async face of one attachment: awaitable iteration + async sinks.
+
+    Without a sink, matches flow through a bounded :class:`asyncio.Queue`
+    — ``async for match in attachment`` consumes them and ends when the
+    attachment detaches or the hub flushes/closes.
+    """
+
+    def __init__(self, hub: "AsyncStreamHub", inner: Attachment,
+                 staged: list, sink, queue_size: int) -> None:
+        self._hub = hub
+        self.inner = inner
+        self._staged = staged
+        self._sink = sink
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self._sink_errors: list = []
+        self._done_sent = False
+
+    # -- delegation --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def query(self) -> Query:
+        return self.inner.query
+
+    @property
+    def state(self) -> str:
+        return self.inner.state
+
+    @property
+    def watermark(self) -> float:
+        return self.inner.watermark
+
+    @property
+    def matches_emitted(self) -> int:
+        return self.inner.matches_emitted
+
+    @property
+    def admission_watermark(self) -> Optional[float]:
+        return self.inner.admission_watermark
+
+    def stats(self):
+        return self.inner.stats()
+
+    # -- delivery ----------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        """Move staged matches to the sink / the async queue.
+
+        ``queue.put`` is where producer backpressure happens: it
+        suspends while the queue is full.
+        """
+        while self._staged:
+            match = self._staged.pop(0)
+            if self._sink is not None:
+                try:
+                    result = self._sink(match)
+                    if inspect.isawaitable(result):
+                        await result
+                except Exception as error:  # noqa: BLE001 - sink isolation
+                    self._sink_errors.append((self._sink, match, error))
+            else:
+                await self._queue.put(match)
+
+    async def _send_done(self) -> None:
+        if not self._done_sent and self._sink is None:
+            self._done_sent = True
+            await self._queue.put(_DONE)
+
+    def _abort_queue(self) -> None:
+        """Error path: end iteration *now* without awaiting.
+
+        Queued matches are discarded (abort semantics, like the sync
+        session), which also guarantees room for the sentinel."""
+        if self._done_sent or self._sink is not None:
+            return
+        self._done_sent = True
+        while not self._queue.empty():
+            self._queue.get_nowait()
+        self._queue.put_nowait(_DONE)
+
+    def _take_sink_errors(self) -> list:
+        errors, self._sink_errors = self._sink_errors, []
+        return errors
+
+    # -- consumer surface --------------------------------------------------
+
+    def __aiter__(self) -> "AsyncAttachment":
+        if self._sink is not None:
+            raise TypeError(
+                f"attachment {self.name!r} delivers to a sink; only "
+                f"sink-less attachments are iterable")
+        return self
+
+    async def __anext__(self) -> ComplexEvent:
+        item = await self._queue.get()
+        if item is _DONE:
+            raise StopAsyncIteration
+        return item
+
+    async def detach(self, drain: bool = True) -> list[ComplexEvent]:
+        """Leave the hub; iteration over this attachment ends.
+
+        With ``drain=True`` trailing windows flush first (their matches
+        are delivered and returned), mirroring the sync contract.
+        """
+        matches = self.inner.detach(drain=drain)
+        await self._dispatch()
+        await self._send_done()
+        errors = self._take_sink_errors()
+        if errors:
+            raise SinkError(errors, matches)
+        return matches
+
+
+class AsyncStreamHub:
+    """A :class:`~repro.hub.core.StreamHub` driven from an event loop.
+
+    Same attach surface and admission/isolation semantics as the sync
+    hub; ``push``/``flush``/``close`` are coroutines that deliver
+    matches with real backpressure.  Use ``async with`` for cleanup.
+    """
+
+    def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
+                 queue_size: int = 256) -> None:
+        # sink-less *sync* queues are never used here (every inner
+        # attachment gets a staging sink), so the sync bound is moot
+        self._hub = StreamHub(slack=slack, late_policy=late_policy)
+        self.queue_size = queue_size
+        self._attachments: list[AsyncAttachment] = []
+
+    @property
+    def watermark(self) -> float:
+        return self._hub.watermark
+
+    @property
+    def is_closed(self) -> bool:
+        return self._hub.is_closed
+
+    @property
+    def late_events(self) -> int:
+        return self._hub.late_events
+
+    @property
+    def attachments(self) -> tuple[AsyncAttachment, ...]:
+        return tuple(a for a in self._attachments
+                     if a.state != Attachment.DETACHED)
+
+    def attach(self, query: Query | str, *, engine: str = "spectre",
+               name: Optional[str] = None,
+               params: Optional[Mapping[str, Any]] = None,
+               sink: Optional[Callable[[ComplexEvent], Any]] = None,
+               queue_size: Optional[int] = None,
+               **engine_options) -> AsyncAttachment:
+        """Subscribe one query; ``sink`` may be sync or ``async def``."""
+        staged: list = []
+        inner = self._hub.attach(query, engine=engine, name=name,
+                                 params=params, sink=staged.append,
+                                 **engine_options)
+        attachment = AsyncAttachment(
+            self, inner, staged, sink,
+            queue_size=self.queue_size if queue_size is None else queue_size)
+        self._attachments.append(attachment)
+        return attachment
+
+    async def _dispatch(self) -> None:
+        for attachment in list(self._attachments):
+            await attachment._dispatch()
+
+    def _raise_sink_errors(self) -> None:
+        errors: list = []
+        for attachment in self._attachments:
+            errors.extend(attachment._take_sink_errors())
+        if errors:
+            raise SinkError(errors)
+
+    async def push(self, event: Event) -> int:
+        """Offer one event; suspends while any consumer queue is full."""
+        delivered = self._hub.push(event)
+        await self._dispatch()
+        return delivered
+
+    async def flush(self) -> int:
+        """End-of-stream: flush every attachment, end every iteration."""
+        delivered = self._hub.flush()
+        await self._dispatch()
+        for attachment in list(self._attachments):
+            await attachment._send_done()
+        self._raise_sink_errors()
+        return delivered
+
+    async def close(self) -> int:
+        if self._hub.is_closed:
+            return 0
+        delivered = self._hub.close()
+        await self._dispatch()
+        for attachment in list(self._attachments):
+            await attachment._send_done()
+        self._raise_sink_errors()
+        return delivered
+
+    def abort(self) -> None:
+        """Error path: release engines and unblock every iterating
+        consumer (their ``async for`` ends immediately)."""
+        self._hub.abort()
+        for attachment in self._attachments:
+            attachment._abort_queue()
+
+    def stats(self) -> HubStats:
+        return self._hub.stats()
+
+    async def __aenter__(self) -> "AsyncStreamHub":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            await self.close()

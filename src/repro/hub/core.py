@@ -1,0 +1,511 @@
+"""The multi-query StreamHub: one ingestion path, many queries.
+
+After the session redesign every :class:`~repro.streaming.session.Session`
+still binds exactly one query to one stream pass — N continuous queries
+over the same feed means N redundant decode → reorder → split passes.
+Real CEP deployments multiplex *many* queries over one shared event
+feed, and adaptive-middleware work (Dearle et al.) argues the serving
+surface must support runtime reconfiguration rather than
+restart-to-change.  The hub is that layer:
+
+.. code-block:: python
+
+    hub = StreamHub(slack=10.0)
+    spikes = hub.attach(spike_query, engine="threaded", k=4,
+                        sink=alert)
+    bands = hub.attach(BAND_TEXT, engine="spectre",
+                       params={"lowerLimit": 40, "upperLimit": 60})
+    for event in source:
+        hub.push(event)              # ONE reorder pass, N engines
+    bands.detach()                   # mid-stream reconfiguration
+    audits = hub.attach(audit_query) # joins at the current watermark
+    ...
+    hub.close()
+
+One :class:`~repro.events.ooo.SlackSorter` repairs out-of-order arrival
+for every attachment; each attachment keeps its own engine session —
+isolated consumption ledger, isolated ``RunStats`` — built through the
+same :func:`~repro.streaming.builder.build_engine` registry the fluent
+pipeline and the CLI use.
+
+**Watermark-consistent admission.**  An attachment added mid-stream
+must not see half a stream's worth of a window: it goes *pending* until
+the hub reaches a point where the attachment's window decomposition
+re-synchronises with a standalone run — the next released event for
+predicate-opened windows (window starts are data-driven), the next
+slide-aligned stream position for ``FROM every s events`` windows.
+From that point the attachment emits exactly the suffix of its alone
+run: the complex events of windows opening at or after its
+``admission_watermark``.  (When a *consumption policy* couples windows
+across the admission point — overlapping windows with consumption —
+the suffix is still well-formed but an alone run may differ in the
+first overlapping windows; tumbling windows and consumption-free
+queries are exact.)
+
+**Backpressure.**  Sink-less attachments buffer matches in a bounded
+queue for pull-style consumption (``drain()``/iteration).  When a queue
+overruns its bound the hub signals the producer: ``overflow="raise"``
+(default) raises :class:`BackpressureError` *after* the fan-out
+completed — no match is lost, the queue is transiently over its bound,
+and every further push keeps raising until the consumer drains;
+``overflow="drop_oldest"`` enforces a hard bound instead, dropping and
+counting the oldest matches.  The asyncio facade
+(:class:`~repro.hub.aio.AsyncStreamHub`) turns this into real
+backpressure: ``await hub.push(event)`` suspends until consumers catch
+up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+from repro.events.ooo import SlackSorter
+from repro.patterns.parser import parse_query
+from repro.patterns.query import Query
+from repro.streaming.builder import PipelineSession, SinkError, build_engine
+from repro.utils.validation import require
+from repro.windows.specs import EverySlide
+
+
+class HubClosedError(RuntimeError):
+    """An operation was issued against a closed StreamHub."""
+
+
+class BackpressureError(RuntimeError):
+    """One or more attachment queues overran their bound.
+
+    Raised after the fan-out completed — no match was lost; drain the
+    named attachments and keep pushing.
+    """
+
+    def __init__(self, attachments: list["Attachment"]) -> None:
+        self.attachments = list(attachments)
+        depths = ", ".join(f"{a.name}={len(a._queue)}/{a.queue_size}"
+                           for a in self.attachments)
+        super().__init__(
+            f"attachment queue(s) over bound ({depths}); drain them "
+            f"(Attachment.drain()) or attach a sink")
+
+
+@dataclass(frozen=True)
+class AttachmentStats:
+    """Per-attachment snapshot inside :meth:`StreamHub.stats`."""
+
+    name: str
+    engine: str
+    state: str
+    events_delivered: int
+    matches_emitted: int
+    matches_dropped: int
+    queue_depth: int
+    sink_errors: int
+    admission_position: Optional[int]
+    admission_watermark: Optional[float]
+    run_stats: Any = None
+
+
+@dataclass(frozen=True)
+class HubStats:
+    """Aggregate snapshot of one hub: ingestion counters plus one
+    :class:`AttachmentStats` row per (current or detached) attachment."""
+
+    events_pushed: int
+    events_released: int
+    late_events: int
+    pending_reorder: int
+    watermark: float
+    attachments: tuple[AttachmentStats, ...]
+
+    @property
+    def matches_total(self) -> int:
+        return sum(a.matches_emitted for a in self.attachments)
+
+    @property
+    def attachments_live(self) -> int:
+        return sum(a.state in ("live", "pending") for a in self.attachments)
+
+
+class Attachment:
+    """One continuous query served by a hub.
+
+    Created by :meth:`StreamHub.attach`; holds the query's own
+    :class:`~repro.streaming.builder.PipelineSession` (isolated ledger,
+    isolated stats).  Matches flow to the attachment's sinks if any
+    were registered, else into the bounded queue consumed by
+    :meth:`drain` / iteration.
+    """
+
+    PENDING = "pending"
+    LIVE = "live"
+    FLUSHED = "flushed"
+    DETACHED = "detached"
+
+    def __init__(self, hub: "StreamHub", name: str, query: Query,
+                 engine: str, session: PipelineSession,
+                 queue_size: int, overflow: str) -> None:
+        self.hub = hub
+        self.name = name
+        self.query = query
+        self.engine = engine
+        self.session = session
+        self.queue_size = queue_size
+        self.overflow = overflow
+        self.state = Attachment.PENDING
+        self.admission_position: Optional[int] = None
+        self.admission_watermark: Optional[float] = None
+        self.events_delivered = 0
+        self.matches_dropped = 0
+        self.sink_errors_total = 0
+        self._queue: deque[ComplexEvent] = deque()
+        self._over_bound = False
+
+    # -- delivery (hub-internal) ------------------------------------------
+
+    def _admits(self, position: int) -> bool:
+        """Would a standalone run open windows in sync from here on?"""
+        start = self.query.window.start
+        if isinstance(start, EverySlide):
+            return position % start.slide == 0
+        return True  # predicate starts are data-driven: any point works
+
+    def _offer(self, event: Event, position: int) -> int:
+        if self.state == Attachment.PENDING:
+            if not self._admits(position):
+                return 0
+            self.state = Attachment.LIVE
+            self.admission_position = position
+            self.admission_watermark = event.timestamp
+        if self.state != Attachment.LIVE:
+            return 0
+        matches = self.session.push(event)
+        self.events_delivered += 1
+        self._enqueue(matches)
+        return len(matches)
+
+    def _enqueue(self, matches: list[ComplexEvent]) -> None:
+        if self.session.sinks:
+            return  # sinks consumed them (isolated inside the session)
+        self._queue.extend(matches)
+        if self.overflow == "drop_oldest":
+            while len(self._queue) > self.queue_size:
+                self._queue.popleft()
+                self.matches_dropped += 1
+        elif len(self._queue) > self.queue_size:
+            self._over_bound = True
+
+    def _finish(self, errors: list) -> int:
+        """Hub flush: end this attachment's stream (keep it readable)."""
+        if self.state not in (Attachment.PENDING, Attachment.LIVE):
+            return 0
+        try:
+            matches = self.session.flush()
+        except SinkError as error:
+            self.sink_errors_total += len(error.errors)
+            errors.extend(error.errors)
+            matches = error.matches
+        self.state = Attachment.FLUSHED
+        self._enqueue(matches)
+        return len(matches)
+
+    def _release(self) -> None:
+        if self.session.is_flushed:
+            try:
+                self.session.close()
+            except SinkError as error:  # already surfaced at flush time
+                self.sink_errors_total += len(error.errors)
+        else:
+            self.session.abort()
+
+    # -- consumer surface --------------------------------------------------
+
+    @property
+    def watermark(self) -> float:
+        """No future match of this attachment anchors below this."""
+        return self.session.watermark
+
+    @property
+    def matches_emitted(self) -> int:
+        return self.session.matches_emitted
+
+    def drain(self) -> list[ComplexEvent]:
+        """Take every queued match (resets the backpressure signal)."""
+        matches = list(self._queue)
+        self._queue.clear()
+        self._over_bound = False
+        return matches
+
+    def __iter__(self) -> Iterator[ComplexEvent]:
+        """Consume queued matches one at a time (stops when empty)."""
+        while self._queue:
+            yield self._queue.popleft()
+        self._over_bound = False
+
+    def detach(self, drain: bool = True) -> list[ComplexEvent]:
+        """Leave the hub mid-stream.
+
+        With ``drain=True`` (default) the attachment's stream ends
+        *cleanly*: trailing windows are flushed exactly as a mid-stream
+        ``Session.flush`` would — the attachment's total output equals
+        its query run alone over the delivered prefix — and the flush
+        matches are returned (sinks fire, sink-less attachments also
+        keep them queued).  With ``drain=False`` the session is aborted
+        and trailing windows are discarded.  Idempotent.  Raises
+        :class:`~repro.streaming.builder.SinkError` after detaching if
+        sinks failed during the final delivery.
+        """
+        if self.state == Attachment.DETACHED:
+            return []
+        self.hub._forget(self)
+        was_live = self.state in (Attachment.PENDING, Attachment.LIVE)
+        self.state = Attachment.DETACHED
+        if not (drain and was_live):
+            self._release()
+            return []
+        try:
+            matches = self.session.flush()
+        except SinkError as error:
+            self.sink_errors_total += len(error.errors)
+            self._enqueue(error.matches)
+            self._release()
+            raise
+        self._enqueue(matches)
+        self._release()
+        return matches
+
+    def stats(self) -> AttachmentStats:
+        result = self.session.result()
+        return AttachmentStats(
+            name=self.name,
+            engine=self.engine,
+            state=self.state,
+            events_delivered=self.events_delivered,
+            matches_emitted=self.matches_emitted,
+            matches_dropped=self.matches_dropped,
+            queue_depth=len(self._queue),
+            sink_errors=self.sink_errors_total
+            + len(self.session.sink_errors),
+            admission_position=self.admission_position,
+            admission_watermark=self.admission_watermark,
+            run_stats=getattr(result, "stats", None),
+        )
+
+    def __repr__(self) -> str:
+        return (f"Attachment({self.name!r}, engine={self.engine!r}, "
+                f"state={self.state}, matches={self.matches_emitted})")
+
+
+class StreamHub:
+    """One shared ingestion path serving any number of attachments.
+
+    Parameters
+    ----------
+    slack, late_policy:
+        The shared reordering stage (``slack=0.0`` still enforces the
+        global order and handles exact-duplicate/late arrivals per
+        ``late_policy``).
+    queue_size, overflow:
+        Defaults for sink-less attachments' match queues; see the
+        module docstring for the backpressure contract.
+
+    Not thread-safe: drive a hub from one thread (or wrap it in
+    :class:`~repro.hub.aio.AsyncStreamHub` and one event loop).
+    """
+
+    def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
+                 queue_size: int = 1024, overflow: str = "raise") -> None:
+        require(queue_size >= 1, "queue_size must be >= 1")
+        require(overflow in ("raise", "drop_oldest"),
+                "overflow must be 'raise' or 'drop_oldest'")
+        self._sorter = SlackSorter(slack, late_policy)
+        self.queue_size = queue_size
+        self.overflow = overflow
+        self.events_pushed = 0
+        self._position = 0  # released events fanned out so far
+        self._attachments: list[Attachment] = []
+        self._detached: list[Attachment] = []
+        self._names: set[str] = set()
+        self._flushed = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _require_open(self, operation: str) -> None:
+        if self._closed:
+            raise HubClosedError(f"cannot {operation}: hub is closed")
+        if self._flushed:
+            raise HubClosedError(
+                f"cannot {operation}: hub already flushed (end-of-stream)")
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    @property
+    def watermark(self) -> float:
+        """Ingestion watermark: everything at or below this timestamp
+        has been released to the attachments and is final."""
+        return self._sorter.watermark
+
+    @property
+    def attachments(self) -> tuple[Attachment, ...]:
+        """The currently attached (non-detached) attachments."""
+        return tuple(self._attachments)
+
+    @property
+    def late_events(self) -> int:
+        return self._sorter.late_events
+
+    # -- attach / detach ---------------------------------------------------
+
+    def attach(self, query: Query | str, *, engine: str = "spectre",
+               name: Optional[str] = None,
+               params: Optional[Mapping[str, Any]] = None,
+               sink: Callable[[ComplexEvent], None]
+               | Iterable[Callable[[ComplexEvent], None]] | None = None,
+               queue_size: Optional[int] = None,
+               overflow: Optional[str] = None,
+               **engine_options) -> Attachment:
+        """Subscribe one query; works before the first push or mid-stream.
+
+        ``query`` is a :class:`~repro.patterns.query.Query` or
+        MATCH-RECOGNIZE text (parsed via
+        :func:`~repro.patterns.parser.parse_query` with ``params``).
+        ``engine`` plus ``engine_options`` go through
+        :func:`~repro.streaming.builder.build_engine` — any registered
+        engine (``sequential``, ``spectre``, ``threaded``, ``elastic``,
+        ``approximate``, ``sharded``, ``trex``) with its usual options
+        (``k=``, ``scheduler=``, ``workers=``, ``config=``, ...).
+        ``sink`` is one callback or an iterable of callbacks invoked
+        per validated match (isolated: a raising sink never starves the
+        others); without sinks, matches buffer in the bounded queue.
+        """
+        if self._closed or self._flushed:
+            raise HubClosedError("cannot attach: hub is "
+                                 + ("closed" if self._closed else "flushed"))
+        if isinstance(query, str):
+            query = parse_query(query, name=name or "query",
+                                params=params)
+        elif params is not None:
+            raise ValueError("params= only applies to query text")
+        name = name or query.name
+        if name in self._names:
+            raise ValueError(f"attachment name {name!r} already in use")
+        if sink is None:
+            sinks: tuple = ()
+        elif callable(sink):
+            sinks = (sink,)
+        else:
+            sinks = tuple(sink)
+        inner = build_engine(query, engine, **engine_options).open()
+        session = PipelineSession(inner, None, sinks)
+        attachment = Attachment(
+            self, name, query, engine, session,
+            queue_size=self.queue_size if queue_size is None else queue_size,
+            overflow=self.overflow if overflow is None else overflow)
+        self._names.add(name)
+        self._attachments.append(attachment)
+        return attachment
+
+    def _forget(self, attachment: Attachment) -> None:
+        if attachment in self._attachments:
+            self._attachments.remove(attachment)
+            self._detached.append(attachment)
+            self._names.discard(attachment.name)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def push(self, event: Event) -> int:
+        """Offer one event to every attachment; return the number of
+        matches it validated across all of them.
+
+        The shared sorter may hold the event back (slack) or release
+        several buffered ones; each released event is fanned out to
+        every live attachment in attach order, and pending attachments
+        are admitted the moment their alignment point passes.
+        """
+        self._require_open("push")
+        released = self._sorter.push(event)
+        self.events_pushed += 1
+        return self._fan_out(released)
+
+    def _fan_out(self, released: list[Event], *,
+                 raise_backpressure: bool = True) -> int:
+        delivered = 0
+        for event in released:
+            position = self._position
+            self._position += 1
+            for attachment in list(self._attachments):
+                delivered += attachment._offer(event, position)
+        if raise_backpressure:
+            over = [a for a in self._attachments if a._over_bound]
+            if over:
+                raise BackpressureError(over)
+        return delivered
+
+    def flush(self) -> int:
+        """End-of-stream: release the sorter's buffer, flush every
+        attachment (trailing windows), return the matches that
+        surfaced.  Never raises :class:`BackpressureError` — there is
+        no more producing to push back on, and the overrun queues hold
+        every match losslessly for ``drain()``.  Raises one aggregated
+        :class:`~repro.streaming.builder.SinkError` afterwards if any
+        attachment's sinks failed."""
+        self._require_open("flush")
+        delivered = self._fan_out(self._sorter.flush(),
+                                  raise_backpressure=False)
+        errors: list = []
+        for attachment in list(self._attachments):
+            delivered += attachment._finish(errors)
+        self._flushed = True
+        if errors:
+            raise SinkError(errors)
+        return delivered
+
+    def close(self) -> int:
+        """Flush (if the caller did not) and release every attachment's
+        engine resources.  Idempotent."""
+        if self._closed:
+            return 0
+        try:
+            delivered = 0 if self._flushed else self.flush()
+        finally:
+            self._closed = True
+            for attachment in self._attachments:
+                attachment._release()
+        return delivered
+
+    def abort(self) -> None:
+        """Release resources without the implicit flush (error path)."""
+        if self._closed:
+            return
+        self._closed = True
+        for attachment in self._attachments:
+            attachment.session.abort()
+
+    def __enter__(self) -> "StreamHub":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> HubStats:
+        """Aggregate + per-attachment snapshot (detached ones included,
+        so a serving summary never loses history)."""
+        return HubStats(
+            events_pushed=self.events_pushed,
+            events_released=self._position,
+            late_events=self._sorter.late_events,
+            pending_reorder=self._sorter.pending,
+            watermark=self.watermark,
+            attachments=tuple(a.stats() for a in
+                              self._attachments + self._detached),
+        )

@@ -19,9 +19,14 @@ Supported constructs
 --------------------
 * ``PATTERN ( ... )`` — symbols, ``sym+`` (Kleene), ``SET(s1 s2 ...)``
   (unordered conjunction), ``!sym`` (negation guard).
-* ``DEFINE sym AS (<cond> [AND <cond>]*)`` — comparisons between
-  ``sym.attr`` references, numeric/string literals, and free parameters
-  supplied via the ``params`` argument.
+* ``DEFINE sym AS (<boolexpr>)`` — boolean combinations (``AND``,
+  ``OR``, parenthesized grouping; ``AND`` binds tighter) of comparisons
+  between ``sym.attr`` references, numeric/string literals, and free
+  parameters supplied via the ``params`` argument.  Disjunctions are
+  what make the Fig. 9 queries expressible — e.g. Q1's "moves in the
+  same direction as the leading quote" is
+  ``(RE.close > RE.open AND MLE.close > MLE.open) OR
+  (RE.close < RE.open AND MLE.close < MLE.open)``.
 * ``WITHIN n events | x seconds`` and
   ``FROM every s events | FROM sym`` (window opens on events satisfying
   ``sym``'s definition — e.g. Q1's ``FROM MLE``).
@@ -56,9 +61,10 @@ class QueryParseError(ValueError):
     """Raised on malformed query text."""
 
 
+# `op` must try before `bang`, or `!=` would tokenize as `!` + `=`
 _TOKEN_RE = re.compile(
     r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)|(?P<plus>\+)"
-    r"|(?P<bang>!)|(?P<op><=|>=|!=|==|<|>|=)"
+    r"|(?P<op><=|>=|!=|==|<|>|=)|(?P<bang>!)"
     r"|(?P<number>-?\d+(?:\.\d+)?)"
     r"|(?P<string>'[^']*'|\"[^\"]*\")"
     r"|(?P<word>[A-Za-z_][A-Za-z_0-9.]*))"
@@ -117,6 +123,38 @@ class _Comparison:
             if left is None or right is None:
                 return False
             return compare(left, right)
+
+        return predicate
+
+
+@dataclass
+class _And:
+    """Conjunction of condition nodes from a DEFINE clause."""
+
+    parts: tuple
+
+    def to_predicate(self, own_symbol: str) -> Predicate:
+        predicates = tuple(part.to_predicate(own_symbol)
+                           for part in self.parts)
+
+        def predicate(event, bindings: Bindings) -> bool:
+            return all(p(event, bindings) for p in predicates)
+
+        return predicate
+
+
+@dataclass
+class _Or:
+    """Disjunction of condition nodes from a DEFINE clause."""
+
+    parts: tuple
+
+    def to_predicate(self, own_symbol: str) -> Predicate:
+        predicates = tuple(part.to_predicate(own_symbol)
+                           for part in self.parts)
+
+        def predicate(event, bindings: Bindings) -> bool:
+            return any(p(event, bindings) for p in predicates)
 
         return predicate
 
@@ -204,8 +242,8 @@ class _Parser:
             raise QueryParseError("empty PATTERN clause")
         return items
 
-    def parse_define_clause(self) -> dict[str, list[_Comparison]]:
-        definitions: dict[str, list[_Comparison]] = {}
+    def parse_define_clause(self) -> dict:
+        definitions: dict = {}
         if not self._at_word("DEFINE"):
             return definitions
         self._next()
@@ -213,17 +251,37 @@ class _Parser:
             symbol = self._expect("word")
             self._expect_word("AS")
             self._expect("lparen")
-            comparisons = [self._parse_comparison()]
-            while self._at_word("AND"):
-                self._next()
-                comparisons.append(self._parse_comparison())
+            definitions[symbol] = self._parse_condition()
             self._expect("rparen")
-            definitions[symbol] = comparisons
             if (self._peek() or ("", ""))[0] == "comma":
                 self._next()
                 continue
             break
         return definitions
+
+    # condition grammar: OR of ANDs of (comparison | parenthesized
+    # condition) — AND binds tighter, parentheses override
+    def _parse_condition(self):
+        parts = [self._parse_conjunction()]
+        while self._at_word("OR"):
+            self._next()
+            parts.append(self._parse_conjunction())
+        return parts[0] if len(parts) == 1 else _Or(tuple(parts))
+
+    def _parse_conjunction(self):
+        parts = [self._parse_condition_term()]
+        while self._at_word("AND"):
+            self._next()
+            parts.append(self._parse_condition_term())
+        return parts[0] if len(parts) == 1 else _And(tuple(parts))
+
+    def _parse_condition_term(self):
+        if (self._peek() or ("", ""))[0] == "lparen":
+            self._next()
+            condition = self._parse_condition()
+            self._expect("rparen")
+            return condition
+        return self._parse_comparison()
 
     def _parse_operand(self) -> Any:
         kind, value = self._next()
@@ -306,16 +364,10 @@ class _Parser:
         return ConsumptionPolicy.selected(*names)
 
 
-def _build_atom(symbol: str,
-                definitions: dict[str, list[_Comparison]]) -> Atom:
+def _build_atom(symbol: str, definitions: dict) -> Atom:
     if symbol in definitions:
-        comparisons = definitions[symbol]
-        predicates = [c.to_predicate(symbol) for c in comparisons]
-
-        def combined(event, bindings, _preds=tuple(predicates)) -> bool:
-            return all(p(event, bindings) for p in _preds)
-
-        return Atom(name=symbol, etype=None, predicate=combined)
+        return Atom(name=symbol, etype=None,
+                    predicate=definitions[symbol].to_predicate(symbol))
     return Atom(name=symbol, etype=symbol, predicate=true_predicate)
 
 

@@ -14,9 +14,16 @@ ships a hand-written detector implementing the Fig. 8 feedback protocol.
   B within 1 minute), with pluggable consumption policy.
 """
 
+from repro.queries.fig9 import (
+    make_q1_parsed,
+    make_q2_parsed,
+    q1_text,
+    q2_text,
+)
 from repro.queries.q1 import make_q1
 from repro.queries.q2 import make_q2
 from repro.queries.q3 import make_q3
 from repro.queries.qe import make_qe
 
-__all__ = ["make_q1", "make_q2", "make_q3", "make_qe"]
+__all__ = ["make_q1", "make_q2", "make_q3", "make_qe",
+           "make_q1_parsed", "make_q2_parsed", "q1_text", "q2_text"]

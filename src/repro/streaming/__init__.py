@@ -15,6 +15,7 @@ module-level import would be circular.
 from repro.streaming.session import (
     Engine,
     Session,
+    SessionClosedError,
     SessionStateError,
     drive,
 )
@@ -22,15 +23,18 @@ from repro.streaming.session import (
 __all__ = [
     "Engine",
     "Session",
+    "SessionClosedError",
     "SessionStateError",
     "drive",
     "Pipeline",
     "PipelineSession",
+    "SinkError",
     "pipeline",
     "build_engine",
 ]
 
-_PIPELINE_NAMES = ("Pipeline", "PipelineSession", "pipeline", "build_engine")
+_PIPELINE_NAMES = ("Pipeline", "PipelineSession", "SinkError", "pipeline",
+                   "build_engine")
 
 
 def __getattr__(name: str):

@@ -43,6 +43,27 @@ from repro.patterns.query import Query
 from repro.streaming.session import Session, drive
 from repro.utils.validation import require
 
+
+class SinkError(RuntimeError):
+    """One or more sink callbacks raised while matches were delivered.
+
+    Sinks are isolated: a raising sink never corrupts the session and
+    never starves the other sinks — the exception is captured, the
+    remaining sinks still receive the match, and the failures surface
+    here, raised by ``flush()``/``close()``.  ``errors`` holds
+    ``(sink, match, exception)`` triples in delivery order; ``matches``
+    holds whatever the raising call would have returned, so results are
+    never lost to the error path.
+    """
+
+    def __init__(self, errors, matches=()) -> None:
+        self.errors = list(errors)
+        self.matches = list(matches)
+        first = self.errors[0][2] if self.errors else None
+        super().__init__(
+            f"{len(self.errors)} sink error(s) during match delivery; "
+            f"first: {first!r}")
+
 # public/CLI alias -> canonical registry name
 ENGINE_ALIASES = {
     "sequential": "sequential",
@@ -127,7 +148,12 @@ class PipelineSession(Session):
     """A composed session: optional slack reordering → engine session →
     sinks.  ``push`` accepts *nearly ordered* events when the pipeline
     has an ``out_of_order`` stage; matches surface once their events
-    clear the slack buffer."""
+    clear the slack buffer.
+
+    Sink failures are isolated: a raising sink does not interrupt
+    ``push`` and the other sinks keep receiving matches; the captured
+    errors surface as one :class:`SinkError` on ``flush()``/``close()``
+    (and stay inspectable via :attr:`sink_errors` meanwhile)."""
 
     def __init__(self, inner: Session, sorter: Optional[SlackSorter],
                  sinks: tuple[Callable[[ComplexEvent], None], ...]) -> None:
@@ -136,6 +162,8 @@ class PipelineSession(Session):
         self.sorter = sorter
         self.sinks = sinks
         self._staged: list[ComplexEvent] = []
+        self._sink_errors: list[tuple[Callable, ComplexEvent,
+                                      Exception]] = []
 
     @property
     def late_events(self) -> int:
@@ -158,7 +186,30 @@ class PipelineSession(Session):
         matches, self._staged = self._staged, []
         for match in matches:
             for sink in self.sinks:
-                sink(match)
+                try:
+                    sink(match)
+                except Exception as error:  # noqa: BLE001 - sink isolation
+                    self._sink_errors.append((sink, match, error))
+        return matches
+
+    @property
+    def sink_errors(self) -> list[tuple[Callable, ComplexEvent, Exception]]:
+        """Sink failures captured so far, ``(sink, match, exception)``."""
+        return list(self._sink_errors)
+
+    def _raise_sink_errors(self, matches: list[ComplexEvent]) -> None:
+        if self._sink_errors:
+            errors, self._sink_errors = self._sink_errors, []
+            raise SinkError(errors, matches)
+
+    def flush(self) -> list[ComplexEvent]:
+        matches = super().flush()
+        self._raise_sink_errors(matches)
+        return matches
+
+    def close(self) -> list[ComplexEvent]:
+        matches = super().close()
+        self._raise_sink_errors(matches)
         return matches
 
     def _release(self) -> None:

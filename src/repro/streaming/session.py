@@ -35,7 +35,9 @@ Two driving modes:
 
 Lifecycle: ``open → push* → flush → close``.  ``flush`` marks
 end-of-stream (closes trailing windows and drains them); pushing after a
-flush raises :class:`SessionStateError`.  ``close`` is idempotent,
+flush raises :class:`SessionStateError`, pushing into a closed or
+aborted session the sharper :class:`SessionClosedError` (a subclass,
+with the session state in the message).  ``close`` is idempotent,
 flushes implicitly if the caller did not, and releases engine resources
 (worker threads, buffers); sessions are context managers so a ``with``
 block always cleans up.
@@ -57,6 +59,16 @@ class SessionStateError(RuntimeError):
     """An operation was issued against a flushed or closed session."""
 
 
+class SessionClosedError(SessionStateError):
+    """An operation was issued against a closed (or aborted) session.
+
+    Distinguished from the plain flushed-state error so middleware
+    sitting on top of sessions (sinks, hubs, pools) can tell "this
+    stream ended cleanly, stop feeding it" apart from "someone is using
+    a dead handle" — the latter is always a caller bug.
+    """
+
+
 class Session(abc.ABC):
     """Incremental push-based processing of one event stream.
 
@@ -75,6 +87,7 @@ class Session(abc.ABC):
         self.matches_emitted = 0
         self._flushed = False
         self._closed = False
+        self._aborted = False
         self._last_ts = float("-inf")
 
     # -- primitive hooks ---------------------------------------------------
@@ -110,7 +123,10 @@ class Session(abc.ABC):
 
     def _require_open(self, operation: str) -> None:
         if self._closed:
-            raise SessionStateError(f"cannot {operation}: session is closed")
+            raise SessionClosedError(
+                f"cannot {operation}: session is "
+                f"{self.state} ({self.events_pushed} events pushed, "
+                f"{self.matches_emitted} matches emitted)")
         if self._flushed:
             raise SessionStateError(
                 f"cannot {operation}: session already flushed "
@@ -123,6 +139,18 @@ class Session(abc.ABC):
     @property
     def is_closed(self) -> bool:
         return self._closed
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: ``open`` → ``flushed`` → ``closed`` (or
+        ``aborted``, if :meth:`abort` skipped the implicit flush)."""
+        if self._aborted:
+            return "aborted"
+        if self._closed:
+            return "closed"
+        if self._flushed:
+            return "flushed"
+        return "open"
 
     def push(self, event: Event) -> list[ComplexEvent]:
         """Offer one event; return the matches *it* validated.
@@ -181,6 +209,7 @@ class Session(abc.ABC):
         if self._closed:
             return
         self._closed = True
+        self._aborted = True
         self._release()
 
     def __enter__(self) -> "Session":

@@ -241,6 +241,65 @@ class TestShardedEngine:
         assert "OK: pipeline output identical" in capsys.readouterr().out
 
 
+class TestServeCommand:
+    ARGS = ["--param", "lowerLimit=40", "--param", "upperLimit=60"]
+
+    def test_serve_two_queries_one_pass(self, query_file,
+                                        tumbling_query_file, walk_csv,
+                                        capsys):
+        code = main(["serve", "--query", f"band={query_file}",
+                     "--query", f"tumble={tumbling_query_file}",
+                     "--data", walk_csv, "--engine", "spectre", "--k", "2",
+                     *self.ARGS])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "band:" in out
+        assert "tumble:" in out
+        assert "served 2 queries" in out
+        assert "one ingestion pass" in out
+
+    def test_serve_matches_are_tagged_and_equal_run_counts(
+            self, query_file, walk_csv, capsys):
+        assert main(["run", "--query", query_file, "--data", walk_csv,
+                     "--engine", "sequential", *self.ARGS]) == 0
+        batch_out = capsys.readouterr().out
+        batch_count = int(batch_out.split(":")[1].split()[0])
+        code = main(["serve", "--query", query_file, "--data", walk_csv,
+                     "--engine", "sequential", *self.ARGS])
+        assert code == 0
+        serve_out = capsys.readouterr().out
+        assert f"[band] match #{batch_count}:" in serve_out
+        assert f"band: {batch_count} complex events" in serve_out
+
+    def test_serve_reads_stdin(self, query_file, walk_csv, capsys,
+                               monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(open(walk_csv).read()))
+        code = main(["serve", "--query", query_file, "--data", "-",
+                     "--engine", "sequential", "--slack", "5",
+                     *self.ARGS])
+        assert code == 0
+        assert "late_dropped=0" in capsys.readouterr().out
+
+    def test_serve_default_name_is_the_file_stem(self, query_file,
+                                                 walk_csv, capsys):
+        code = main(["serve", "--query", query_file, "--data", walk_csv,
+                     "--engine", "sequential", *self.ARGS])
+        assert code == 0
+        assert "band:" in capsys.readouterr().out  # band.sql → "band"
+
+    def test_serve_requires_a_query(self, walk_csv):
+        with pytest.raises(SystemExit):
+            main(["serve", "--data", walk_csv])
+
+    def test_serve_rejects_duplicate_names(self, query_file, walk_csv):
+        with pytest.raises(SystemExit, match="bad --query"):
+            main(["serve", "--query", f"dup={query_file}",
+                  "--query", f"dup={query_file}", "--data", walk_csv,
+                  *self.ARGS])
+
+
 class TestGraphCommand:
     def test_two_stage_pipeline(self, query_file, pairs_query_file,
                                 walk_csv, capsys):

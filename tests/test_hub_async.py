@@ -1,0 +1,201 @@
+"""AsyncStreamHub: the asyncio facade over the multi-query hub.
+
+Parity with the sync hub, real producer backpressure through bounded
+``asyncio.Queue``s, async-iterating attachments that terminate on
+detach/flush, and sync/async sink support with the isolation contract.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import AsyncStreamHub, pipeline
+from repro.events import make_event
+from repro.patterns import Atom, ConsumptionPolicy, make_query
+from repro.patterns.ast import sequence
+from repro.streaming import SinkError
+from repro.windows import WindowSpec
+
+
+def abc_query(window, slide, name="abc"):
+    pattern = sequence(Atom("A", etype="A"), Atom("B", etype="B"),
+                       Atom("C", etype="C"))
+    return make_query(name, pattern, WindowSpec.count_sliding(window, slide),
+                      consumption=ConsumptionPolicy.all())
+
+
+def abc_stream(n, seed=7):
+    rng = random.Random(seed)
+    return [make_event(i, rng.choice("ABCX")) for i in range(n)]
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncParity:
+    def test_async_iteration_equals_alone_run(self):
+        events = abc_stream(160, seed=13)
+        alone = pipeline(abc_query(8, 4)).engine("spectre", k=2).run(events)
+
+        async def scenario():
+            collected = []
+            async with AsyncStreamHub() as hub:
+                att = hub.attach(abc_query(8, 4), engine="spectre", k=2)
+
+                async def consume():
+                    async for match in att:
+                        collected.append(match)
+
+                task = asyncio.create_task(consume())
+                for event in events:
+                    await hub.push(event)
+                await hub.flush()
+                await task
+            return collected
+
+        collected = run_async(scenario())
+        assert [ce.identity() for ce in collected] == alone.identities()
+
+    def test_sync_and_async_sinks(self):
+        events = abc_stream(120, seed=5)
+        alone = pipeline(abc_query(6, 6)).engine("sequential").run(events)
+
+        async def scenario():
+            sync_seen, async_seen = [], []
+
+            async def async_sink(match):
+                await asyncio.sleep(0)
+                async_seen.append(match)
+
+            async with AsyncStreamHub() as hub:
+                hub.attach(abc_query(6, 6), engine="sequential",
+                           name="sync", sink=sync_seen.append)
+                hub.attach(abc_query(6, 6), engine="spectre", k=2,
+                           name="async", sink=async_sink)
+                for event in events:
+                    await hub.push(event)
+            return sync_seen, async_seen
+
+        sync_seen, async_seen = run_async(scenario())
+        assert [ce.identity() for ce in sync_seen] == alone.identities()
+        assert [ce.identity() for ce in async_seen] == alone.identities()
+
+    def test_mid_stream_detach_ends_iteration(self):
+        events = abc_stream(120, seed=3)
+
+        async def scenario():
+            collected = []
+            async with AsyncStreamHub() as hub:
+                att = hub.attach(abc_query(6, 6), engine="sequential")
+
+                async def consume():
+                    async for match in att:
+                        collected.append(match)
+
+                task = asyncio.create_task(consume())
+                for event in events[:60]:
+                    await hub.push(event)
+                await att.detach()          # iteration must terminate
+                await asyncio.wait_for(task, timeout=5)
+                for event in events[60:]:   # hub keeps running
+                    await hub.push(event)
+            return collected
+
+        collected = run_async(scenario())
+        alone = pipeline(abc_query(6, 6)).engine("sequential") \
+            .run(events[:60])
+        assert [ce.identity() for ce in collected] == alone.identities()
+
+
+class TestAsyncBackpressure:
+    def test_push_suspends_until_the_consumer_drains(self):
+        """With a queue of 1, the producer cannot run ahead: every match
+        must be consumed before the next one can be delivered."""
+        events = [make_event(i, "ABC"[i % 3]) for i in range(30)]
+
+        async def scenario():
+            consumed = []
+            async with AsyncStreamHub(queue_size=1) as hub:
+                att = hub.attach(abc_query(3, 3), engine="sequential")
+                producer_done = False
+
+                async def consume():
+                    async for match in att:
+                        # the producer must be suspended whenever the
+                        # bounded queue is full
+                        assert att._queue.qsize() <= 1
+                        consumed.append(match)
+                        await asyncio.sleep(0)
+
+                task = asyncio.create_task(consume())
+                for event in events:
+                    await hub.push(event)
+                producer_done = True
+                await hub.flush()
+                await task
+                assert producer_done
+            return consumed
+
+        consumed = run_async(scenario())
+        assert len(consumed) == 10  # every tumbling window matched
+
+    def test_abort_unblocks_iterating_consumers(self):
+        # regression: an exception inside `async with` aborts the hub;
+        # consumers blocked in `async for` must terminate, not hang
+        async def scenario():
+            consumed = []
+            with pytest.raises(RuntimeError, match="boom"):
+                async with AsyncStreamHub() as hub:
+                    att = hub.attach(abc_query(3, 3), engine="sequential")
+
+                    async def consume():
+                        async for match in att:
+                            consumed.append(match)
+
+                    task = asyncio.create_task(consume())
+                    await hub.push(make_event(0, "A"))
+                    raise RuntimeError("boom")
+            await asyncio.wait_for(task, timeout=5)  # must not hang
+            return consumed
+
+        run_async(scenario())
+
+    def test_iterating_a_sinked_attachment_is_an_error(self):
+        async def scenario():
+            async with AsyncStreamHub() as hub:
+                att = hub.attach(abc_query(3, 3), engine="sequential",
+                                 sink=lambda match: None)
+                with pytest.raises(TypeError, match="sink"):
+                    async for _match in att:
+                        pass
+
+        run_async(scenario())
+
+
+class TestAsyncSinkIsolation:
+    def test_async_sink_errors_surface_at_flush(self):
+        events = [make_event(i, "ABC"[i % 3]) for i in range(30)]
+
+        async def scenario():
+            good = []
+
+            async def bad(match):
+                raise RuntimeError("async sink down")
+
+            async with AsyncStreamHub() as hub:
+                hub.attach(abc_query(3, 3), engine="sequential",
+                           name="bad", sink=bad)
+                other = hub.attach(abc_query(3, 3), engine="sequential",
+                                   name="good", sink=good.append)
+                for event in events:
+                    await hub.push(event)  # isolated: never raises
+                with pytest.raises(SinkError) as info:
+                    await hub.flush()
+                return good, info.value.errors, other
+
+        good, errors, other = run_async(scenario())
+        assert len(good) == 10
+        assert len(errors) == 10
+        assert other.matches_emitted == 10

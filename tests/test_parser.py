@@ -80,6 +80,72 @@ class TestParseStructure:
         assert not query.window.start.predicate(make_event(0, "quote", x=0))
 
 
+class TestBooleanConditions:
+    """OR / parenthesized grouping in DEFINE (AND binds tighter)."""
+
+    def test_or_disjunction(self):
+        text = """
+        PATTERN (A)
+        DEFINE A AS (A.x < 10 OR A.x > 20)
+        WITHIN 4 events FROM every 4 events
+        """
+        query = parse_query(text)
+        stream = [make_event(0, "quote", x=5), make_event(1, "quote", x=15),
+                  make_event(2, "quote", x=25)]
+        result = run_sequential(query, stream)
+        assert [ce.constituent_seqs for ce in result.complex_events] == \
+            [(0,)]  # first match per window; 15 matches neither branch
+
+    def test_and_binds_tighter_than_or(self):
+        text = """
+        PATTERN (A)
+        DEFINE A AS (A.x > 0 AND A.x < 10 OR A.x > 20 AND A.x < 30)
+        WITHIN 1 events FROM every 1 events
+        """
+        query = parse_query(text)
+        hits = [x for x in (5, 15, 25, 35)
+                if run_sequential(query, [make_event(0, "quote", x=x)])
+                .complex_events]
+        assert hits == [5, 25]
+
+    def test_parentheses_override_precedence(self):
+        text = """
+        PATTERN (A)
+        DEFINE A AS ((A.x > 0 OR A.y > 0) AND A.z > 0)
+        WITHIN 1 events FROM every 1 events
+        """
+        query = parse_query(text)
+
+        def matches(**attrs):
+            return bool(run_sequential(
+                query, [make_event(0, "quote", **attrs)]).complex_events)
+
+        assert matches(x=1, y=0, z=1)
+        assert matches(x=0, y=1, z=1)
+        assert not matches(x=1, y=1, z=0)  # z guard applies to both
+
+    def test_cross_symbol_disjunction(self):
+        # Q1's shape: "same direction as the bound MLE event"
+        text = """
+        PATTERN (M R)
+        DEFINE
+            M AS (M.x != 0),
+            R AS ((R.x > 0 AND M.x > 0) OR (R.x < 0 AND M.x < 0))
+        WITHIN 10 events FROM every 10 events
+        """
+        query = parse_query(text)
+        same = [make_event(0, "quote", x=2), make_event(1, "quote", x=3)]
+        opposite = [make_event(0, "quote", x=2),
+                    make_event(1, "quote", x=-3)]
+        assert run_sequential(query, same).complex_events
+        assert not run_sequential(query, opposite).complex_events
+
+    def test_unbalanced_parenthesis_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("PATTERN (A) DEFINE A AS ((A.x > 1 OR A.x < 0) "
+                        "WITHIN 4 events FROM every 4 events")
+
+
 class TestParseErrors:
     def test_empty_pattern(self):
         with pytest.raises(QueryParseError):

@@ -75,6 +75,67 @@ class TestFluentBuilder:
         assert seen == returned
         assert seen  # workload produces matches
 
+    def test_raising_sink_is_isolated_and_surfaces_on_flush(self):
+        # a sink callback that raises must not corrupt or silently kill
+        # the session: other sinks keep receiving matches, push never
+        # raises, and the captured failures surface as one SinkError
+        from repro.streaming import SinkError
+        query, events = abc_query(6, 6), abc_stream(120)
+        good, boom_calls = [], []
+
+        def boom(match):
+            boom_calls.append(match)
+            raise ValueError("sink exploded")
+
+        session = (pipeline(query).engine("spectre", k=2)
+                   .sink(boom).sink(good.append).open())
+        returned = []
+        for event in events:
+            returned.extend(session.push(event))  # no raise mid-stream
+        assert session.sink_errors  # captured, inspectable
+        with pytest.raises(SinkError) as info:
+            session.flush()
+        error = info.value
+        assert good == returned + error.matches  # nothing starved
+        assert boom_calls == good                # bad sink saw them all
+        assert len(error.errors) == len(good)
+        assert all(isinstance(exc, ValueError)
+                   for _sink, _match, exc in error.errors)
+        # the session itself is intact: flushed cleanly, closable
+        assert session.is_flushed
+        assert session.close() == []
+        baseline = SequentialEngine(query).run(events)
+        assert [ce.identity() for ce in good] == baseline.identities()
+
+    def test_sink_errors_surface_on_close_when_flush_was_skipped(self):
+        from repro.streaming import SinkError
+        query = abc_query(50, 50)
+
+        def boom(match):
+            raise RuntimeError("down")
+
+        session = pipeline(query).engine("sequential").sink(boom).open()
+        for index, etype in enumerate("ABC"):
+            session.push(make_event(index, etype))
+        with pytest.raises(SinkError) as info:
+            session.close()  # implicit flush delivers the only match
+        assert len(info.value.errors) == 1
+        assert len(info.value.matches) == 1  # the match is not lost
+        assert session.is_closed
+
+    def test_abort_never_raises_sink_errors(self):
+        query = abc_query(6, 6)
+
+        def boom(match):
+            raise RuntimeError("down")
+
+        session = pipeline(query).engine("sequential").sink(boom).open()
+        for index in range(12):
+            session.push(make_event(index, "ABC"[index % 3]))
+        assert session.sink_errors
+        session.abort()  # error path: must not raise on top
+        assert session.is_closed
+
     def test_out_of_order_stage_repairs_shuffled_input(self):
         query = abc_query(8, 4)
         ordered = abc_stream(150, seed=5)

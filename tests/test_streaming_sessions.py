@@ -18,7 +18,12 @@ from repro.graph.operator import ENGINE_FACTORIES
 from repro.patterns import Atom, ConsumptionPolicy, make_query
 from repro.patterns.ast import sequence
 from repro.sequential.engine import SequentialEngine
-from repro.streaming import Engine, Session, SessionStateError
+from repro.streaming import (
+    Engine,
+    Session,
+    SessionClosedError,
+    SessionStateError,
+)
 from repro.streaming.builder import build_engine
 from repro.windows import WindowSpec
 
@@ -247,6 +252,35 @@ class TestLifecycleEdges:
         assert [ce.identity() for ce in trailing] == batch.identities()
         with pytest.raises(SessionStateError):
             session.push(make_event(99, "A"))
+
+    def test_closed_session_misuse_raises_dedicated_error(self):
+        # closed ≠ merely flushed: middleware needs to tell a clean
+        # end-of-stream apart from use of a dead handle
+        session = make_engine("spectre", abc_query(8, 4)).open()
+        session.push(make_event(0, "A"))
+        session.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.push(make_event(1, "B"))
+        with pytest.raises(SessionClosedError, match="1 events pushed"):
+            session.flush()
+        # the subclass keeps SessionStateError handlers working
+        assert issubclass(SessionClosedError, SessionStateError)
+
+    def test_aborted_session_misuse_names_the_abort(self):
+        session = make_engine("sequential", abc_query(8, 4)).open()
+        session.push(make_event(0, "A"))
+        session.abort()
+        assert session.state == "aborted"
+        with pytest.raises(SessionClosedError, match="aborted"):
+            session.push(make_event(1, "B"))
+
+    def test_flushed_session_misuse_stays_a_state_error(self):
+        session = make_engine("sequential", abc_query(8, 4)).open()
+        session.flush()
+        assert session.state == "flushed"
+        with pytest.raises(SessionStateError) as info:
+            session.push(make_event(0, "A"))
+        assert not isinstance(info.value, SessionClosedError)
 
     def test_close_without_flush_returns_trailing_matches(self):
         # the last window only closes at end-of-stream; close() must

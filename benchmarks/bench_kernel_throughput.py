@@ -1,0 +1,318 @@
+"""Query→kernel compilation: interpreted vs compiled throughput.
+
+First entry in the repo's performance trajectory.  For every workload ×
+engine cell the same query is built twice — ``compile=False`` (the
+interpreted predicate chains the engines shipped with before the kernel
+layer) and ``compile=True`` (fused generated kernels, table-dispatched
+stepping, type prefiltering) — and run over the identical event stream.
+Outputs are parity-checked per run; the recorded number is batch
+events/second and the compiled/interpreted speedup.
+
+Workloads:
+
+* ``q1_nyse`` — the Fig. 9 Q1 text (anchored ``FROM MLE``, CONSUME all)
+  over a 40k-event synthetic NYSE stream.  This is the acceptance
+  workload: compiled sequential throughput must be ≥ 1.5× interpreted.
+* ``q2_walk`` — the Fig. 9 Q2 band-oscillation text (Kleene stages,
+  parameterized band) over a bounded price walk.
+* ``typed_param`` — a parameterized combinator query with typed atoms
+  over a multi-type stream; exercises the relevant-type prefilter
+  (irrelevant events are classified once at ingestion and skipped in
+  O(1) by every overlapping window).
+
+A session leg re-checks that streaming behaviour is untouched: eager
+per-push emission latency (p50 in events) on the Q1 workload, plus
+``push_many`` chunked-batch throughput.
+
+Results go to ``BENCH_kernel_throughput.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_nyse, leading_symbols  # noqa: E402
+from repro.datasets.nyse import generate_price_walk  # noqa: E402
+from repro.events import make_event  # noqa: E402
+from repro.patterns import (  # noqa: E402
+    Atom,
+    ConsumptionPolicy,
+    make_query,
+)
+from repro.patterns.ast import KleenePlus, sequence  # noqa: E402
+from repro.patterns.parser import parse_query  # noqa: E402
+from repro.patterns.predicates import attr_compare  # noqa: E402
+from repro.queries.fig9 import q1_text, q2_text  # noqa: E402
+from repro.streaming.builder import build_engine  # noqa: E402
+from repro.windows import WindowSpec  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_kernel_throughput.json"
+
+ENGINE_OPTIONS = {
+    "sequential": {},
+    "trex": {},
+    "spectre": {"k": 2},
+}
+
+
+def q1_workload(quick: bool):
+    n_events = 4000 if quick else 40000
+    events = generate_nyse(n_events, n_symbols=150, n_leading=2, seed=13)
+    text = q1_text(8, 120, leading_symbols(2))
+
+    def build(compile_: bool):
+        return parse_query(text, name="q1", compile=compile_)
+
+    return build, events, {
+        "dataset": "nyse", "events": n_events, "n_symbols": 150,
+        "n_leading": 2, "seed": 13, "query": "q1 (Fig. 9 text)",
+        "q": 8, "window_size": 120,
+    }
+
+
+def q2_workload(quick: bool):
+    n_events = 2000 if quick else 20000
+    events = generate_price_walk(n_events, low=0.0, high=100.0,
+                                 step_scale=6.0, seed=17, reversion=0.15)
+    text = q2_text(600, 150)
+    params = {"lowerLimit": 42.0, "upperLimit": 58.0}
+
+    def build(compile_: bool):
+        return parse_query(text, name="q2", params=params,
+                           compile=compile_)
+
+    return build, events, {
+        "dataset": "price_walk", "events": n_events, "seed": 17,
+        "step_scale": 6.0, "reversion": 0.15,
+        "query": "q2 (Fig. 9 text)", "window_size": 600, "slide": 150,
+        "params": params,
+    }
+
+
+def typed_param_workload(quick: bool):
+    import random
+
+    n_events = 4000 if quick else 40000
+    rng = random.Random(23)
+    events = [make_event(i, rng.choice("ABCXYZ"),
+                         value=rng.uniform(0.0, 100.0))
+              for i in range(n_events)]
+    threshold = 35.0
+    pattern = sequence(
+        Atom("A", etype="A", predicate=attr_compare("value", ">",
+                                                    threshold)),
+        KleenePlus(Atom("B", etype="B")),
+        Atom("C", etype="C", predicate=attr_compare("value", ">",
+                                                    threshold)),
+    )
+
+    def build(compile_: bool):
+        return make_query("typed_param", pattern,
+                          WindowSpec.count_sliding(240, 60),
+                          consumption=ConsumptionPolicy.all(),
+                          compile=compile_)
+
+    return build, events, {
+        "dataset": "rand", "events": n_events, "types": "ABCXYZ",
+        "seed": 23, "query": "A(value>t) B+ C(value>t), typed atoms",
+        "threshold": threshold, "window_size": 240, "slide": 60,
+        "note": "3 of 6 event types are irrelevant -> type prefilter",
+    }
+
+
+WORKLOADS = {
+    "q1_nyse": q1_workload,
+    "q2_walk": q2_workload,
+    "typed_param": typed_param_workload,
+}
+
+
+def timed_run(query, events, engine_name: str):
+    """One batch run on a fresh engine (engines are single-stream)."""
+    engine = build_engine(query, engine_name,
+                          **ENGINE_OPTIONS[engine_name])
+    started = time.perf_counter()
+    result = engine.run(events)
+    return result, time.perf_counter() - started
+
+
+def bench_cell(build_query, events, engine_name: str,
+               repeats: int) -> dict:
+    """Best-of-``repeats`` per mode, modes interleaved per repeat so
+    machine-load drift hits both equally."""
+    total = len(events)
+    interp_query = build_query(False)
+    compiled_query = build_query(True)
+    interp = compiled = None
+    interp_wall = compiled_wall = None
+    for _ in range(repeats):
+        interp, wall = timed_run(interp_query, events, engine_name)
+        interp_wall = wall if interp_wall is None \
+            else min(interp_wall, wall)
+        compiled, wall = timed_run(compiled_query, events, engine_name)
+        compiled_wall = wall if compiled_wall is None \
+            else min(compiled_wall, wall)
+    if compiled.identities() != interp.identities():
+        raise SystemExit(
+            f"parity violation: compiled vs interpreted differ on "
+            f"{engine_name}")
+    return {
+        "engine": engine_name,
+        "matches": len(compiled.identities()),
+        "repeats": repeats,
+        "interpreted_events_per_second": round(total / interp_wall, 1),
+        "compiled_events_per_second": round(total / compiled_wall, 1),
+        "interpreted_wall_seconds": round(interp_wall, 4),
+        "compiled_wall_seconds": round(compiled_wall, 4),
+        "speedup": round(interp_wall / compiled_wall, 3),
+        "parity": "compiled output identical to interpreted",
+    }
+
+
+def percentile(values, fraction):
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def latency_summary(values, scale=1.0, digits=4):
+    if not values:
+        return {"p50": None, "p99": None, "max": None}
+    return {
+        "p50": round(percentile(values, 0.50) * scale, digits),
+        "p99": round(percentile(values, 0.99) * scale, digits),
+        "max": round(max(values) * scale, digits),
+    }
+
+
+def bench_session(build_query, events, batch_identities) -> dict:
+    """Eager-session leg on the compiled Q1 query: emission latency must
+    stay a property of the window decomposition (unchanged by the
+    kernel layer), and chunked ``push_many`` must beat per-event push
+    while emitting the identical matches."""
+    total = len(events)
+    query = build_query(True)
+
+    session = build_engine(query, "sequential").open()
+    push_seconds = []
+    latencies = []
+    matches = []
+    started = time.perf_counter()
+    for index, event in enumerate(events):
+        push_started = time.perf_counter()
+        out = session.push(event)
+        push_seconds.append(time.perf_counter() - push_started)
+        for ce in out:
+            latencies.append(index - ce.constituents[-1].seq)
+            matches.append(ce)
+    for ce in session.flush():
+        latencies.append(total - ce.constituents[-1].seq)
+        matches.append(ce)
+    push_wall = time.perf_counter() - started
+    session.close()
+    if [ce.identity() for ce in matches] != batch_identities:
+        raise SystemExit("parity violation in session push run")
+
+    chunk = 512
+    session = build_engine(query, "sequential").open()
+    batched = []
+    started = time.perf_counter()
+    for offset in range(0, total, chunk):
+        batched.extend(session.push_many(events[offset:offset + chunk]))
+    batched.extend(session.flush())
+    push_many_wall = time.perf_counter() - started
+    session.close()
+    if [ce.identity() for ce in batched] != batch_identities:
+        raise SystemExit("parity violation in session push_many run")
+
+    return {
+        "engine": "sequential",
+        "matches": len(matches),
+        "emission_latency_events": latency_summary(latencies, digits=1),
+        "push_latency_ms": latency_summary(push_seconds, scale=1e3),
+        "push_events_per_second": round(total / push_wall, 1),
+        "push_many_chunk": chunk,
+        "push_many_events_per_second": round(total / push_many_wall, 1),
+        "parity": "push and push_many output identical to batch",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small streams (CI smoke)")
+    parser.add_argument("--engines", nargs="*",
+                        default=list(ENGINE_OPTIONS),
+                        choices=list(ENGINE_OPTIONS))
+    parser.add_argument("--workloads", nargs="*",
+                        default=list(WORKLOADS), choices=list(WORKLOADS))
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N per cell (default: 3, quick: 1)")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else (1 if args.quick else 3)
+
+    workload_rows = []
+    session_row = None
+    for workload_name in args.workloads:
+        build_query, events, meta = WORKLOADS[workload_name](args.quick)
+        print(f"[{workload_name}] {meta['events']} events — "
+              f"{meta['query']}")
+        engine_rows = []
+        for engine_name in args.engines:
+            row = bench_cell(build_query, events, engine_name, repeats)
+            engine_rows.append(row)
+            print(f"  {engine_name:10s} interpreted "
+                  f"{row['interpreted_events_per_second']:>10,.0f} ev/s | "
+                  f"compiled {row['compiled_events_per_second']:>10,.0f} "
+                  f"ev/s | speedup x{row['speedup']:.2f}")
+        workload_rows.append({"workload": workload_name,
+                              "params": meta, "engines": engine_rows})
+        if workload_name == "q1_nyse" and "sequential" in args.engines:
+            batch = build_engine(build_query(True), "sequential").run(events)
+            session_row = bench_session(build_query, events,
+                                        batch.identities())
+            lat = session_row["emission_latency_events"]
+            print(f"  session    emission p50 {lat['p50']} events | push "
+                  f"{session_row['push_events_per_second']:,.0f} ev/s | "
+                  f"push_many "
+                  f"{session_row['push_many_events_per_second']:,.0f} ev/s")
+
+    payload = {
+        "benchmark": "kernel_throughput",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "quick": args.quick,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system(),
+            "machine": platform.machine(),
+        },
+        "engine_options": {name: ENGINE_OPTIONS[name]
+                           for name in args.engines},
+        "workloads": workload_rows,
+        "session": session_row,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,19 @@
-"""Pattern matching: detector protocol and the generic NFA detector."""
+"""Pattern matching: detector protocol, query→kernel compilation and the
+generic NFA detector."""
 
 from repro.matching.base import Completion, Detector, Feedback, PartialMatch
-from repro.matching.nfa import CompiledPattern, NFADetector, compile_pattern
+from repro.matching.kernel import (
+    CompiledPattern,
+    EventClassifier,
+    QueryPlan,
+    build_plan,
+    classifier_for,
+    compile_atom_matcher,
+    compile_enabled,
+    compile_pattern,
+    compile_query,
+)
+from repro.matching.nfa import NFADetector
 
 __all__ = [
     "Detector",
@@ -11,4 +23,11 @@ __all__ = [
     "NFADetector",
     "CompiledPattern",
     "compile_pattern",
+    "QueryPlan",
+    "build_plan",
+    "compile_query",
+    "compile_atom_matcher",
+    "compile_enabled",
+    "EventClassifier",
+    "classifier_for",
 ]

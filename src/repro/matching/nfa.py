@@ -12,6 +12,16 @@ The same compiled automaton is used in two roles:
   original T-REX — "automatically translates queries into state machines"
   instead of hand-optimised UDFs (Sec. 4.2.3).
 
+The automaton runs off a :class:`~repro.matching.kernel.QueryPlan`:
+every pattern element carries an int *kind code* (table dispatch instead
+of per-step ``isinstance``) and a matcher that is either a fused
+generated kernel (``compile=True``, the default) or the interpreted
+``Atom.matches`` (the ``compile=False`` escape hatch).  The detector
+itself is on an allocation diet: events that provably change nothing
+return one shared empty ``Feedback``, nothing copies the active-match
+list unless a removal actually happens, and match creation is decided by
+the plan's first-element check instead of a probe ``NFAPartialMatch``.
+
 Semantics notes (documented choices where the paper is silent):
 
 * A satisfied ``KleenePlus`` prefers *progress*: if an event matches both
@@ -27,103 +37,90 @@ Semantics notes (documented choices where the paper is silent):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional, Sequence as Seq
+from typing import Any, Callable, Mapping, Optional
 
 from repro.events.event import Event
 from repro.matching.base import Completion, Detector, Feedback, PartialMatch
-from repro.patterns.ast import (
-    Atom,
-    KleenePlus,
-    Negation,
-    PatternElement,
-    SetPattern,
-    Sequence,
+from repro.matching.kernel import (
+    KIND_ATOM,
+    KIND_KLEENE,
+    KIND_SET,
+    CompiledPattern,
+    QueryPlan,
+    build_plan,
+    compile_pattern,
 )
+from repro.patterns.ast import PatternElement
 from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
+
+__all__ = [
+    "CompiledPattern",
+    "compile_pattern",
+    "DeriveFn",
+    "NFADetector",
+    "NFAPartialMatch",
+]
 
 DeriveFn = Callable[[Mapping[str, Any]], Mapping[str, Any]]
 
-
-@dataclass(frozen=True)
-class CompiledPattern:
-    """A Sequence split into positive elements and negation guards."""
-
-    positives: tuple[PatternElement, ...]
-    # guards[i] = negation atoms active while position i is current
-    guards: tuple[tuple[Atom, ...], ...]
-
-    @property
-    def mandatory_total(self) -> int:
-        return sum(element.mandatory_count() for element in self.positives)
-
-
-def compile_pattern(pattern: PatternElement) -> CompiledPattern:
-    """Normalize any AST node into a :class:`CompiledPattern`."""
-    if not isinstance(pattern, Sequence):
-        pattern = Sequence((pattern,))
-    positives: list[PatternElement] = []
-    guards: list[list[Atom]] = []
-    pending_negations: list[Atom] = []
-    for element in pattern.elements:
-        if isinstance(element, Negation):
-            pending_negations.append(element.atom)
-            continue
-        positives.append(element)
-        guards.append(list(pending_negations))
-        pending_negations = []
-    if pending_negations:
-        raise ValueError("trailing Negation has no following element")
-    return CompiledPattern(tuple(positives), tuple(tuple(g) for g in guards))
+# Shared "nothing happened" feedback (never mutated — every mutation
+# site in this module allocates a fresh Feedback first).  Skip-till-
+# next-match means the overwhelming majority of process() calls change
+# nothing; returning this singleton removes one allocation per event
+# per overlapping window.
+_EMPTY_FEEDBACK = Feedback()
 
 
 class NFAPartialMatch(PartialMatch):
     """Mutable run of the automaton (one candidate pattern instance)."""
 
-    __slots__ = ("match_id", "pos", "bindings", "bound_order", "_compiled",
+    __slots__ = ("match_id", "pos", "bindings", "bound_order", "_plan",
                  "_policy")
 
-    def __init__(self, match_id: int, compiled: CompiledPattern,
+    def __init__(self, match_id: int, plan: QueryPlan,
                  policy: ConsumptionPolicy) -> None:
         self.match_id = match_id
         self.pos = 0
         self.bindings: dict[str, Any] = {}
         self.bound_order: list[tuple[str, Event]] = []
-        self._compiled = compiled
+        self._plan = plan
         self._policy = policy
 
     # -- element-local helpers ------------------------------------------
 
     def _satisfied(self, index: int) -> bool:
-        element = self._compiled.positives[index]
-        if isinstance(element, Atom):
+        element = self._plan.elements[index]
+        kind = element.kind
+        if kind == KIND_ATOM:
             return element.name in self.bindings
-        if isinstance(element, KleenePlus):
+        if kind == KIND_KLEENE:
             return bool(self.bindings.get(element.name))
-        assert isinstance(element, SetPattern)
-        return all(atom.name in self.bindings for atom in element.atoms)
+        bindings = self.bindings
+        return all(name in bindings for name, _m in element.members)
 
-    def _bind(self, element: PatternElement, event: Event) -> bool:
-        """Try to bind ``event`` into ``element``; return success."""
-        if isinstance(element, Atom):
-            if element.name not in self.bindings and \
-                    element.matches(event, self.bindings):
-                self.bindings[element.name] = event
-                self.bound_order.append((element.name, event))
+    def _bind(self, index: int, event: Event) -> bool:
+        """Try to bind ``event`` into the element at ``index``."""
+        element = self._plan.elements[index]
+        kind = element.kind
+        bindings = self.bindings
+        if kind == KIND_ATOM:
+            name = element.name
+            if name not in bindings and element.matcher(event, bindings):
+                bindings[name] = event
+                self.bound_order.append((name, event))
                 return True
             return False
-        if isinstance(element, KleenePlus):
-            if element.atom.matches(event, self.bindings):
-                self.bindings.setdefault(element.name, []).append(event)
-                self.bound_order.append((element.name, event))
+        if kind == KIND_KLEENE:
+            if element.matcher(event, bindings):
+                name = element.name
+                bindings.setdefault(name, []).append(event)
+                self.bound_order.append((name, event))
                 return True
             return False
-        assert isinstance(element, SetPattern)
-        for atom in element.atoms:
-            if atom.name not in self.bindings and \
-                    atom.matches(event, self.bindings):
-                self.bindings[atom.name] = event
-                self.bound_order.append((atom.name, event))
+        for name, matcher in element.members:
+            if name not in bindings and matcher(event, bindings):
+                bindings[name] = event
+                self.bound_order.append((name, event))
                 return True
         return False
 
@@ -134,10 +131,11 @@ class NFAPartialMatch(PartialMatch):
         absorbing events, except when it is the last element (minimal
         match — completion is checked by the detector right after).
         """
-        positives = self._compiled.positives
-        while self.pos < len(positives) and self._satisfied(self.pos):
-            if isinstance(positives[self.pos], KleenePlus) and \
-                    self.pos < len(positives) - 1:
+        plan = self._plan
+        size = plan.size
+        while self.pos < size and self._satisfied(self.pos):
+            if plan.elements[self.pos].kind == KIND_KLEENE and \
+                    self.pos < size - 1:
                 break
             self.pos += 1
 
@@ -145,62 +143,66 @@ class NFAPartialMatch(PartialMatch):
 
     def violates_guard(self, event: Event) -> bool:
         """Does ``event`` trigger an active negation guard?"""
-        if self.pos >= len(self._compiled.guards):
+        plan = self._plan
+        if self.pos >= plan.size:
+            return False
+        guards = plan.guards[self.pos]
+        if not guards:
             return False
         if self._satisfied(self.pos):
             return False  # guard expires once the element has a binding
-        return any(atom.matches(event, self.bindings)
-                   for atom in self._compiled.guards[self.pos])
+        bindings = self.bindings
+        for matcher in guards:
+            if matcher(event, bindings):
+                return True
+        return False
 
     def step(self, event: Event) -> bool:
         """Feed one event; return ``True`` if the match absorbed it."""
-        positives = self._compiled.positives
-        if self.pos >= len(positives):
+        plan = self._plan
+        pos = self.pos
+        if pos >= plan.size:
             return False  # already complete
-        current = positives[self.pos]
-        in_satisfied_kleene = (isinstance(current, KleenePlus)
-                               and self._satisfied(self.pos))
-        if in_satisfied_kleene and self.pos + 1 < len(positives):
+        if plan.elements[pos].kind == KIND_KLEENE and \
+                pos + 1 < plan.size and self._satisfied(pos):
             # prefer progress over absorption
-            if self._bind(positives[self.pos + 1], event):
-                self.pos += 1
+            if self._bind(pos + 1, event):
+                self.pos = pos + 1
                 self._normalize()
                 return True
-        if self._bind(current, event):
+        if self._bind(pos, event):
             self._normalize()
             return True
         return False
 
     @property
     def is_complete(self) -> bool:
-        positives = self._compiled.positives
-        if self.pos >= len(positives):
+        plan = self._plan
+        pos = self.pos
+        if pos >= plan.size:
             return True
-        return (self.pos == len(positives) - 1
-                and isinstance(positives[self.pos], KleenePlus)
-                and self._satisfied(self.pos))
+        return (pos == plan.size - 1
+                and plan.elements[pos].kind == KIND_KLEENE
+                and self._satisfied(pos))
 
     # -- PartialMatch interface ------------------------------------------
 
     @property
     def delta(self) -> int:
         """Events still required: unmet share of the current element plus
-        all mandatory counts of later elements."""
-        positives = self._compiled.positives
-        if self.pos >= len(positives):
+        all mandatory counts of later elements (precomputed suffix)."""
+        plan = self._plan
+        pos = self.pos
+        if pos >= plan.size:
             return 0
-        current = positives[self.pos]
-        if isinstance(current, Atom):
-            remaining = 0 if self._satisfied(self.pos) else 1
-        elif isinstance(current, KleenePlus):
-            remaining = 0 if self._satisfied(self.pos) else 1
+        element = plan.elements[pos]
+        if element.kind == KIND_SET:
+            bindings = self.bindings
+            remaining = sum(1 for name, _m in element.members
+                            if name not in bindings)
         else:
-            assert isinstance(current, SetPattern)
-            remaining = sum(1 for atom in current.atoms
-                            if atom.name not in self.bindings)
-        remaining += sum(positives[i].mandatory_count()
-                         for i in range(self.pos + 1, len(positives)))
-        return remaining
+            remaining = 0 if self._satisfied(pos) else 1
+        return remaining + plan.suffix_mandatory[pos]
 
     @property
     def consumable(self) -> list[Event]:
@@ -236,6 +238,12 @@ class NFADetector(Detector):
     derive:
         Optional callable computing the complex event's payload from the
         completed bindings.
+    plan:
+        A precompiled :class:`~repro.matching.kernel.QueryPlan`; queries
+        pass their shared plan here so every window reuses one
+        compilation.  Built on the fly from ``pattern`` when omitted
+        (``compile`` then selects fused kernels vs the interpreted
+        escape hatch).
     """
 
     def __init__(self, pattern: PatternElement,
@@ -243,8 +251,11 @@ class NFADetector(Detector):
                  consumption: ConsumptionPolicy | None = None,
                  max_matches: Optional[int] = 1,
                  anchor: Optional[Event] = None,
-                 derive: Optional[DeriveFn] = None) -> None:
-        self._compiled = compile_pattern(pattern)
+                 derive: Optional[DeriveFn] = None,
+                 plan: Optional[QueryPlan] = None,
+                 compile: Optional[bool] = None) -> None:
+        self._plan = plan if plan is not None else \
+            build_plan(pattern, compiled=compile)
         self._selection = selection
         self._policy = consumption or ConsumptionPolicy.none()
         self._max_matches = max_matches
@@ -256,8 +267,12 @@ class NFADetector(Detector):
         self._closed = False
 
     @property
+    def plan(self) -> QueryPlan:
+        return self._plan
+
+    @property
     def delta_max(self) -> int:
-        return self._compiled.mandatory_total
+        return self._plan.mandatory_total
 
     @property
     def done(self) -> bool:
@@ -274,15 +289,14 @@ class NFADetector(Detector):
             return False
         if self._selection is SelectionPolicy.FIRST and self._active:
             return False
-        probe = NFAPartialMatch(-1, self._compiled, self._policy)
-        return probe.step(event)
+        return self._plan.first_accepts(event)
 
     def _create_match(self, event: Event, feedback: Feedback) -> None:
-        match = NFAPartialMatch(self._next_match_id, self._compiled,
+        match = NFAPartialMatch(self._next_match_id, self._plan,
                                 self._policy)
         self._next_match_id += 1
         absorbed = match.step(event)
-        assert absorbed, "creation probe succeeded but binding failed"
+        assert absorbed, "first_accepts succeeded but binding failed"
         self._active.append(match)
         feedback.created.append(match)
         if self._policy.consumes(match.bound_order[0][0]):
@@ -313,63 +327,121 @@ class NFADetector(Detector):
     # -- Detector interface -----------------------------------------------
 
     def process(self, event: Event) -> Feedback:
+        """Process one event.
+
+        Returns the module-shared empty feedback when the event provably
+        changed nothing (the common case under skip-till-next-match);
+        callers must treat feedback objects as read-only.
+        """
         if self._closed:
             raise RuntimeError("detector already closed")
-        feedback = Feedback()
         if self.done:
-            return feedback
+            return _EMPTY_FEEDBACK
+        relevant = self._plan.relevant_types
+        if relevant is not None and event.etype not in relevant:
+            return _EMPTY_FEEDBACK  # type-level skip: O(1), no allocation
 
-        # 1. negation guards
-        for match in list(self._active):
-            if match.violates_guard(event):
-                self._active.remove(match)
-                feedback.abandoned.append(match)
+        feedback: Optional[Feedback] = None
+        active = self._active
+        if active:
+            # 1. negation guards (collect first; copy nothing when clean)
+            doomed: Optional[list[NFAPartialMatch]] = None
+            for match in active:
+                if match.violates_guard(event):
+                    if doomed is None:
+                        doomed = []
+                    doomed.append(match)
+            if doomed:
+                feedback = Feedback()
+                for match in doomed:
+                    active.remove(match)
+                    feedback.abandoned.append(match)
 
-        # 2. LAST selection: a fresher candidate replaces an un-started
-        #    match's initial binding.
-        if self._selection is SelectionPolicy.LAST:
-            self._rebind_last(event, feedback)
+            # 2. LAST selection: a fresher candidate replaces an
+            #    un-started match's initial binding.
+            if self._selection is SelectionPolicy.LAST and active:
+                feedback = self._rebind_last(event, feedback)
 
-        # 3. extend active matches
-        for match in list(self._active):
-            if match not in self._active:
-                continue  # abandoned by an earlier completion this event
-            before = len(match.bound_order)
-            if match.step(event):
-                if len(match.bound_order) > before:
-                    name, _event = match.bound_order[-1]
-                    if self._policy.consumes(name):
-                        feedback.added.append((match, event))
-                if match.is_complete:
-                    self._complete(match, feedback)
+            # 3. extend active matches
+            if self._selection is SelectionPolicy.EACH:
+                for match in list(active):
+                    if match not in active:
+                        continue  # abandoned by an earlier completion
+                    if feedback is None:
+                        feedback = self._extend(match, event, None)
+                    else:
+                        self._extend(match, event, feedback)
                     if self.done:
-                        return feedback
-                if self._selection is not SelectionPolicy.EACH:
-                    break  # one extension per event is enough outside EACH
+                        return feedback or _EMPTY_FEEDBACK
+            else:
+                # one extension per event is enough outside EACH; any
+                # mutation (completion) is followed by the break, so
+                # iterating the live list is safe
+                for match in active:
+                    before = len(match.bound_order)
+                    if match.step(event):
+                        if feedback is None:
+                            feedback = Feedback()
+                        self._note_step(match, event, before, feedback)
+                        if self.done:
+                            return feedback
+                        break
 
         # 4. create a new match where selection allows
         if self._may_create(event):
+            if feedback is None:
+                feedback = Feedback()
             self._create_match(event, feedback)
             newest = self._active[-1]
             if newest.is_complete:  # single-element patterns
                 self._complete(newest, feedback)
+        return feedback if feedback is not None else _EMPTY_FEEDBACK
+
+    def _extend(self, match: NFAPartialMatch, event: Event,
+                feedback: Optional[Feedback]) -> Optional[Feedback]:
+        before = len(match.bound_order)
+        if match.step(event):
+            if feedback is None:
+                feedback = Feedback()
+            self._note_step(match, event, before, feedback)
         return feedback
 
-    def _rebind_last(self, event: Event, feedback: Feedback) -> None:
+    def _note_step(self, match: NFAPartialMatch, event: Event,
+                   before: int, feedback: Feedback) -> None:
+        if len(match.bound_order) > before:
+            name, _event = match.bound_order[-1]
+            if self._policy.consumes(name):
+                feedback.added.append((match, event))
+        if match.is_complete:
+            self._complete(match, feedback)
+
+    def _rebind_last(self, event: Event,
+                     feedback: Optional[Feedback]) -> Optional[Feedback]:
         """LAST selection: drop an initial-position match if the new event
         could start a fresh one (the later candidate is preferred)."""
-        fresh_possible = NFAPartialMatch(-1, self._compiled, self._policy)
-        if not fresh_possible.step(event):
-            return
-        for match in list(self._active):
+        if not self._plan.first_accepts(event):
+            return feedback
+        doomed: Optional[list[NFAPartialMatch]] = None
+        for match in self._active:
             if len(match.bound_order) == 1 and not match.is_complete:
+                if doomed is None:
+                    doomed = []
+                doomed.append(match)
+        if doomed:
+            if feedback is None:
+                feedback = Feedback()
+            for match in doomed:
                 self._active.remove(match)
                 feedback.abandoned.append(match)
+        return feedback
 
     def close(self) -> Feedback:
+        if self._closed:
+            return _EMPTY_FEEDBACK
+        self._closed = True
+        if not self._active:
+            return _EMPTY_FEEDBACK
         feedback = Feedback()
-        if not self._closed:
-            feedback.abandoned.extend(self._active)
-            self._active = []
-            self._closed = True
+        feedback.abandoned.extend(self._active)
+        self._active = []
         return feedback

@@ -52,7 +52,12 @@ from repro.patterns.ast import (
     SetPattern,
 )
 from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
-from repro.patterns.predicates import Bindings, Predicate, true_predicate
+from repro.patterns.predicates import (
+    MISSING,
+    Bindings,
+    Predicate,
+    true_predicate,
+)
 from repro.patterns.query import Query, make_query
 from repro.windows.specs import WindowSpec
 
@@ -90,11 +95,30 @@ def _tokenize(text: str) -> list[tuple[str, str]]:
 
 @dataclass
 class _Comparison:
-    """One ``lhs op rhs`` condition from a DEFINE clause."""
+    """One ``lhs op rhs`` condition from a DEFINE clause.
+
+    A missing operand — an unbound symbol reference or an event lacking
+    the referenced attribute — makes the comparison *false* (a clean
+    non-match, SQL-NULL style) rather than raising: one malformed event
+    must not kill a long-running session.
+    """
 
     lhs: tuple[str, str] | Any  # (symbol, attr) reference or literal
     op: str
     rhs: tuple[str, str] | Any
+
+    def spec(self, own_symbol: str) -> tuple:
+        """The declarative kernel spec (see repro.matching.kernel)."""
+        def side(value: Any) -> tuple:
+            if isinstance(value, tuple):
+                symbol, attr = value
+                if symbol == own_symbol:
+                    return ("attr", attr)
+                return ("bound", symbol, attr)
+            return ("lit", value)
+
+        op = "==" if self.op == "=" else self.op
+        return ("cmp", side(self.lhs), op, side(self.rhs))
 
     def to_predicate(self, own_symbol: str) -> Predicate:
         import operator as _operator
@@ -106,24 +130,31 @@ class _Comparison:
         lhs, rhs = self.lhs, self.rhs
 
         def resolve(side: Any, event, bindings: Bindings) -> Any:
+            # absent attributes and None values (JSON nulls) both
+            # resolve to MISSING: the comparison is then a non-match
             if isinstance(side, tuple):
                 symbol, attr = side
                 if symbol == own_symbol:
-                    return event.attributes[attr]
+                    value = event.attributes.get(attr)
+                    return MISSING if value is None else value
                 bound = bindings.get(symbol)
                 if bound is None:
-                    return None
+                    return MISSING
                 bound_event = bound[-1] if isinstance(bound, list) else bound
-                return bound_event.attributes[attr]
+                value = bound_event.attributes.get(attr)
+                return MISSING if value is None else value
             return side
 
         def predicate(event, bindings: Bindings) -> bool:
             left = resolve(lhs, event, bindings)
+            if left is MISSING or left is None:
+                return False
             right = resolve(rhs, event, bindings)
-            if left is None or right is None:
+            if right is MISSING or right is None:
                 return False
             return compare(left, right)
 
+        predicate._kernel_spec = self.spec(own_symbol)  # type: ignore
         return predicate
 
 
@@ -133,6 +164,9 @@ class _And:
 
     parts: tuple
 
+    def spec(self, own_symbol: str) -> tuple:
+        return ("and", tuple(part.spec(own_symbol) for part in self.parts))
+
     def to_predicate(self, own_symbol: str) -> Predicate:
         predicates = tuple(part.to_predicate(own_symbol)
                            for part in self.parts)
@@ -140,6 +174,7 @@ class _And:
         def predicate(event, bindings: Bindings) -> bool:
             return all(p(event, bindings) for p in predicates)
 
+        predicate._kernel_spec = self.spec(own_symbol)  # type: ignore
         return predicate
 
 
@@ -149,6 +184,9 @@ class _Or:
 
     parts: tuple
 
+    def spec(self, own_symbol: str) -> tuple:
+        return ("or", tuple(part.spec(own_symbol) for part in self.parts))
+
     def to_predicate(self, own_symbol: str) -> Predicate:
         predicates = tuple(part.to_predicate(own_symbol)
                            for part in self.parts)
@@ -156,6 +194,7 @@ class _Or:
         def predicate(event, bindings: Bindings) -> bool:
             return any(p(event, bindings) for p in predicates)
 
+        predicate._kernel_spec = self.spec(own_symbol)  # type: ignore
         return predicate
 
 
@@ -375,14 +414,21 @@ def parse_query(text: str, name: str = "query",
                 params: Mapping[str, Any] | None = None,
                 selection: SelectionPolicy = SelectionPolicy.FIRST,
                 max_matches: Optional[int] = 1,
-                anchored: Optional[bool] = None) -> Query:
+                anchored: Optional[bool] = None,
+                compile: Optional[bool] = None) -> Query:
     """Parse query ``text`` into a runnable :class:`Query`.
 
     ``params`` supplies values for free identifiers (``lowerLimit`` etc.).
     ``anchored`` defaults to ``True`` for ``FROM <symbol>`` windows whose
     opening symbol is also the first pattern position (Q1-style).
+    ``compile`` toggles the fused-kernel plan (see
+    :func:`repro.patterns.query.make_query`); the window-start predicate
+    of ``FROM <symbol>`` windows is fused with the same machinery.
     """
+    from repro.matching.kernel import compile_atom_matcher, compile_enabled
+
     params = dict(params or {})
+    compiled = compile_enabled(compile)
     parser = _Parser(_tokenize(text), params)
 
     pattern_items = parser.parse_pattern_clause()
@@ -409,20 +455,22 @@ def parse_query(text: str, name: str = "query",
             first_symbol = payload if isinstance(payload, str) else None
     pattern = Sequence(tuple(elements))
 
+    def start_predicate(symbol: str):
+        start_atom = _build_atom(symbol, definitions)
+        matcher = compile_atom_matcher(start_atom, compiled)
+        return lambda event, _m=matcher: _m(event, {})
+
     if scope_kind == "count":
         if start_kind == "every":
             window = WindowSpec.count_sliding(scope_value, start_value)
         else:
-            start_atom = _build_atom(start_value, definitions)
-            window = WindowSpec.count_on(
-                scope_value,
-                lambda event, _a=start_atom: _a.matches(event, {}))
+            window = WindowSpec.count_on(scope_value,
+                                         start_predicate(start_value))
     else:
         if start_kind == "every":
             raise QueryParseError("time windows need a FROM <symbol> start")
-        start_atom = _build_atom(start_value, definitions)
-        window = WindowSpec.time_on(
-            scope_value, lambda event, _a=start_atom: _a.matches(event, {}))
+        window = WindowSpec.time_on(scope_value,
+                                    start_predicate(start_value))
 
     if anchored is None:
         anchored = start_kind == "symbol" and start_value == first_symbol
@@ -436,6 +484,7 @@ def parse_query(text: str, name: str = "query",
         max_matches=max_matches,
         anchored=anchored,
         description=text.strip(),
+        compile=compiled,
     )
 
 

@@ -8,6 +8,20 @@ Predicates are plain callables ``(event, bindings) -> bool`` where
 ``bindings`` maps atom names to the event (or, for Kleene atoms, the list
 of events) already bound.  The combinators below exist so that queries read
 declaratively; hand-written lambdas work just as well.
+
+Two properties distinguish combinator-built predicates from raw lambdas:
+
+* **Missing attributes are a clean non-match.**  A comparison whose
+  event lacks the referenced attribute — or carries it with a ``None``
+  value (a JSON null) — evaluates to ``False`` instead of raising
+  ``KeyError``/``TypeError``; one malformed event must not kill a
+  long-running session.  (Consequence for :func:`negate`: the negation
+  of a failed comparison *matches* — SQL-NULL-style semantics.)
+* **They are compilable.**  Each combinator attaches a declarative
+  ``_kernel_spec`` to the closure it returns, which is what lets
+  :mod:`repro.matching.kernel` fuse an atom's whole predicate tree into
+  one generated code object.  Hand-written lambdas still work — they
+  simply stay interpreted.
 """
 
 from __future__ import annotations
@@ -19,6 +33,17 @@ from repro.events.event import Event
 
 Bindings = Mapping[str, Any]
 Predicate = Callable[[Event, Bindings], bool]
+
+#: Sentinel for "the event has no usable value for this attribute".
+#: ``None`` attribute values (JSON nulls) are folded into it — a null
+#: participates in no comparison, SQL-style.
+MISSING = object()
+
+
+def _operand(attributes: Mapping[str, Any], attr: str) -> Any:
+    """Attribute value for comparison purposes; absent or None → MISSING."""
+    value = attributes.get(attr)
+    return MISSING if value is None else value
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "<": operator.lt,
@@ -35,13 +60,22 @@ def true_predicate(event: Event, bindings: Bindings) -> bool:
     return True
 
 
+true_predicate._kernel_spec = ("const", True)  # type: ignore[attr-defined]
+
+
 def attr_compare(attr: str, op: str, value: Any) -> Predicate:
-    """``event[attr] <op> value`` — e.g. ``attr_compare("close", ">", 50)``."""
+    """``event[attr] <op> value`` — e.g. ``attr_compare("close", ">", 50)``.
+
+    A missing attribute is a non-match (see module docstring).
+    """
     compare = _OPS[op]
 
     def predicate(event: Event, bindings: Bindings) -> bool:
-        return compare(event.attributes[attr], value)
+        own = _operand(event.attributes, attr)
+        return own is not MISSING and compare(own, value)
 
+    predicate._kernel_spec = (  # type: ignore[attr-defined]
+        "cmp", ("attr", attr), op, ("lit", value))
     return predicate
 
 
@@ -49,8 +83,11 @@ def attr_between(attr: str, low: Any, high: Any) -> Predicate:
     """``low < event[attr] < high`` (strict, like the paper's Q2 bands)."""
 
     def predicate(event: Event, bindings: Bindings) -> bool:
-        return low < event.attributes[attr] < high
+        own = _operand(event.attributes, attr)
+        return own is not MISSING and low < own < high
 
+    predicate._kernel_spec = (  # type: ignore[attr-defined]
+        "between", attr, low, high)
     return predicate
 
 
@@ -63,8 +100,15 @@ def self_compare(left_attr: str, op: str, right_attr: str) -> Predicate:
     compare = _OPS[op]
 
     def predicate(event: Event, bindings: Bindings) -> bool:
-        return compare(event.attributes[left_attr], event.attributes[right_attr])
+        attributes = event.attributes
+        left = _operand(attributes, left_attr)
+        if left is MISSING:
+            return False
+        right = _operand(attributes, right_attr)
+        return right is not MISSING and compare(left, right)
 
+    predicate._kernel_spec = (  # type: ignore[attr-defined]
+        "cmp", ("attr", left_attr), op, ("attr", right_attr))
     return predicate
 
 
@@ -74,18 +118,33 @@ def cross_compare(attr: str, op: str, other_name: str,
 
     ``cross_compare("x", ">", "A", "x")`` expresses ``THIS.x > A.x``.
     If the referenced atom is a Kleene binding (a list), its most recent
-    event is used.
+    event is used.  An unbound reference or missing attribute on either
+    side is a non-match.
     """
     compare = _OPS[op]
 
     def predicate(event: Event, bindings: Bindings) -> bool:
+        own = _operand(event.attributes, attr)
+        if own is MISSING:
+            return False
         bound = bindings.get(other_name)
         if bound is None:
             return False
         other_event = bound[-1] if isinstance(bound, list) else bound
-        return compare(event.attributes[attr], other_event.attributes[other_attr])
+        other = _operand(other_event.attributes, other_attr)
+        return other is not MISSING and compare(own, other)
 
+    predicate._kernel_spec = (  # type: ignore[attr-defined]
+        "cmp", ("attr", attr), op, ("bound", other_name, other_attr))
     return predicate
+
+
+def _child_specs(predicates: tuple[Predicate, ...]) -> tuple | None:
+    """Collect child specs; None if any child is an opaque lambda."""
+    specs = tuple(getattr(p, "_kernel_spec", None) for p in predicates)
+    if any(spec is None for spec in specs):
+        return None
+    return specs
 
 
 def all_of(*predicates: Predicate) -> Predicate:
@@ -94,6 +153,10 @@ def all_of(*predicates: Predicate) -> Predicate:
     def predicate(event: Event, bindings: Bindings) -> bool:
         return all(p(event, bindings) for p in predicates)
 
+    specs = _child_specs(predicates)
+    if specs is not None:
+        predicate._kernel_spec = (  # type: ignore[attr-defined]
+            "and", specs) if specs else ("const", True)
     return predicate
 
 
@@ -103,13 +166,24 @@ def any_of(*predicates: Predicate) -> Predicate:
     def predicate(event: Event, bindings: Bindings) -> bool:
         return any(p(event, bindings) for p in predicates)
 
+    specs = _child_specs(predicates)
+    if specs is not None:
+        predicate._kernel_spec = (  # type: ignore[attr-defined]
+            "or", specs) if specs else ("const", False)
     return predicate
 
 
 def negate(inner: Predicate) -> Predicate:
-    """Logical negation of a predicate."""
+    """Logical negation of a predicate.
+
+    Note: combined with the missing-attribute rule, negating a
+    comparison on an absent attribute *matches* (inner is False).
+    """
 
     def predicate(event: Event, bindings: Bindings) -> bool:
         return not inner(event, bindings)
 
+    inner_spec = getattr(inner, "_kernel_spec", None)
+    if inner_spec is not None:
+        predicate._kernel_spec = ("not", inner_spec)  # type: ignore[attr-defined]
     return predicate

@@ -9,7 +9,12 @@ pattern-detection task:
   generic :class:`~repro.matching.nfa.NFADetector` from the pattern AST,
 * the selection and consumption policies,
 * ``delta_max``, the largest inverse-completion-degree δ a partial match
-  can have (the Markov model's state-space size).
+  can have (the Markov model's state-space size),
+* for AST-driven queries, the compiled :class:`~repro.matching.kernel.
+  QueryPlan` — fused predicate kernels, table-dispatch kind codes and
+  the relevant-type prefilter set — built **once** per query and shared
+  by every detector instance and every engine (UDF queries carry no
+  plan; their detectors are already hand-specialized).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Callable, Optional
 
 from repro.events.event import Event
 from repro.matching.base import Detector
+from repro.matching.kernel import QueryPlan, build_plan
 from repro.matching.nfa import DeriveFn, NFADetector
 from repro.patterns.ast import PatternElement
 from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
@@ -44,6 +50,10 @@ class Query:
     consumption: ConsumptionPolicy = field(
         default_factory=ConsumptionPolicy.none)
     description: str = ""
+    # AST-driven queries carry their source pattern and compiled plan;
+    # UDF queries leave both None (nothing to compile).
+    pattern: Optional[PatternElement] = None
+    plan: Optional[QueryPlan] = None
 
     def new_detector(self, start_event: Event) -> Detector:
         """Fresh detector for a window starting at ``start_event``."""
@@ -61,16 +71,24 @@ def make_query(name: str, pattern: PatternElement, window: WindowSpec,
                max_matches: Optional[int] = 1,
                anchored: bool = False,
                derive: Optional[DeriveFn] = None,
-               description: str = "") -> Query:
+               description: str = "",
+               compile: Optional[bool] = None) -> Query:
     """Build a query whose detector is the generic NFA automaton.
 
     ``anchored=True`` requires the window's start condition to be a
     predicate (``FROM <event>``) and forces the first pattern position to
     bind exactly the window-opening event.
+
+    ``compile`` selects fused generated kernels + type prefiltering
+    (default, also switchable off fleet-wide via ``REPRO_COMPILE=0``) or
+    the interpreted predicate path (``compile=False``, the differential-
+    testing escape hatch).  The plan is built here, once, and shared by
+    every detector the query creates.
     """
     consumption = consumption or ConsumptionPolicy.none()
     if anchored and not isinstance(window.start, OnPredicate):
         raise ValueError("anchored queries need an OnPredicate window start")
+    plan = build_plan(pattern, compiled=compile)
 
     def factory(start_event: Event) -> Detector:
         return NFADetector(
@@ -80,6 +98,7 @@ def make_query(name: str, pattern: PatternElement, window: WindowSpec,
             max_matches=max_matches,
             anchor=start_event if anchored else None,
             derive=derive,
+            plan=plan,
         )
 
     return Query(
@@ -90,4 +109,6 @@ def make_query(name: str, pattern: PatternElement, window: WindowSpec,
         selection=selection,
         consumption=consumption,
         description=description,
+        pattern=pattern,
+        plan=plan,
     )

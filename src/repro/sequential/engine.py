@@ -27,6 +27,7 @@ from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.consumption.ledger import ConsumptionLedger
 from repro.matching.base import Feedback
+from repro.matching.kernel import classifier_for
 from repro.patterns.query import Query
 from repro.streaming.session import Session, drive
 from repro.windows.splitter import Splitter
@@ -43,6 +44,9 @@ class SequentialResult:
     groups_completed: int
     events_fed: int
     events_skipped_consumed: int
+    # events skipped by the compiled plan's type prefilter, summed over
+    # windows (0 on the interpreted path / UDF queries)
+    events_prefiltered: int = 0
 
     @property
     def completion_probability(self) -> float:
@@ -69,7 +73,8 @@ class SequentialSession(Session):
                  gc: bool | None = None) -> None:
         super().__init__(eager=eager, gc=gc)
         self.engine = engine
-        self._splitter = Splitter(engine.query.window)
+        self._splitter = Splitter(engine.query.window,
+                                  classifier=classifier_for(engine.query))
         self._ledger = ConsumptionLedger()
         self._pending: deque[Window] = deque()
         self._result = SequentialResult(
@@ -87,16 +92,18 @@ class SequentialSession(Session):
 
     def _drain(self) -> list[ComplexEvent]:
         before = len(self._result.complex_events)
+        classifier = self._splitter.classifier
         while self._pending:
             window = self._pending.popleft()
             self._result.windows += 1
-            self.engine._process_window(window, self._ledger, self._result)
+            self.engine._process_window(window, self._ledger, self._result,
+                                        classifier)
             self._last_window_id = window.window_id
         return self._result.complex_events[before:]
 
     def _collect_garbage(self) -> None:
         self._splitter.retire(self._last_window_id)
-        self._splitter.stream.trim(self._splitter.min_live_start())
+        self._splitter.trim_to_live()
 
     def result(self) -> SequentialResult:
         return self._result
@@ -127,17 +134,39 @@ class SequentialEngine:
             return session.result()
 
     def _process_window(self, window: Window, ledger: ConsumptionLedger,
-                        result: SequentialResult) -> None:
+                        result: SequentialResult,
+                        classifier=None) -> None:
         detector = self.query.new_detector(window.start_event)
-        for event in window.events():
-            if detector.done:
-                break
-            if ledger.is_consumed(event):
-                result.events_skipped_consumed += 1
-                continue
-            result.events_fed += 1
-            feedback = detector.process(event)
-            self._apply(feedback, window, ledger, result)
+        if classifier is not None:
+            # compiled plan: events were classified once at ingestion;
+            # irrelevant ones are skipped in O(1), before the ledger
+            # check, without calling the detector (an event no atom can
+            # bind is never consumed and never matters)
+            flags = classifier.flags(window.start_pos, window.end_pos)
+            for event, is_relevant in zip(window.events(), flags):
+                if detector.done:
+                    break
+                if not is_relevant:
+                    result.events_prefiltered += 1
+                    continue
+                if ledger.is_consumed(event):
+                    result.events_skipped_consumed += 1
+                    continue
+                result.events_fed += 1
+                feedback = detector.process(event)
+                if not feedback.is_empty:
+                    self._apply(feedback, window, ledger, result)
+        else:
+            for event in window.events():
+                if detector.done:
+                    break
+                if ledger.is_consumed(event):
+                    result.events_skipped_consumed += 1
+                    continue
+                result.events_fed += 1
+                feedback = detector.process(event)
+                if not feedback.is_empty:
+                    self._apply(feedback, window, ledger, result)
         self._apply(detector.close(), window, ledger, result)
 
     def _apply(self, feedback: Feedback, window: Window,

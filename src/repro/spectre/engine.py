@@ -42,6 +42,7 @@ from repro.consumption.ledger import ConsumptionLedger
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.matching.base import Feedback
+from repro.matching.kernel import classifier_for
 from repro.patterns.query import Query
 from repro.runtime.forest import Forest
 from repro.runtime.instances import InstancePool
@@ -155,6 +156,7 @@ class SpectreEngine:
         self._unfinished = 0
         self._counter_lock = threading.Lock()
         self._splitter: Optional[Splitter] = None
+        self._classifier = None  # type prefilter flags (compiled plans)
         self._prob_cache: dict[int, float] = {}
         self._consumes = query.consumes
         self._input_count = 0
@@ -211,7 +213,7 @@ class SpectreEngine:
         times isolated splitter cycles this way); :meth:`run` feeds the
         same queues incrementally through a lazy session.
         """
-        splitter = Splitter(self.query.window)
+        splitter = self._new_splitter()
         windows = splitter.split_all(events)
         splitter.drain_closed()  # discard: windows are queued wholesale
         self._splitter = splitter
@@ -221,10 +223,14 @@ class SpectreEngine:
 
     # -- incremental ingestion (the session feeds these) -------------------
 
+    def _new_splitter(self) -> Splitter:
+        self._classifier = classifier_for(self.query)
+        return Splitter(self.query.window, classifier=self._classifier)
+
     def ingest_event(self, event: Event) -> None:
         """Admit one event; queue the windows it proved complete."""
         if self._splitter is None:
-            self._splitter = Splitter(self.query.window)
+            self._splitter = self._new_splitter()
         self._splitter.ingest(event)
         self._input_count += 1
         for window in self._splitter.drain_closed():
@@ -234,7 +240,7 @@ class SpectreEngine:
     def finish_stream(self) -> None:
         """End-of-stream: close and queue the trailing windows."""
         if self._splitter is None:
-            self._splitter = Splitter(self.query.window)
+            self._splitter = self._new_splitter()
         self._splitter.finish()
         for window in self._splitter.drain_closed():
             self._pending.append(window)
@@ -462,11 +468,31 @@ class SpectreEngine:
         if version.exhausted:
             self._finish_version(version)
             return costs.suppressed
-        event = version.window.event_at(version.position)
-        version.position += 1
+        position = version.position
+        event = version.window.event_at(position)
+        version.position = position + 1
         version.steps_spent += 1
 
-        if event.seq in version.local_consumed_seqs or \
+        classifier = self._classifier
+        if classifier is not None and not classifier.relevant(
+                version.window.start_pos + position):
+            # Type-irrelevant event (prefilter flags, classified once at
+            # ingestion): it can neither bind an element nor trip a
+            # guard, so the detector never needs to see it — no
+            # Feedback, no used_seqs entry, and no suppression check
+            # (ledgers and groups only ever hold bound, i.e. relevant,
+            # events).  In *virtual* time it still costs a full
+            # processing step so the simulated cost model (and the
+            # Fig. 10 dynamics) match the uncompiled runtime exactly;
+            # the saving is real wall-clock time.  δ self-transitions
+            # the interpreted path would record for such no-op events
+            # are deliberately not observed — the Markov statistics
+            # then describe the events the detector can see (the
+            # predictor is a scheduling heuristic; emission is
+            # validated independently).
+            self.stats.steps_processed += 1
+            cost = costs.process
+        elif event.seq in version.local_consumed_seqs or \
                 version.is_suppressed(event):
             self.stats.steps_suppressed += 1
             cost = costs.suppressed
@@ -649,7 +675,7 @@ class SpectreSession(Session):
         # emission is in window-id order and ids are dense from 0, so
         # everything below the emitted count is retired
         splitter.retire(self.engine.stats.windows_emitted - 1)
-        splitter.stream.trim(splitter.min_live_start())
+        splitter.trim_to_live()
 
     def result(self) -> SpectreResult:
         return self.engine.result()

@@ -176,6 +176,26 @@ class PipelineSession(Session):
         for ev in released:
             self._staged.extend(self.inner.push(ev))
 
+    def _ingest_many(self, events) -> tuple[int, float]:
+        """Batch ingestion (drives ``push_many``): one sorter pass and
+        one inner ``push_many`` — amortizes the per-event reorder and
+        drain overhead for chunked sources."""
+        count = 0
+        last_ts = self._last_ts
+        if self.sorter is not None:
+            released: list[Event] = []
+            for event in events:
+                released.extend(self.sorter.push(event))
+                count += 1
+                last_ts = event.timestamp
+        else:
+            released = list(events)
+            count = len(released)
+            if released:
+                last_ts = released[-1].timestamp
+        self._staged.extend(self.inner.push_many(released))
+        return count, last_ts
+
     def _finish(self) -> None:
         if self.sorter is not None:
             for ev in self.sorter.flush():

@@ -170,6 +170,41 @@ class Session(abc.ABC):
         self.matches_emitted += len(matches)
         return matches
 
+    def push_many(self, events: Iterable[Event]) -> list[ComplexEvent]:
+        """Offer a batch of events; return the matches they validated.
+
+        Semantically ``[m for e in events for m in push(e)]``, but the
+        per-event drain/garbage-collection cycle is amortized over the
+        whole batch: one lifecycle check, one drain, one GC sweep.  Use
+        it when the source hands events in chunks (file replay, network
+        batches) — per-event emission granularity is traded for
+        throughput within the batch; across batches nothing changes.
+        Subclasses with a cheaper bulk ingestion path override
+        :meth:`_ingest_many`, not this method.
+        """
+        self._require_open("push_many")
+        count, last_ts = self._ingest_many(events)
+        self.events_pushed += count
+        self._last_ts = last_ts
+        if not self.eager:
+            return []
+        matches = self._drain()
+        if self.gc:
+            self._collect_garbage()
+        self.matches_emitted += len(matches)
+        return matches
+
+    def _ingest_many(self, events: Iterable[Event]) -> tuple[int, float]:
+        """Bulk-admit ``events``; return (count, last timestamp seen,
+        or the previous one when the batch is empty)."""
+        count = 0
+        last_ts = self._last_ts
+        for event in events:
+            self._ingest(event)
+            count += 1
+            last_ts = event.timestamp
+        return count, last_ts
+
     def flush(self) -> list[ComplexEvent]:
         """End-of-stream: close trailing windows, drain everything still
         queued, and return the matches that surfaced.  A mid-stream

@@ -21,6 +21,7 @@ from typing import Iterable
 from repro.consumption.ledger import ConsumptionLedger
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
+from repro.matching.kernel import classifier_for
 from repro.patterns.query import Query
 from repro.streaming.session import Session, drive
 from repro.trex.automaton import compile_detector
@@ -58,7 +59,8 @@ class TRexSession(Session):
                  gc: bool | None = None) -> None:
         super().__init__(eager=eager, gc=gc)
         self.engine = engine
-        self._splitter = Splitter(engine.query.window)
+        self._splitter = Splitter(engine.query.window,
+                                  classifier=classifier_for(engine.query))
         self._ledger = ConsumptionLedger()
         self._pending: deque[Window] = deque()
         self._output: list[ComplexEvent] = []
@@ -77,6 +79,7 @@ class TRexSession(Session):
 
     def _drain(self) -> list[ComplexEvent]:
         query = self.engine.query
+        classifier = self._splitter.classifier
         before = len(self._output)
         started = time.perf_counter()
         while self._pending:
@@ -84,9 +87,13 @@ class TRexSession(Session):
             self._windows += 1
             self._last_window_id = window.window_id
             detector = compile_detector(query, window.start_event)
-            for event in window.events():
+            flags = classifier.flags(window.start_pos, window.end_pos) \
+                if classifier is not None else None
+            for index, event in enumerate(window.events()):
                 if detector.done:
                     break
+                if flags is not None and not flags[index]:
+                    continue  # classified once at ingestion, O(1) skip
                 if self._ledger.is_consumed(event):
                     continue
                 self._events_fed += 1
@@ -105,7 +112,7 @@ class TRexSession(Session):
 
     def _collect_garbage(self) -> None:
         self._splitter.retire(self._last_window_id)
-        self._splitter.stream.trim(self._splitter.min_live_start())
+        self._splitter.trim_to_live()
 
     def result(self) -> TRexResult:
         return TRexResult(

@@ -51,10 +51,16 @@ class Splitter:
         splitter.finish()                          # close trailing windows
     """
 
-    def __init__(self, spec: WindowSpec, stream: EventStream | None = None):
+    def __init__(self, spec: WindowSpec, stream: EventStream | None = None,
+                 classifier=None):
         self.spec = spec
         self.stream = stream if stream is not None else EventStream()
         self.stats = SplitterStats()
+        # optional repro.matching.kernel.EventClassifier: the splitter is
+        # the one component that sees every event exactly once, so it is
+        # where per-event type relevance is classified (then shared by
+        # every overlapping window).
+        self.classifier = classifier
         self._ids = IdGenerator()
         self._open_windows: list[Window] = []
         self.windows: list[Window] = []  # all non-retired windows, by id
@@ -79,6 +85,8 @@ class Splitter:
             raise RuntimeError("splitter already finished")
         position = len(self.stream)
         self.stream.append(event)
+        if self.classifier is not None:
+            self.classifier.ingest(event)
 
         self._close_expired(event, position)
 
@@ -102,13 +110,21 @@ class Splitter:
         return window
 
     def _close_expired(self, event: Event, position: int) -> None:
-        still_open: list[Window] = []
-        for window in self._open_windows:
-            if self._is_expired(window, event, position):
-                self._finalize(window, event, position)
-            else:
-                still_open.append(window)
-        self._open_windows = still_open
+        # Windows expire in open order (count scopes: end = start + size
+        # with nondecreasing starts; time scopes: nondecreasing start
+        # timestamps), so scan from the front and stop at the first live
+        # window — the hot no-expiry case touches one window and
+        # allocates nothing instead of rebuilding the open list per
+        # ingest.
+        open_windows = self._open_windows
+        expired = 0
+        for window in open_windows:
+            if not self._is_expired(window, event, position):
+                break
+            self._finalize(window, event, position)
+            expired += 1
+        if expired:
+            del open_windows[:expired]
 
     def _is_expired(self, window: Window, event: Event, position: int) -> bool:
         scope = self.spec.scope
@@ -205,3 +221,12 @@ class Splitter:
         if not self.windows:
             return len(self.stream)
         return min(window.start_pos for window in self.windows)
+
+    def trim_to_live(self) -> int:
+        """Trim the stream (and the relevance classifier, if any) below
+        every live window; returns the number of events dropped."""
+        horizon = self.min_live_start()
+        dropped = self.stream.trim(horizon)
+        if self.classifier is not None:
+            self.classifier.trim(horizon)
+        return dropped

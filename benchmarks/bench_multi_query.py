@@ -1,15 +1,31 @@
 """Multi-query serving benchmark: one hub pass vs N independent runs.
 
 The StreamHub's claim is architectural: N concurrent queries over one
-feed should share a single decode → reorder → fan-out pass instead of
-paying N redundant ones.  This benchmark times exactly that trade on a
-NYSE-like workload with N parameterized band queries, N ∈ {1, 4, 8}:
+feed should share a single decode → reorder → fan-out pass — and, with
+the cross-query optimizer, one *matching* pass over each window for
+queries that share an NFA prefix.  This benchmark times that trade on
+two query families, N ∈ {16, 64, 256}:
+
+* **similar** — N parameterized ``PATTERN (A B+ C)`` band queries over
+  a NYSE-like feed.  All N share the ``A B+`` head (identical interned
+  kernels); only the final band predicate differs per tenant.  This is
+  the prefix-sharing sweet spot: one shared partial match tracks the
+  head for the whole cluster, members fork off only at the boundary.
+* **diverse** — N typed two-symbol queries (``PATTERN (tI tJ+)``) over
+  a synthetic feed drawn from 512 event types.  No two queries share a
+  prefix (singleton clusters); the win comes from the shared window
+  splitter plus the group's type index, which hands each member only
+  its ~2/512 slice of every window.
+
+Arms per cell:
 
 * **independent** — each query drives its own
   ``pipeline(q).engine(...).out_of_order(slack)`` session over the full
   stream (N reorder stages, N event loops);
-* **hub** — one ``StreamHub(slack=...)`` serving N attachments (one
-  reorder stage, one event loop, N engine sessions).
+* **hub** — one ``StreamHub(slack=...)`` serving N attachments;
+* **hub, sharing off** — the same hub with ``share=False`` (ablation):
+  one reorder stage but N independent engine sessions, i.e. the
+  pre-optimizer fan-out path.
 
 Every timed run is also a parity check: per query, the hub attachment
 must emit exactly the independent run's complex events.  Writes a
@@ -18,9 +34,8 @@ CI runs ``--quick`` and archives the JSON::
 
     PYTHONPATH=src python benchmarks/bench_multi_query.py [--quick]
 
-At N=1 the hub is expected to *lose* slightly (fan-out bookkeeping with
-nothing to share); the number to read is the crossover — the shared
-pass must win from N ≥ 4.
+Sharing-off is expected to plateau around ~1.1x (the shared reorder
+pass is all it has); the optimizer columns are the headline.
 """
 
 from __future__ import annotations
@@ -29,6 +44,7 @@ import argparse
 import json
 import os
 import platform
+import random
 import sys
 import time
 from datetime import datetime, timezone
@@ -37,6 +53,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.datasets import generate_nyse  # noqa: E402
+from repro.events.event import Event  # noqa: E402
 from repro.hub import StreamHub  # noqa: E402
 from repro.patterns.parser import parse_query  # noqa: E402
 from repro.streaming.builder import pipeline  # noqa: E402
@@ -44,39 +61,72 @@ from repro.streaming.builder import pipeline  # noqa: E402
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_multi_query.json"
 
-QUERY_COUNTS = (1, 4, 8)
+FAMILIES = ("similar", "diverse")
 SLACK = 50.0
+N_TYPES = 512  # diverse-family event-type alphabet
 
-BAND_TEXT = """
+SIMILAR_TEXT = """
 PATTERN (A B+ C)
 DEFINE
-    A AS (A.closePrice < lowerLimit),
-    B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit),
-    C AS (C.closePrice > upperLimit)
+    A AS (A.change < dropLimit),
+    B AS (B.change > riseFloor),
+    C AS (C.closePrice >= bandLow AND C.closePrice <= bandHigh)
 WITHIN 200 events FROM every 50 events
-CONSUME (A B+ C)
 """
 
 
-def band_query(index: int):
-    """One tenant's band query: each index gets its own limits, so the
-    N queries do distinct work (multi-tenant, not N clones)."""
-    return parse_query(BAND_TEXT, name=f"band{index}",
-                       params={"lowerLimit": 49.2 + index * 0.1,
-                               "upperLimit": 50.8 - index * 0.05})
+def similar_query(index: int, n_queries: int):
+    """One tenant's band query.  ``dropLimit``/``riseFloor`` are shared
+    constants, so every tenant's ``A B+`` head compiles to the *same*
+    interned kernels; the closing band sweeps the price range so the N
+    queries do distinct work (multi-tenant, not N clones)."""
+    band_low = 47.5 + 4.0 * index / max(1, n_queries - 1)
+    return parse_query(SIMILAR_TEXT, name=f"sim{index}",
+                       params={"dropLimit": -0.21, "riseFloor": 0.0,
+                               "bandLow": band_low,
+                               "bandHigh": band_low + 1.0})
 
 
-def build_workload(quick: bool):
-    n_events = 8000 if quick else 40000
-    events = generate_nyse(n_events, n_symbols=100, n_leading=2, seed=13)
-    return events, {
-        "dataset": "nyse",
-        "events": n_events,
-        "n_symbols": 100,
-        "seed": 13,
-        "query": "parameterized price-band (A B+ C), 200/50 sliding",
-        "slack": SLACK,
+def diverse_query(index: int, n_queries: int):
+    """One tenant's typed query: two event types nobody else watches.
+    No DEFINE — the symbols bind by event type, so the group's type
+    index can hand each member only its slice of every window."""
+    first = (2 * index) % N_TYPES
+    second = (2 * index + 1) % N_TYPES
+    text = (f"PATTERN (t{first} t{second}+)\n"
+            f"WITHIN 200 events FROM every 50 events\n")
+    return parse_query(text, name=f"div{index}")
+
+
+def make_queries(family: str, n_queries: int):
+    build = similar_query if family == "similar" else diverse_query
+    return [build(index, n_queries) for index in range(n_queries)]
+
+
+def generate_typed(n_events: int, seed: int = 7):
+    """Synthetic diverse feed: uniform draw over ``N_TYPES`` types."""
+    rng = random.Random(seed)
+    return [Event(seq=index, etype=f"t{rng.randrange(N_TYPES)}",
+                  timestamp=float(index), attributes={"v": rng.random()})
+            for index in range(n_events)]
+
+
+def build_workloads(quick: bool):
+    n_events = 6000 if quick else 24000
+    events = {
+        "similar": generate_nyse(n_events, n_symbols=100, n_leading=2,
+                                 seed=13),
+        "diverse": generate_typed(n_events, seed=7),
     }
+    description = {
+        "events": n_events,
+        "slack": SLACK,
+        "similar": "nyse feed; N band queries sharing an (A B+) prefix, "
+                   "200/50 sliding",
+        "diverse": f"{N_TYPES}-type synthetic feed; N disjoint typed "
+                   "(tI tJ+) queries, 200/50 sliding",
+    }
+    return events, description
 
 
 def run_independent(queries, events, engine):
@@ -95,11 +145,11 @@ def run_independent(queries, events, engine):
     return time.perf_counter() - started, identities
 
 
-def run_hub(queries, events, engine):
-    """One shared pass; returns (total seconds, per-query ids)."""
+def run_hub(queries, events, engine, share):
+    """One shared pass; returns (seconds, per-query ids, SharingStats)."""
     collectors = [[] for _ in queries]
     started = time.perf_counter()
-    hub = StreamHub(slack=SLACK)
+    hub = StreamHub(slack=SLACK, share=share)
     for query, collector in zip(queries, collectors):
         hub.attach(query, engine=engine, sink=collector.append)
     for event in events:
@@ -107,27 +157,41 @@ def run_hub(queries, events, engine):
     hub.close()
     elapsed = time.perf_counter() - started
     return elapsed, [[ce.identity() for ce in collector]
-                     for collector in collectors]
+                     for collector in collectors], hub.stats().sharing
 
 
-def bench(n_queries: int, events, engine: str, repeats: int) -> dict:
-    best_hub = best_independent = None
-    matches = 0
+def bench(family: str, n_queries: int, events, engine: str,
+          repeats: int, share: bool, ablation: bool) -> dict:
+    best_hub = best_independent = best_no_share = None
+    matches, sharing = 0, None
     for _ in range(repeats):
-        queries = [band_query(index) for index in range(n_queries)]
+        queries = make_queries(family, n_queries)
         independent_seconds, expected = \
             run_independent(queries, events, engine)
-        hub_seconds, got = run_hub(queries, events, engine)
+        hub_seconds, got, sharing = \
+            run_hub(queries, events, engine, share)
         if got != expected:
-            raise SystemExit(f"parity violation at N={n_queries}")
+            raise SystemExit(
+                f"parity violation at family={family} N={n_queries}")
         matches = sum(len(ids) for ids in got)
         if best_hub is None or hub_seconds < best_hub:
             best_hub = hub_seconds
         if best_independent is None or \
                 independent_seconds < best_independent:
             best_independent = independent_seconds
-    return {
+        if ablation:
+            no_share_seconds, got_unshared, _ = \
+                run_hub(queries, events, engine, False)
+            if got_unshared != expected:
+                raise SystemExit(
+                    f"parity violation (sharing off) at family={family} "
+                    f"N={n_queries}")
+            if best_no_share is None or no_share_seconds < best_no_share:
+                best_no_share = no_share_seconds
+    row = {
+        "family": family,
         "n_queries": n_queries,
+        "share_enabled": share,
         "hub_wall_seconds": round(best_hub, 4),
         "independent_wall_seconds": round(best_independent, 4),
         "hub_events_per_second": round(len(events) / best_hub, 1),
@@ -135,31 +199,55 @@ def bench(n_queries: int, events, engine: str, repeats: int) -> dict:
             round(best_independent / best_hub, 3),
         "complex_events": matches,
         "parity": True,
+        "shared_attachments": sharing.shared_attachments,
+        "windows_shared": sharing.windows_shared,
+        "prefix_events_saved": sharing.prefix_events_saved,
     }
+    if ablation:
+        row["no_share_wall_seconds"] = round(best_no_share, 4)
+        row["speedup_no_share_vs_independent"] = \
+            round(best_independent / best_no_share, 3)
+    return row
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
-                        help="small stream, single repeat (CI smoke)")
+                        help="small stream, small N, single repeat "
+                             "(CI smoke)")
     parser.add_argument("--engine", default="sequential",
                         help="engine every query runs on (both arms)")
+    parser.add_argument("--no-share", action="store_true",
+                        help="ablation: run the hub arm with the "
+                             "cross-query optimizer disabled")
     parser.add_argument("--out", default=str(OUTPUT),
                         help="output JSON path")
     args = parser.parse_args(argv)
 
-    events, workload = build_workload(args.quick)
-    repeats = 1 if args.quick else 3
-    print(f"workload: {len(events)} events, engine={args.engine}, "
-          f"N ∈ {QUERY_COUNTS}")
+    query_counts = (4, 16) if args.quick else (16, 64, 256)
+    share = not args.no_share
+    events_by_family, workload = build_workloads(args.quick)
+    n_events = workload["events"]
+    print(f"workload: {n_events} events/family, engine={args.engine}, "
+          f"N ∈ {query_counts}, share={share}")
 
     runs = []
-    for n_queries in QUERY_COUNTS:
-        row = bench(n_queries, events, args.engine, repeats)
-        runs.append(row)
-        print(f"N={n_queries}: hub={row['hub_wall_seconds']:.3f}s "
-              f"independent={row['independent_wall_seconds']:.3f}s "
-              f"speedup={row['speedup_hub_vs_independent']:.2f}x")
+    for family in FAMILIES:
+        events = events_by_family[family]
+        for n_queries in query_counts:
+            repeats = 1 if args.quick or n_queries > 64 else 2
+            row = bench(family, n_queries, events, args.engine,
+                        repeats, share, ablation=share)
+            runs.append(row)
+            ablation = ""
+            if share:
+                ablation = (" no-share="
+                            f"{row['speedup_no_share_vs_independent']:.2f}x")
+            print(f"{family} N={n_queries}: "
+                  f"hub={row['hub_wall_seconds']:.3f}s "
+                  f"independent={row['independent_wall_seconds']:.3f}s "
+                  f"speedup={row['speedup_hub_vs_independent']:.2f}x"
+                  f"{ablation}")
 
     payload = {
         "benchmark": "multi_query",
@@ -168,14 +256,15 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "workload": workload,
         "config": {"engine": args.engine, "slack": SLACK,
-                   "repeats": repeats},
+                   "share": share, "query_counts": list(query_counts)},
         "environment": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "platform": platform.system(),
         },
         "parity": "per query, hub attachment output identical to its "
-                  "independent pipeline run",
+                  "independent pipeline run (asserted for the shared "
+                  "and the sharing-off hub arms alike)",
         "runs": runs,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

@@ -260,7 +260,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     specs = _parse_query_specs(args.query)
     if not specs:
         raise SystemExit("need at least one --query [name=]file")
-    hub = StreamHub(slack=args.slack if args.slack is not None else 0.0)
+    hub = StreamHub(slack=args.slack if args.slack is not None else 0.0,
+                    share=not args.no_share)
     counts: dict[str, int] = {}
 
     def make_sink(name: str):
@@ -273,20 +274,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
         for name, path in specs:
             query = _load_query(path, args.param, name=name)
             counts[name] = 0
+            # the sequential engine takes no speculation config; passing
+            # one would needlessly disqualify the attachment from the
+            # hub's cross-query optimizer (custom engine options opt out)
+            options = {} if args.engine == "sequential" \
+                else {"config": _make_config(args)}
             hub.attach(query, engine=args.engine, name=name,
-                       config=_make_config(args), sink=make_sink(name))
+                       sink=make_sink(name), **options)
     except ValueError as error:
         raise SystemExit(f"bad --query spec: {error}") from None
 
     with hub:
         for event in _iter_csv_events(args):
             hub.push(event)
-    for attachment in hub.stats().attachments:
+    stats = hub.stats()
+    for attachment in stats.attachments:
         print(f"{attachment.name}: {attachment.matches_emitted} complex "
               f"events from {attachment.events_delivered} streamed events "
               f"({attachment.engine})")
     print(f"served {len(specs)} queries over {hub.events_pushed} events "
           f"in one ingestion pass (late_dropped={hub.late_events})")
+    sharing = stats.sharing
+    if sharing is not None:
+        state = "on" if sharing.enabled else "off"
+        print(f"sharing {state}: {sharing.shared_attachments} shared "
+              f"attachments in {sharing.groups} groups, "
+              f"{sharing.windows_shared} windows shared, "
+              f"{sharing.prefix_events_saved} prefix events saved, "
+              f"kernel memo {sharing.memo_hits}/"
+              f"{sharing.memo_hits + sharing.memo_misses} hits")
+    offered = sum(a.events_offered for a in stats.attachments)
+    skipped = sum(a.events_skipped_by_index for a in stats.attachments)
+    print(f"routing: {offered} events offered, "
+          f"{skipped} skipped by type index")
     return 0
 
 
@@ -447,6 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--poll", type=float, default=0.0,
                        help="on a file: seconds to wait for appended "
                             "rows at EOF (0 stops at EOF)")
+    serve.add_argument("--no-share", action="store_true",
+                       help="disable the cross-query optimizer (type-"
+                            "indexed routing, kernel interning, shared "
+                            "NFA prefixes)")
     serve.add_argument("--slack", type=float, default=None,
                        help="shared out-of-order slack buffer (time "
                             "units) in front of every query")

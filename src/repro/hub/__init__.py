@@ -20,6 +20,14 @@ from repro.hub.core import (
     HubStats,
     StreamHub,
 )
+from repro.hub.optimizer import (
+    RoutingIndex,
+    SharedGroup,
+    SharingStats,
+    member_signature,
+    routed_types_for,
+    share_enabled,
+)
 
 __all__ = [
     "Attachment",
@@ -29,5 +37,11 @@ __all__ = [
     "BackpressureError",
     "HubClosedError",
     "HubStats",
+    "RoutingIndex",
+    "SharedGroup",
+    "SharingStats",
     "StreamHub",
+    "member_signature",
+    "routed_types_for",
+    "share_enabled",
 ]

@@ -173,10 +173,12 @@ class AsyncStreamHub:
     """
 
     def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
-                 queue_size: int = 256) -> None:
+                 queue_size: int = 256,
+                 share: Optional[bool] = None) -> None:
         # sink-less *sync* queues are never used here (every inner
         # attachment gets a staging sink), so the sync bound is moot
-        self._hub = StreamHub(slack=slack, late_policy=late_policy)
+        self._hub = StreamHub(slack=slack, late_policy=late_policy,
+                              share=share)
         self.queue_size = queue_size
         self._attachments: list[AsyncAttachment] = []
 

@@ -64,11 +64,23 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.events.ooo import SlackSorter
+from repro.hub.optimizer import (
+    GroupMember,
+    MemberSession,
+    RoutingIndex,
+    SharedGroup,
+    SharingStats,
+    member_signature,
+    routed_types_for,
+    share_enabled,
+)
 from repro.patterns.parser import parse_query
 from repro.patterns.query import Query
 from repro.streaming.builder import PipelineSession, SinkError, build_engine
 from repro.utils.validation import require
 from repro.windows.specs import EverySlide
+
+_NO_EVENTS: list[Event] = []
 
 
 class HubClosedError(RuntimeError):
@@ -106,6 +118,13 @@ class AttachmentStats:
     admission_position: Optional[int]
     admission_watermark: Optional[float]
     run_stats: Any = None
+    # multi-query optimizer observability: events that reached this
+    # attachment's matching path vs. events the hub's type index proved
+    # irrelevant and never delivered; ``shared`` marks attachments served
+    # by a SharedGroup instead of a private engine session.
+    events_offered: int = 0
+    events_skipped_by_index: int = 0
+    shared: bool = False
 
 
 @dataclass(frozen=True)
@@ -119,6 +138,7 @@ class HubStats:
     pending_reorder: int
     watermark: float
     attachments: tuple[AttachmentStats, ...]
+    sharing: Optional[SharingStats] = None
 
     @property
     def matches_total(self) -> int:
@@ -145,8 +165,10 @@ class Attachment:
     DETACHED = "detached"
 
     def __init__(self, hub: "StreamHub", name: str, query: Query,
-                 engine: str, session: PipelineSession,
-                 queue_size: int, overflow: str) -> None:
+                 engine: str, session: PipelineSession | MemberSession,
+                 queue_size: int, overflow: str,
+                 member: Optional[GroupMember] = None,
+                 routed_types: Optional[frozenset] = None) -> None:
         self.hub = hub
         self.name = name
         self.query = query
@@ -162,6 +184,16 @@ class Attachment:
         self.sink_errors_total = 0
         self._queue: deque[ComplexEvent] = deque()
         self._over_bound = False
+        # multi-query optimizer state: ``_live`` is the admission fast
+        # path (one bool per event instead of a state-string compare plus
+        # a position-modulo check forever); ``_member`` marks shared
+        # attachments (fed by their SharedGroup, not by push); routed
+        # attachments receive only events of ``_routed_types``.
+        self._live = False
+        self._member = member
+        self._routed_types = routed_types
+        self.events_offered = 0
+        self.events_skipped_by_index = 0
 
     # -- delivery (hub-internal) ------------------------------------------
 
@@ -172,40 +204,75 @@ class Attachment:
             return position % start.slide == 0
         return True  # predicate starts are data-driven: any point works
 
+    def _begin_admission(self, event: Event, position: int) -> bool:
+        """Try to admit a pending attachment at ``position``."""
+        if self.state != Attachment.PENDING or not self._admits(position):
+            return False
+        self.state = Attachment.LIVE
+        self._live = True
+        self.admission_position = position
+        self.admission_watermark = event.timestamp
+        if self._member is not None:
+            self._member.group.admit(self._member, position)
+        return True
+
     def _offer(self, event: Event, position: int) -> int:
-        if self.state == Attachment.PENDING:
-            if not self._admits(position):
+        if not self._live:
+            if not self._begin_admission(event, position):
                 return 0
-            self.state = Attachment.LIVE
-            self.admission_position = position
-            self.admission_watermark = event.timestamp
-        if self.state != Attachment.LIVE:
+        if self._member is not None:
+            # the SharedGroup ingests this event once for every member
+            self.events_delivered += 1
+            self.events_offered += 1
             return 0
-        matches = self.session.push(event)
+        types = self._routed_types
+        if types is not None and event.etype not in types:
+            self.events_skipped_by_index += 1
+            return 0
         self.events_delivered += 1
+        self.events_offered += 1
+        matches = self.session.push(event)
         self._enqueue(matches)
         return len(matches)
 
     def _offer_many(self, events: list[Event], first_position: int) -> int:
         """Batch fan-out: admit (if pending) and deliver a whole released
         chunk through the session's ``push_many``."""
-        if self.state == Attachment.PENDING:
+        if not self._live:
             for index, event in enumerate(events):
-                if self._admits(first_position + index):
-                    self.state = Attachment.LIVE
-                    self.admission_position = first_position + index
-                    self.admission_watermark = event.timestamp
+                if self._begin_admission(event, first_position + index):
                     if index:
                         events = events[index:]
                     break
             else:
                 return 0
-        if self.state != Attachment.LIVE:
-            return 0
+        count = len(events)
+        self.events_delivered += count
+        self.events_offered += count
+        if self._member is not None:
+            return 0  # the SharedGroup ingests the chunk once for everyone
         matches = self.session.push_many(events)
-        self.events_delivered += len(events)
         self._enqueue(matches)
         return len(matches)
+
+    def _offer_routed(self, events: list[Event], total: int) -> int:
+        """Fan-out for a live routed attachment: the hub's type index
+        already classified the chunk; ``events`` is the interested
+        subset, ``total`` the full released-chunk size."""
+        self.events_skipped_by_index += total - len(events)
+        if not events:
+            return 0
+        self.events_delivered += len(events)
+        self.events_offered += len(events)
+        matches = self.session.push_many(events)
+        self._enqueue(matches)
+        return len(matches)
+
+    def _deliver_shared(self, matches: list[ComplexEvent]) -> int:
+        """Deliver matches the SharedGroup produced for this member."""
+        out = self.session.deliver(matches)
+        self._enqueue(out)
+        return len(out)
 
     def _enqueue(self, matches: list[ComplexEvent]) -> None:
         if self.session.sinks:
@@ -229,6 +296,7 @@ class Attachment:
             errors.extend(error.errors)
             matches = error.matches
         self.state = Attachment.FLUSHED
+        self._live = False
         self._enqueue(matches)
         return len(matches)
 
@@ -283,6 +351,7 @@ class Attachment:
         self.hub._forget(self)
         was_live = self.state in (Attachment.PENDING, Attachment.LIVE)
         self.state = Attachment.DETACHED
+        self._live = False
         if not (drain and was_live):
             self._release()
             return []
@@ -312,6 +381,9 @@ class Attachment:
             admission_position=self.admission_position,
             admission_watermark=self.admission_watermark,
             run_stats=getattr(result, "stats", None),
+            events_offered=self.events_offered,
+            events_skipped_by_index=self.events_skipped_by_index,
+            shared=self._member is not None,
         )
 
     def __repr__(self) -> str:
@@ -337,7 +409,8 @@ class StreamHub:
     """
 
     def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
-                 queue_size: int = 1024, overflow: str = "raise") -> None:
+                 queue_size: int = 1024, overflow: str = "raise",
+                 share: Optional[bool] = None) -> None:
         require(queue_size >= 1, "queue_size must be >= 1")
         require(overflow in ("raise", "drop_oldest"),
                 "overflow must be 'raise' or 'drop_oldest'")
@@ -351,6 +424,13 @@ class StreamHub:
         self._names: set[str] = set()
         self._flushed = False
         self._closed = False
+        # cross-query optimizer: ``share=None`` reads REPRO_SHARE
+        # (default on); ``share=False`` is the differential-testing
+        # escape hatch disabling routing, memoization and prefix sharing.
+        self._share = share_enabled(share)
+        self._routing = RoutingIndex()
+        self._groups: dict[tuple, SharedGroup] = {}
+        self._all_groups: list[SharedGroup] = []  # incl. emptied (stats)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -421,21 +501,49 @@ class StreamHub:
             sinks = (sink,)
         else:
             sinks = tuple(sink)
-        inner = build_engine(query, engine, **engine_options).open()
-        session = PipelineSession(inner, None, sinks)
+        member = routed_types = None
+        if self._share and not engine_options:
+            signature = member_signature(query, engine)
+            if signature is not None:
+                member = self._group_for(query).add_member(
+                    name, query, signature)
+        if member is not None:
+            session: PipelineSession | MemberSession = \
+                MemberSession(member, sinks)
+        else:
+            if self._share:
+                routed_types = routed_types_for(query)
+            inner = build_engine(query, engine, **engine_options).open()
+            session = PipelineSession(inner, None, sinks)
         attachment = Attachment(
             self, name, query, engine, session,
             queue_size=self.queue_size if queue_size is None else queue_size,
-            overflow=self.overflow if overflow is None else overflow)
+            overflow=self.overflow if overflow is None else overflow,
+            member=member, routed_types=routed_types)
+        if member is not None:
+            member.attachment = attachment
+        self._routing.add(name, routed_types)
         self._names.add(name)
         self._attachments.append(attachment)
         return attachment
+
+    def _group_for(self, query: Query) -> SharedGroup:
+        """The live shared group for this window spec (one splitter and
+        one prefix stepper per ``(slide, size)`` equivalence class)."""
+        key = (query.window.start.slide, query.window.scope.size)
+        group = self._groups.get(key)
+        if group is None or not group.members:
+            group = SharedGroup(query.window)
+            self._groups[key] = group
+            self._all_groups.append(group)
+        return group
 
     def _forget(self, attachment: Attachment) -> None:
         if attachment in self._attachments:
             self._attachments.remove(attachment)
             self._detached.append(attachment)
             self._names.discard(attachment.name)
+            self._routing.remove(attachment.name)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -474,9 +582,21 @@ class StreamHub:
         if released:
             first_position = self._position
             self._position += len(released)
+            # classify the chunk once against the routing index; each
+            # live routed attachment receives only its interested subset
+            buckets = self._routing.buckets(released) \
+                if self._routing.has_routed else None
             for attachment in list(self._attachments):
-                delivered += attachment._offer_many(released,
-                                                    first_position)
+                if buckets is not None and attachment._live and \
+                        attachment._routed_types is not None:
+                    delivered += attachment._offer_routed(
+                        buckets.get(attachment.name, _NO_EVENTS),
+                        len(released))
+                else:
+                    delivered += attachment._offer_many(released,
+                                                        first_position)
+            if self._groups:
+                delivered += self._ingest_groups(released, first_position)
         # like push(): keep raising while any queue is over bound, even
         # on calls the sorter fully buffered — the producer must drain
         over = [a for a in self._attachments if a._over_bound]
@@ -492,10 +612,29 @@ class StreamHub:
             self._position += 1
             for attachment in list(self._attachments):
                 delivered += attachment._offer(event, position)
+            if self._groups:
+                delivered += self._ingest_groups([event], position)
         if raise_backpressure:
             over = [a for a in self._attachments if a._over_bound]
             if over:
                 raise BackpressureError(over)
+        return delivered
+
+    def _ingest_groups(self, released: list[Event],
+                       first_position: int) -> int:
+        """Feed the released chunk to every shared group (each ingests
+        it exactly once for all its members) and deliver the matches to
+        the member attachments."""
+        delivered = 0
+        for key, group in list(self._groups.items()):
+            if not group.members:
+                del self._groups[key]  # all members detached
+                continue
+            group.ingest(released, first_position)
+            for member in list(group.members):
+                if member._pending:
+                    delivered += member.attachment._deliver_shared(
+                        member.drain_pending())
         return delivered
 
     def flush(self) -> int:
@@ -552,12 +691,24 @@ class StreamHub:
     def stats(self) -> HubStats:
         """Aggregate + per-attachment snapshot (detached ones included,
         so a serving summary never loses history)."""
+        everyone = self._attachments + self._detached
+        groups = self._all_groups
         return HubStats(
             events_pushed=self.events_pushed,
             events_released=self._position,
             late_events=self._sorter.late_events,
             pending_reorder=self._sorter.pending,
             watermark=self.watermark,
-            attachments=tuple(a.stats() for a in
-                              self._attachments + self._detached),
+            attachments=tuple(a.stats() for a in everyone),
+            sharing=SharingStats(
+                enabled=self._share,
+                groups=len(groups),
+                shared_attachments=sum(
+                    1 for a in everyone if a._member is not None),
+                windows_shared=sum(g.windows_shared for g in groups),
+                prefix_events_saved=sum(
+                    g.prefix_events_saved for g in groups),
+                memo_hits=sum(g.memo_hits for g in groups),
+                memo_misses=sum(g.memo_misses for g in groups),
+            ),
         )

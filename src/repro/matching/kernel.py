@@ -55,7 +55,9 @@ negation matches).
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
 from typing import Any, Callable, Mapping, Optional
 
 from repro.events.event import Event
@@ -266,8 +268,62 @@ class _Emitter:
             raise ValueError(f"unknown predicate spec node: {tag!r}")
 
 
-def compile_spec_matcher(spec: tuple,
-                         etype: Optional[str]) -> Matcher:
+# ---------------------------------------------------------------------------
+# kernel interning
+# ---------------------------------------------------------------------------
+#
+# The multi-query hub wants to recognize "these two queries evaluate the
+# same predicate" without comparing ASTs at fan-out time.  Interning makes
+# that an identity/int comparison:
+#
+# * The generated *source* already separates shape from parameters — the
+#   emitter names constants ``_cN`` positionally and keeps their values in
+#   the exec namespace, so two specs with the same structure but different
+#   literals produce byte-identical source.  One compiled code object is
+#   cached per shape (``_CODE_CACHE``) and re-executed with each param
+#   vector.
+# * One *matcher instance* is cached per ``(spec, etype)`` equivalence
+#   class (``_MATCHER_CACHE``): the spec tuples are canonical (parsers and
+#   combinators constant-fold params into ``("lit", v)`` leaves), so tuple
+#   equality is predicate equivalence.  Every interned matcher carries a
+#   process-unique ``kernel_id`` int and a ``binding_free`` flag (no
+#   ``("bound", ...)`` operand — its result depends only on the event, so
+#   the hub may memoize it per event across queries and windows).
+#
+# Specs with unhashable literals fall back to a private (non-interned)
+# kernel that still carries a fresh ``kernel_id`` — sharing simply never
+# triggers for it.
+
+
+_KERNEL_IDS = itertools.count(1)
+_INTERN_LOCK = threading.Lock()
+_CODE_CACHE: dict[str, Any] = {}
+_MATCHER_CACHE: dict[tuple, Matcher] = {}
+
+
+def spec_is_binding_free(spec: tuple) -> bool:
+    """Does the spec reference no earlier-bound symbols?"""
+    tag = spec[0]
+    if tag in ("const", "between"):
+        return True
+    if tag == "cmp":
+        return spec[1][0] != "bound" and spec[3][0] != "bound"
+    if tag == "not":
+        return spec_is_binding_free(spec[1])
+    if tag in ("and", "or"):
+        return all(spec_is_binding_free(part) for part in spec[1])
+    return False
+
+
+def _stamp(kernel: Matcher, spec: tuple, etype: Optional[str]) -> Matcher:
+    kernel.kernel_id = next(_KERNEL_IDS)  # type: ignore[attr-defined]
+    kernel.binding_free = spec_is_binding_free(spec)  # type: ignore[attr-defined]
+    kernel.spec = spec  # type: ignore[attr-defined]
+    kernel.etype = etype  # type: ignore[attr-defined]
+    return kernel
+
+
+def _build_spec_matcher(spec: tuple, etype: Optional[str]) -> Matcher:
     """Generate one fused ``(event, bindings) -> bool`` kernel."""
     if spec[0] == "const":
         constant = bool(spec[1])
@@ -292,7 +348,10 @@ def compile_spec_matcher(spec: tuple,
     emitter.emit(spec, "_r", 1)
     emitter.line(1, "return _r")
     source = "\n".join(emitter.lines)
-    code = compile(source, "<repro-kernel>", "exec")
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<repro-kernel>", "exec")
+        _CODE_CACHE[source] = code
     namespace = dict(emitter.namespace)
     exec(code, namespace)  # noqa: S102 - building the kernel is the point
     kernel = namespace["_kernel"]
@@ -300,17 +359,54 @@ def compile_spec_matcher(spec: tuple,
     return kernel
 
 
+def compile_spec_matcher(spec: tuple,
+                         etype: Optional[str]) -> Matcher:
+    """The interned kernel for ``(spec, etype)``.
+
+    Identical specs across queries return the *same* function object, so
+    plan equivalence checks reduce to comparing ``kernel_id`` ints.
+    """
+    try:
+        key = (spec, etype)
+        with _INTERN_LOCK:
+            kernel = _MATCHER_CACHE.get(key)
+            if kernel is None:
+                kernel = _stamp(_build_spec_matcher(spec, etype), spec, etype)
+                _MATCHER_CACHE[key] = kernel
+        return kernel
+    except TypeError:  # unhashable literal somewhere in the spec
+        return _stamp(_build_spec_matcher(spec, etype), spec, etype)
+
+
+def intern_stats() -> dict:
+    """Size of the intern tables (observability/debugging)."""
+    with _INTERN_LOCK:
+        return {"shapes": len(_CODE_CACHE), "kernels": len(_MATCHER_CACHE)}
+
+
 def compile_atom_matcher(atom: Atom, compiled: bool = True) -> Matcher:
     """The atom's fused kernel, or its interpreted ``matches`` fallback.
 
     Falls back to :meth:`Atom.matches` when the predicate is an opaque
-    callable (hand-written lambda) that carries no spec.
+    callable (hand-written lambda) that carries no spec.  Only the
+    compiled path yields interned kernels (with ``kernel_id``); the
+    fallback is a plain bound method, which is what makes interpreted
+    plans automatically unshareable at the hub level.
     """
     if compiled:
         spec = predicate_spec(atom.predicate)
         if spec is not None:
             return compile_spec_matcher(spec, atom.etype)
     return atom.matches
+
+
+def kernel_id(matcher: Optional[Matcher]) -> Optional[int]:
+    """The matcher's intern id, or ``None`` for non-interned matchers."""
+    return getattr(matcher, "kernel_id", None)
+
+
+# the shared "never matches" kernel (sentinel element of prefix plans)
+NEVER_KERNEL: Matcher = compile_spec_matcher(("const", False), None)
 
 
 # ---------------------------------------------------------------------------

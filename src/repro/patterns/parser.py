@@ -458,7 +458,12 @@ def parse_query(text: str, name: str = "query",
     def start_predicate(symbol: str):
         start_atom = _build_atom(symbol, definitions)
         matcher = compile_atom_matcher(start_atom, compiled)
-        return lambda event, _m=matcher: _m(event, {})
+        predicate = lambda event, _m=matcher: _m(event, {})  # noqa: E731
+        if start_atom.etype is not None:
+            # declare the single event type this start accepts, so the
+            # hub's routing index can skip foreign-typed events wholesale
+            predicate.relevant_etype = start_atom.etype
+        return predicate
 
     if scope_kind == "count":
         if start_kind == "every":

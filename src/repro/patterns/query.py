@@ -34,6 +34,18 @@ DetectorFactory = Callable[[Event], Detector]
 
 
 @dataclass(frozen=True)
+class NFAOptions:
+    """Detector-construction facts :func:`make_query` captured in its
+    factory closure, re-exposed so the multi-query optimizer can decide
+    shareability without calling the factory.  UDF queries (hand-written
+    detectors) carry no options and are never shared."""
+
+    max_matches: Optional[int] = 1
+    anchored: bool = False
+    has_derive: bool = False
+
+
+@dataclass(frozen=True)
 class Query:
     """A complete continuous query.
 
@@ -54,6 +66,7 @@ class Query:
     # UDF queries leave both None (nothing to compile).
     pattern: Optional[PatternElement] = None
     plan: Optional[QueryPlan] = None
+    nfa_options: Optional[NFAOptions] = None
 
     def new_detector(self, start_event: Event) -> Detector:
         """Fresh detector for a window starting at ``start_event``."""
@@ -111,4 +124,6 @@ def make_query(name: str, pattern: PatternElement, window: WindowSpec,
         description=description,
         pattern=pattern,
         plan=plan,
+        nfa_options=NFAOptions(max_matches=max_matches, anchored=anchored,
+                               has_derive=derive is not None),
     )

@@ -50,6 +50,18 @@ True
 
 from repro.events import ComplexEvent, Event, EventStream, make_event
 from repro.graph import Operator, OperatorGraph
+from repro.middleware import (
+    MetricsMiddleware,
+    MetricsRegistry,
+    Middleware,
+    MiddlewareContext,
+    MiddlewareStack,
+    RateLimitExceeded,
+    RateLimitMiddleware,
+    TraceMiddleware,
+    ValidationError,
+    ValidationMiddleware,
+)
 from repro.hub import (
     AsyncStreamHub,
     Attachment,
@@ -126,6 +138,16 @@ __all__ = [
     "PipelineSession",
     "pipeline",
     "build_engine",
+    "Middleware",
+    "MiddlewareContext",
+    "MiddlewareStack",
+    "MetricsMiddleware",
+    "MetricsRegistry",
+    "RateLimitMiddleware",
+    "RateLimitExceeded",
+    "ValidationMiddleware",
+    "ValidationError",
+    "TraceMiddleware",
     "StreamHub",
     "AsyncStreamHub",
     "Attachment",

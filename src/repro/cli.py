@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 import time
 from pathlib import Path
@@ -248,6 +249,54 @@ def _parse_query_specs(specs: Sequence[str]) -> list[tuple[str, str]]:
     return parsed
 
 
+_ATTR_TYPES = {"float": float, "int": int, "str": str, "bool": bool}
+
+
+def _serve_middleware(args: argparse.Namespace):
+    """Translate serve flags into the hub's middleware chain.
+
+    Order matters (first = outermost): validation rejects/nulls before
+    the rate limiter spends tokens on malformed events; metrics and
+    trace observe what actually got through."""
+    from repro.middleware import (
+        MetricsMiddleware,
+        RateLimitMiddleware,
+        TraceMiddleware,
+        ValidationMiddleware,
+    )
+
+    middleware: list = []
+    validation = ratelimit = metrics = trace = None
+    if args.require:
+        required: list[str] = []
+        types: dict[str, type] = {}
+        for spec in args.require:
+            attr, _, typename = spec.partition(":")
+            if not attr:
+                raise SystemExit(f"bad --require spec: {spec!r}")
+            required.append(attr)
+            if typename:
+                if typename not in _ATTR_TYPES:
+                    raise SystemExit(
+                        f"bad --require type {typename!r}; expected one "
+                        f"of {sorted(_ATTR_TYPES)}")
+                types[attr] = _ATTR_TYPES[typename]
+        validation = ValidationMiddleware(required=required, types=types,
+                                          policy=args.invalid_policy)
+        middleware.append(validation)
+    if args.rate_limit is not None:
+        ratelimit = RateLimitMiddleware(args.rate_limit,
+                                        burst=args.rate_burst)
+        middleware.append(ratelimit)
+    if args.metrics:
+        metrics = MetricsMiddleware()
+        middleware.append(metrics)
+    if args.trace is not None:
+        trace = TraceMiddleware(capacity=args.trace)
+        middleware.append(trace)
+    return middleware, validation, ratelimit, metrics, trace
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve many queries over one shared ingestion pass.
 
@@ -260,8 +309,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     specs = _parse_query_specs(args.query)
     if not specs:
         raise SystemExit("need at least one --query [name=]file")
+    middleware, validation, ratelimit, metrics, trace = \
+        _serve_middleware(args)
     hub = StreamHub(slack=args.slack if args.slack is not None else 0.0,
-                    share=not args.no_share)
+                    share=not args.no_share, middleware=middleware)
     counts: dict[str, int] = {}
 
     def make_sink(name: str):
@@ -307,6 +358,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     skipped = sum(a.events_skipped_by_index for a in stats.attachments)
     print(f"routing: {offered} events offered, "
           f"{skipped} skipped by type index")
+    if validation is not None:
+        print(f"validation: {validation.events_rejected} events "
+              f"rejected, {validation.events_nulled} nulled "
+              f"({validation.attributes_nulled} attributes)")
+    if ratelimit is not None:
+        print(f"rate limit: {ratelimit.shed_total} events shed "
+              f"(rate={ratelimit.rate:g}/s burst={ratelimit.burst:g})")
+    if trace is not None:
+        records = list(trace.records)
+        print(f"trace: last {len(records)} interception records")
+        for record in records:
+            print(f"  {record}")
+    if metrics is not None:
+        metrics.observe_stats(stats)
+        print(metrics.render(), end="")
+    if args.stats_json:
+        payload = json.dumps(stats.to_dict(), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            Path(args.stats_json).write_text(payload + "\n",
+                                             encoding="utf-8")
+            print(f"stats: wrote {args.stats_json}")
     return 0
 
 
@@ -474,6 +548,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slack", type=float, default=None,
                        help="shared out-of-order slack buffer (time "
                             "units) in front of every query")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       metavar="EVENTS_PER_SEC",
+                       help="token-bucket limit on the shared ingestion "
+                            "path; excess events are shed and counted")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       metavar="N",
+                       help="bucket capacity for --rate-limit "
+                            "(default: the rate)")
+    serve.add_argument("--require", action="append", default=[],
+                       metavar="ATTR[:TYPE]",
+                       help="validate events: ATTR must be present, "
+                            "optionally typed (float|int|str|bool); "
+                            "repeatable")
+    serve.add_argument("--invalid-policy", choices=("null", "reject"),
+                       default="null",
+                       help="--require failures: null the attribute "
+                            "(SQL NULL semantics) or reject the event")
+    serve.add_argument("--metrics", action="store_true",
+                       help="collect Prometheus-style metrics on the "
+                            "interception chain and print the text "
+                            "exposition at exit")
+    serve.add_argument("--trace", type=int, nargs="?", const=16,
+                       default=None, metavar="N",
+                       help="ring-buffer the last N interception "
+                            "records and print them at exit "
+                            "(default 16)")
+    serve.add_argument("--stats-json", default=None, metavar="FILE",
+                       help="write the final hub stats snapshot as "
+                            "JSON ('-' for stdout)")
     serve.set_defaults(func=cmd_serve)
     return parser
 

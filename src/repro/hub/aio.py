@@ -40,8 +40,14 @@ import asyncio
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.hub.core import Attachment, HubStats, StreamHub
+from repro.middleware.base import (
+    MiddlewareContext,
+    MiddlewareStack,
+    _implements,
+    restrict,
+)
+from repro.middleware.sinks import SinkError
 from repro.patterns.query import Query
-from repro.streaming.builder import SinkError
 
 _DONE = object()  # queue sentinel: this attachment will emit no more
 
@@ -55,7 +61,8 @@ class AsyncAttachment:
     """
 
     def __init__(self, hub: "AsyncStreamHub", inner: Attachment,
-                 staged: list, sink, queue_size: int) -> None:
+                 staged: list, sink, queue_size: int,
+                 middleware: tuple = ()) -> None:
         self._hub = hub
         self.inner = inner
         self._staged = staged
@@ -63,6 +70,14 @@ class AsyncAttachment:
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
         self._sink_errors: list = []
         self._done_sent = False
+        # delivery interception happens here (the inner sync session
+        # only stages), so the match/error chains are async — hooks may
+        # be ``async def`` and awaits happen per link
+        stack = MiddlewareStack(middleware)
+        self._achain_match = stack.async_chain(
+            "on_match", self._match_terminal)
+        self._achain_error = stack.async_chain(
+            "on_error", self._error_terminal)
 
     # -- delegation --------------------------------------------------------
 
@@ -103,15 +118,39 @@ class AsyncAttachment:
         """
         while self._staged:
             match = self._staged.pop(0)
-            if self._sink is not None:
-                try:
-                    result = self._sink(match)
-                    if inspect.isawaitable(result):
-                        await result
-                except Exception as error:  # noqa: BLE001 - sink isolation
-                    self._sink_errors.append((self._sink, match, error))
-            else:
-                await self._queue.put(match)
+            if self._achain_match is None:
+                await self._deliver(match)
+                continue
+            ctx = MiddlewareContext("on_match", match=match,
+                                    hub=self._hub, attachment=self)
+            await self._achain_match(ctx)  # None w/o call_next suppresses
+
+    async def _match_terminal(self, ctx: MiddlewareContext):
+        await self._deliver(ctx.match)
+        return ctx.match
+
+    async def _deliver(self, match: ComplexEvent) -> None:
+        if self._sink is not None:
+            try:
+                result = self._sink(match)
+                if inspect.isawaitable(result):
+                    await result
+            except Exception as error:  # noqa: BLE001 - sink isolation
+                await self._record_error(match, error)
+        else:
+            await self._queue.put(match)
+
+    async def _record_error(self, match, error) -> None:
+        if self._achain_error is None:
+            self._sink_errors.append((self._sink, match, error))
+            return
+        ctx = MiddlewareContext("on_error", match=match, error=error,
+                                sink=self._sink, hub=self._hub,
+                                attachment=self)
+        await self._achain_error(ctx)  # skipping call_next swallows it
+
+    async def _error_terminal(self, ctx: MiddlewareContext) -> None:
+        self._sink_errors.append((ctx.sink, ctx.match, ctx.error))
 
     async def _send_done(self) -> None:
         if not self._done_sent and self._sink is None:
@@ -155,6 +194,18 @@ class AsyncAttachment:
         With ``drain=True`` trailing windows flush first (their matches
         are delivered and returned), mirroring the sync contract.
         """
+        if self.inner.state == Attachment.DETACHED:
+            return []  # idempotent: the on_detach chain runs once
+        chain = self._hub._stack.async_chain(
+            "on_detach", lambda ctx: self._detach_raw(drain))
+        if chain is None:
+            return await self._detach_raw(drain)
+        ctx = MiddlewareContext("on_detach", hub=self._hub,
+                                attachment=self)
+        result = await chain(ctx)
+        return [] if result is None else result
+
+    async def _detach_raw(self, drain: bool) -> list[ComplexEvent]:
         matches = self.inner.detach(drain=drain)
         await self._dispatch()
         await self._send_done()
@@ -174,13 +225,28 @@ class AsyncStreamHub:
 
     def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
                  queue_size: int = 256,
-                 share: Optional[bool] = None) -> None:
+                 share: Optional[bool] = None,
+                 middleware: Optional[list] = None) -> None:
         # sink-less *sync* queues are never used here (every inner
-        # attachment gets a staging sink), so the sync bound is moot
+        # attachment gets a staging sink), so the sync bound is moot.
+        # The inner hub gets NO middleware: interception happens at
+        # this layer, where hooks may be ``async def`` and each chain
+        # link awaits — the sync hub would not await them.
         self._hub = StreamHub(slack=slack, late_policy=late_policy,
                               share=share)
         self.queue_size = queue_size
         self._attachments: list[AsyncAttachment] = []
+        self._stack = MiddlewareStack(middleware or ())
+        self._session_middleware = tuple(
+            restrict(mw, ("on_match", "on_error"))
+            for mw in self._stack.middlewares
+            if _implements(mw, "on_match") or _implements(mw, "on_error"))
+        self._achain_push = self._stack.async_chain(
+            "on_push", self._push_terminal)
+        self._achain_flush = self._stack.async_chain(
+            "on_flush", self._flush_terminal)
+        self._achain_close = self._stack.async_chain(
+            "on_flush", self._close_terminal)
 
     @property
     def watermark(self) -> float:
@@ -204,15 +270,50 @@ class AsyncStreamHub:
                params: Optional[Mapping[str, Any]] = None,
                sink: Optional[Callable[[ComplexEvent], Any]] = None,
                queue_size: Optional[int] = None,
+               middleware: Optional[list] = None,
                **engine_options) -> AsyncAttachment:
-        """Subscribe one query; ``sink`` may be sync or ``async def``."""
+        """Subscribe one query; ``sink`` may be sync or ``async def``.
+
+        ``middleware`` intercepts this attachment's match delivery and
+        sink errors at the async layer (hooks may be ``async def``);
+        ``on_attach`` hooks of the hub's middleware run here too, but
+        must be synchronous — ``attach()`` is not a coroutine.
+        """
+        user_middleware = tuple(middleware or ())
+        chain = self._stack.chain(
+            "on_attach",
+            lambda ctx: self._attach_raw(
+                ctx.query, engine=ctx.engine, name=ctx.name,
+                params=params, sink=sink, queue_size=queue_size,
+                middleware=user_middleware,
+                engine_options=engine_options))
+        if chain is None:
+            return self._attach_raw(
+                query, engine=engine, name=name, params=params,
+                sink=sink, queue_size=queue_size,
+                middleware=user_middleware, engine_options=engine_options)
+        ctx = MiddlewareContext("on_attach", hub=self, query=query,
+                                name=name, engine=engine)
+        attachment = chain(ctx)
+        if inspect.isawaitable(attachment):
+            attachment.close()
+            raise TypeError(
+                "on_attach hooks must be synchronous under the asyncio "
+                "facade (attach() is not a coroutine)")
+        return attachment
+
+    def _attach_raw(self, query: Query | str, *, engine: str,
+                    name: Optional[str], params, sink,
+                    queue_size: Optional[int], middleware: tuple,
+                    engine_options: dict) -> AsyncAttachment:
         staged: list = []
         inner = self._hub.attach(query, engine=engine, name=name,
                                  params=params, sink=staged.append,
                                  **engine_options)
         attachment = AsyncAttachment(
             self, inner, staged, sink,
-            queue_size=self.queue_size if queue_size is None else queue_size)
+            queue_size=self.queue_size if queue_size is None else queue_size,
+            middleware=self._session_middleware + middleware)
         self._attachments.append(attachment)
         return attachment
 
@@ -229,12 +330,27 @@ class AsyncStreamHub:
 
     async def push(self, event: Event) -> int:
         """Offer one event; suspends while any consumer queue is full."""
-        delivered = self._hub.push(event)
+        if self._achain_push is None:
+            return await self._push_terminal(None, event)
+        ctx = MiddlewareContext("on_push", hub=self, event=event)
+        result = await self._achain_push(ctx)
+        return 0 if result is None else result
+
+    async def _push_terminal(self, ctx: Optional[MiddlewareContext],
+                             event: Optional[Event] = None) -> int:
+        delivered = self._hub.push(ctx.event if ctx is not None else event)
         await self._dispatch()
         return delivered
 
     async def flush(self) -> int:
         """End-of-stream: flush every attachment, end every iteration."""
+        if self._achain_flush is None:
+            return await self._flush_terminal(None)
+        ctx = MiddlewareContext("on_flush", hub=self)
+        result = await self._achain_flush(ctx)
+        return 0 if result is None else result
+
+    async def _flush_terminal(self, ctx) -> int:
         delivered = self._hub.flush()
         await self._dispatch()
         for attachment in list(self._attachments):
@@ -245,6 +361,14 @@ class AsyncStreamHub:
     async def close(self) -> int:
         if self._hub.is_closed:
             return 0
+        # an implicit end-of-stream flush still runs the on_flush chain
+        if self._achain_close is None or self._hub._flushed:
+            return await self._close_terminal(None)
+        ctx = MiddlewareContext("on_flush", hub=self)
+        result = await self._achain_close(ctx)
+        return 0 if result is None else result
+
+    async def _close_terminal(self, ctx) -> int:
         delivered = self._hub.close()
         await self._dispatch()
         for attachment in list(self._attachments):

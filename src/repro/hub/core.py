@@ -64,6 +64,13 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.events.ooo import SlackSorter
+from repro.middleware.base import (
+    MiddlewareContext,
+    MiddlewareStack,
+    _implements,
+    restrict,
+)
+from repro.middleware.sinks import SinkError
 from repro.hub.optimizer import (
     GroupMember,
     MemberSession,
@@ -76,11 +83,20 @@ from repro.hub.optimizer import (
 )
 from repro.patterns.parser import parse_query
 from repro.patterns.query import Query
-from repro.streaming.builder import PipelineSession, SinkError, build_engine
+from repro.streaming.builder import PipelineSession, build_engine
 from repro.utils.validation import require
 from repro.windows.specs import EverySlide
 
 _NO_EVENTS: list[Event] = []
+
+
+def _json_safe(value):
+    """Clamp a numeric leaf to something ``json.dumps`` round-trips
+    under strict parsers: non-finite floats become ``None``."""
+    if isinstance(value, float) and \
+            (value != value or value in (float("inf"), float("-inf"))):
+        return None
+    return value
 
 
 class HubClosedError(RuntimeError):
@@ -126,6 +142,30 @@ class AttachmentStats:
     events_skipped_by_index: int = 0
     shared: bool = False
 
+    def to_dict(self) -> dict:
+        """Nested, JSON-safe snapshot (``run_stats`` recurses through
+        its own ``to_dict`` when the engine provides one)."""
+        run_stats = self.run_stats
+        if run_stats is not None:
+            to_dict = getattr(run_stats, "to_dict", None)
+            run_stats = to_dict() if callable(to_dict) else repr(run_stats)
+        return {
+            "name": self.name,
+            "engine": self.engine,
+            "state": self.state,
+            "events_delivered": self.events_delivered,
+            "matches_emitted": self.matches_emitted,
+            "matches_dropped": self.matches_dropped,
+            "queue_depth": self.queue_depth,
+            "sink_errors": self.sink_errors,
+            "admission_position": self.admission_position,
+            "admission_watermark": _json_safe(self.admission_watermark),
+            "events_offered": self.events_offered,
+            "events_skipped_by_index": self.events_skipped_by_index,
+            "shared": self.shared,
+            "run_stats": run_stats,
+        }
+
 
 @dataclass(frozen=True)
 class HubStats:
@@ -147,6 +187,22 @@ class HubStats:
     @property
     def attachments_live(self) -> int:
         return sum(a.state in ("live", "pending") for a in self.attachments)
+
+    def to_dict(self) -> dict:
+        """Nested, JSON-safe snapshot of the whole hub — the shape
+        ``python -m repro serve --stats-json`` writes."""
+        return {
+            "events_pushed": self.events_pushed,
+            "events_released": self.events_released,
+            "late_events": self.late_events,
+            "pending_reorder": self.pending_reorder,
+            "watermark": _json_safe(self.watermark),
+            "matches_total": self.matches_total,
+            "attachments_live": self.attachments_live,
+            "attachments": [a.to_dict() for a in self.attachments],
+            "sharing": None if self.sharing is None
+            else self.sharing.to_dict(),
+        }
 
 
 class Attachment:
@@ -347,7 +403,16 @@ class Attachment:
         sinks failed during the final delivery.
         """
         if self.state == Attachment.DETACHED:
-            return []
+            return []  # idempotent: even the on_detach chain runs once
+        chain = self.hub._middleware.chain(
+            "on_detach", lambda ctx: self._detach_raw(drain))
+        if chain is None:
+            return self._detach_raw(drain)
+        ctx = MiddlewareContext("on_detach", hub=self.hub, attachment=self)
+        result = chain(ctx)
+        return [] if result is None else result
+
+    def _detach_raw(self, drain: bool) -> list[ComplexEvent]:
         self.hub._forget(self)
         was_live = self.state in (Attachment.PENDING, Attachment.LIVE)
         self.state = Attachment.DETACHED
@@ -410,11 +475,30 @@ class StreamHub:
 
     def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
                  queue_size: int = 1024, overflow: str = "raise",
-                 share: Optional[bool] = None) -> None:
+                 share: Optional[bool] = None,
+                 middleware: Optional[Iterable] = None) -> None:
         require(queue_size >= 1, "queue_size must be >= 1")
         require(overflow in ("raise", "drop_oldest"),
                 "overflow must be 'raise' or 'drop_oldest'")
         self._sorter = SlackSorter(slack, late_policy)
+        # hub-level interception: ingestion/lifecycle hooks run at hub
+        # scope (before the shared reorder stage); the middlewares'
+        # match/error hooks are replayed inside every attachment's
+        # session chain via restrict() so delivery is intercepted too,
+        # without double-running the ingestion hooks.
+        self._middleware = MiddlewareStack(middleware or ())
+        self._session_middleware = tuple(
+            restrict(mw, ("on_match", "on_error"))
+            for mw in self._middleware.middlewares
+            if _implements(mw, "on_match") or _implements(mw, "on_error"))
+        self._chain_push = self._middleware.chain(
+            "on_push", lambda ctx: self._push_raw(ctx.event))
+        self._chain_push_many = self._middleware.chain(
+            "on_push_many", lambda ctx: self._push_many_raw(ctx.events))
+        self._chain_flush = self._middleware.chain(
+            "on_flush", lambda ctx: self._flush_raw())
+        self._mw_ctx = MiddlewareContext(hub=self) \
+            if self._middleware else None
         self.queue_size = queue_size
         self.overflow = overflow
         self.events_pushed = 0
@@ -469,6 +553,7 @@ class StreamHub:
                | Iterable[Callable[[ComplexEvent], None]] | None = None,
                queue_size: Optional[int] = None,
                overflow: Optional[str] = None,
+               middleware: Optional[Iterable] = None,
                **engine_options) -> Attachment:
         """Subscribe one query; works before the first push or mid-stream.
 
@@ -483,6 +568,12 @@ class StreamHub:
         ``sink`` is one callback or an iterable of callbacks invoked
         per validated match (isolated: a raising sink never starves the
         others); without sinks, matches buffer in the bounded queue.
+        ``middleware`` installs per-attachment interception around this
+        attachment's session (see :mod:`repro.middleware.base`); a
+        middleware hooking ``on_push``/``on_push_many`` gives the
+        attachment a private engine session — per-member ingestion
+        rewrites are unsound inside a shared group, which ingests each
+        event exactly once for all members.
         """
         if self._closed or self._flushed:
             raise HubClosedError("cannot attach: hub is "
@@ -493,28 +584,54 @@ class StreamHub:
         elif params is not None:
             raise ValueError("params= only applies to query text")
         name = name or query.name
+        user_middleware = tuple(middleware or ())
+        chain = self._middleware.chain(
+            "on_attach",
+            lambda ctx: self._attach_raw(
+                ctx.query, engine=ctx.engine, name=ctx.name, sinks=sink,
+                queue_size=queue_size, overflow=overflow,
+                middleware=user_middleware, engine_options=engine_options))
+        if chain is None:
+            return self._attach_raw(
+                query, engine=engine, name=name, sinks=sink,
+                queue_size=queue_size, overflow=overflow,
+                middleware=user_middleware, engine_options=engine_options)
+        ctx = MiddlewareContext("on_attach", hub=self, query=query,
+                                name=name, engine=engine)
+        return chain(ctx)
+
+    def _attach_raw(self, query: Query, *, engine: str, name: str,
+                    sinks, queue_size: Optional[int],
+                    overflow: Optional[str], middleware: tuple,
+                    engine_options: dict) -> Attachment:
         if name in self._names:
             raise ValueError(f"attachment name {name!r} already in use")
-        if sink is None:
-            sinks: tuple = ()
-        elif callable(sink):
-            sinks = (sink,)
+        if sinks is None:
+            sinks = ()
+        elif callable(sinks):
+            sinks = (sinks,)
         else:
-            sinks = tuple(sink)
+            sinks = tuple(sinks)
+        session_middleware = self._session_middleware + middleware
+        ingest_hooked = any(
+            _implements(mw, "on_push") or _implements(mw, "on_push_many")
+            for mw in middleware)
         member = routed_types = None
-        if self._share and not engine_options:
+        if self._share and not engine_options and not ingest_hooked:
             signature = member_signature(query, engine)
             if signature is not None:
                 member = self._group_for(query).add_member(
                     name, query, signature)
         if member is not None:
             session: PipelineSession | MemberSession = \
-                MemberSession(member, sinks)
+                MemberSession(member, sinks,
+                              middleware=session_middleware)
         else:
             if self._share:
                 routed_types = routed_types_for(query)
             inner = build_engine(query, engine, **engine_options).open()
-            session = PipelineSession(inner, None, sinks)
+            session = PipelineSession(inner, None, sinks,
+                                      middleware=session_middleware)
         attachment = Attachment(
             self, name, query, engine, session,
             queue_size=self.queue_size if queue_size is None else queue_size,
@@ -522,6 +639,7 @@ class StreamHub:
             member=member, routed_types=routed_types)
         if member is not None:
             member.attachment = attachment
+        session.bind_attachment(attachment)
         self._routing.add(name, routed_types)
         self._names.add(name)
         self._attachments.append(attachment)
@@ -557,6 +675,16 @@ class StreamHub:
         are admitted the moment their alignment point passes.
         """
         self._require_open("push")
+        if self._chain_push is None:
+            return self._push_raw(event)
+        ctx = self._mw_ctx
+        ctx.hook = "on_push"
+        ctx.event = event
+        ctx.events = None
+        result = self._chain_push(ctx)
+        return 0 if result is None else result
+
+    def _push_raw(self, event: Event) -> int:
         released = self._sorter.push(event)
         self.events_pushed += 1
         return self._fan_out(released)
@@ -572,6 +700,16 @@ class StreamHub:
         interleaving across attachments differs.
         """
         self._require_open("push_many")
+        if self._chain_push_many is None:
+            return self._push_many_raw(events)
+        ctx = self._mw_ctx
+        ctx.hook = "on_push_many"
+        ctx.event = None
+        ctx.events = events if isinstance(events, list) else list(events)
+        result = self._chain_push_many(ctx)
+        return 0 if result is None else result
+
+    def _push_many_raw(self, events: Iterable[Event]) -> int:
         released: list[Event] = []
         count = 0
         for event in events:
@@ -646,6 +784,16 @@ class StreamHub:
         :class:`~repro.streaming.builder.SinkError` afterwards if any
         attachment's sinks failed."""
         self._require_open("flush")
+        if self._chain_flush is None:
+            return self._flush_raw()
+        ctx = self._mw_ctx
+        ctx.hook = "on_flush"
+        ctx.event = None
+        ctx.events = None
+        result = self._chain_flush(ctx)
+        return 0 if result is None else result
+
+    def _flush_raw(self) -> int:
         delivered = self._fan_out(self._sorter.flush(),
                                   raise_backpressure=False)
         errors: list = []

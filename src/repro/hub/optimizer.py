@@ -75,8 +75,8 @@ from repro.matching.kernel import (
 from repro.matching.nfa import NFADetector, NFAPartialMatch
 from repro.patterns.policies import ConsumptionPolicy, SelectionPolicy
 from repro.patterns.query import Query
+from repro.middleware.sinks import SinkDispatchMiddleware
 from repro.sequential.engine import SequentialResult
-from repro.streaming.builder import SinkError
 from repro.streaming.session import Session
 from repro.windows.specs import CountScope, EverySlide, OnPredicate, TimeScope
 from repro.windows.splitter import Splitter
@@ -427,6 +427,18 @@ class SharingStats:
     prefix_events_saved: int
     memo_hits: int
     memo_misses: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (all fields are already scalars)."""
+        return {
+            "enabled": self.enabled,
+            "groups": self.groups,
+            "shared_attachments": self.shared_attachments,
+            "windows_shared": self.windows_shared,
+            "prefix_events_saved": self.prefix_events_saved,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
 
 
 class SharedGroup:
@@ -866,15 +878,23 @@ class MemberSession(Session):
     them once for everyone; the hub calls :meth:`deliver` with the
     member's matches after every group ingest.  ``flush``/``close``
     delegate end-of-stream to the group (truncated trailing windows run
-    privately, exactly like a standalone flush)."""
+    privately, exactly like a standalone flush).  Match delivery (user
+    middleware, then sink dispatch with isolation) runs through the
+    same ``on_match``/``on_error`` chains as
+    :class:`~repro.streaming.builder.PipelineSession` — only ingestion
+    hooks are absent, because shared attachments never see per-session
+    ingestion (ingestion-hooking middleware disqualifies an attachment
+    from sharing; the hub enforces that at attach time)."""
 
-    def __init__(self, member: GroupMember, sinks: tuple) -> None:
-        super().__init__(eager=True, gc=False)
+    def __init__(self, member: GroupMember, sinks: tuple,
+                 middleware: tuple = ()) -> None:
+        stack = list(middleware)
+        if sinks:
+            stack.append(SinkDispatchMiddleware(sinks))
+        super().__init__(eager=True, gc=False, middleware=stack)
         self.member = member
         self.sinks = sinks
         self._staged: list[ComplexEvent] = []
-        self._sink_errors: list[tuple[Callable, ComplexEvent,
-                                      Exception]] = []
 
     # events flow through the group, never through this session
     def _ingest(self, event: Event) -> None:
@@ -886,18 +906,15 @@ class MemberSession(Session):
 
     def _drain(self) -> list[ComplexEvent]:
         matches, self._staged = self._staged, []
-        for match in matches:
-            for sink in self.sinks:
-                try:
-                    sink(match)
-                except Exception as error:  # noqa: BLE001 - sink isolation
-                    self._sink_errors.append((sink, match, error))
         return matches
 
     def deliver(self, matches: list[ComplexEvent]) -> list[ComplexEvent]:
-        """Hub-internal: run sinks over freshly validated matches."""
+        """Hub-internal: deliver freshly validated matches (sinks and
+        any on_match/on_error middleware)."""
         self._staged.extend(matches)
         out = self._drain()
+        if self._chain_match is not None:
+            out = self._deliver_matches(out)
         self.matches_emitted += len(out)
         return out
 
@@ -909,25 +926,6 @@ class MemberSession(Session):
 
     def _release(self) -> None:
         self.member.group.remove(self.member)
-
-    @property
-    def sink_errors(self) -> list[tuple[Callable, ComplexEvent, Exception]]:
-        return list(self._sink_errors)
-
-    def _raise_sink_errors(self, matches: list[ComplexEvent]) -> None:
-        if self._sink_errors:
-            errors, self._sink_errors = self._sink_errors, []
-            raise SinkError(errors, matches)
-
-    def flush(self) -> list[ComplexEvent]:
-        matches = super().flush()
-        self._raise_sink_errors(matches)
-        return matches
-
-    def close(self) -> list[ComplexEvent]:
-        matches = super().close()
-        self._raise_sink_errors(matches)
-        return matches
 
     @property
     def watermark(self) -> float:

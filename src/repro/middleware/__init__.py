@@ -1,0 +1,59 @@
+"""Composable interception middleware for sessions, pipelines and hubs.
+
+See :mod:`repro.middleware.base` for the hook model and
+:class:`MiddlewareStack` composition semantics.  Production middleware
+shipped here:
+
+* :class:`MetricsMiddleware` — Prometheus-style counters/gauges plus
+  ``to_dict()`` stats snapshotting and text exposition.
+* :class:`RateLimitMiddleware` — per-attachment token buckets with
+  shed-or-raise policy.
+* :class:`ValidationMiddleware` — declarative event schema with
+  null (SQL-NULL), reject, or raise policy.
+* :class:`TraceMiddleware` — bounded ring buffer of structured
+  per-hook records.
+
+:class:`SinkDispatchMiddleware` is the internal middleware sessions
+install for sink delivery; :class:`SinkError` is the aggregate raised
+at ``flush()``/``close()`` when sinks failed.
+"""
+
+from repro.middleware.base import (
+    Middleware,
+    MiddlewareContext,
+    MiddlewareStack,
+    restrict,
+)
+from repro.middleware.metrics import (
+    Counter,
+    Gauge,
+    MetricsMiddleware,
+    MetricsRegistry,
+)
+from repro.middleware.ratelimit import (
+    RateLimitExceeded,
+    RateLimitMiddleware,
+    TokenBucket,
+)
+from repro.middleware.sinks import SinkDispatchMiddleware, SinkError
+from repro.middleware.trace import TraceMiddleware
+from repro.middleware.validation import ValidationError, ValidationMiddleware
+
+__all__ = [
+    "Middleware",
+    "MiddlewareContext",
+    "MiddlewareStack",
+    "restrict",
+    "MetricsMiddleware",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "RateLimitMiddleware",
+    "RateLimitExceeded",
+    "TokenBucket",
+    "ValidationMiddleware",
+    "ValidationError",
+    "TraceMiddleware",
+    "SinkDispatchMiddleware",
+    "SinkError",
+]

@@ -1,0 +1,66 @@
+"""Sink delivery as middleware.
+
+Before the middleware refactor every session class hand-rolled the same
+sink loop: call each sink, swallow-and-record exceptions, aggregate the
+failures into one :class:`SinkError` at ``flush()``/``close()``.  That
+logic now lives here, as the *innermost* middleware of a session's
+``on_match`` chain — user middleware runs first (it may transform or
+suppress the match before any sink sees it), then
+:class:`SinkDispatchMiddleware` fans the match out to the sinks with
+the same isolation contract as before.
+
+Failures are routed through the session's ``on_error`` chain (so
+middleware can observe or swallow them) whose terminal records them on
+the session; the session raises the aggregate :class:`SinkError` at
+``flush()``/``close()`` exactly as it always has.
+"""
+
+from __future__ import annotations
+
+from repro.middleware.base import Middleware, MiddlewareContext
+
+__all__ = ["SinkError", "SinkDispatchMiddleware"]
+
+
+class SinkError(RuntimeError):
+    """One or more sink callbacks raised while matches were delivered.
+
+    Sinks are isolated: a raising sink never corrupts the session and
+    never starves the other sinks — the exception is captured, the
+    remaining sinks still receive the match, and the failures surface
+    here, raised by ``flush()``/``close()``.  ``errors`` holds
+    ``(sink, match, exception)`` triples in delivery order; ``matches``
+    holds whatever the raising call would have returned, so results are
+    never lost to the error path.
+    """
+
+    def __init__(self, errors, matches=()) -> None:
+        self.errors = list(errors)
+        self.matches = list(matches)
+        first = self.errors[0][2] if self.errors else None
+        super().__init__(
+            f"{len(self.errors)} sink error(s) during match delivery; "
+            f"first: {first!r}")
+
+
+class SinkDispatchMiddleware(Middleware):
+    """Deliver each match to every sink, isolating failures.
+
+    Installed automatically (last, i.e. innermost) by sessions built
+    with sinks; a raising sink is recorded via the owning session's
+    ``on_error`` chain and the remaining sinks still fire.  The match
+    itself is always passed through, so callers never lose results to a
+    failing sink.
+    """
+
+    def __init__(self, sinks) -> None:
+        self.sinks = tuple(sinks)
+
+    def on_match(self, context: MiddlewareContext, call_next):
+        match = context.match
+        for sink in self.sinks:
+            try:
+                sink(match)
+            except Exception as error:  # noqa: BLE001 - sink isolation
+                context.session._record_sink_error(sink, match, error)
+        return call_next(context)

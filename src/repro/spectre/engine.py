@@ -96,6 +96,29 @@ class RunStats:
             return 0.0
         return sum(self.window_latencies) / len(self.window_latencies)
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot: every counter plus the derived ratios;
+        the raw latency list is summarized, not dumped."""
+        return {
+            "cycles": self.cycles,
+            "windows_total": self.windows_total,
+            "windows_emitted": self.windows_emitted,
+            "versions_created": self.versions_created,
+            "versions_dropped": self.versions_dropped,
+            "max_tree_size": self.max_tree_size,
+            "groups_created": self.groups_created,
+            "groups_completed": self.groups_completed,
+            "groups_abandoned": self.groups_abandoned,
+            "rollbacks": self.rollbacks,
+            "validation_rollbacks": self.validation_rollbacks,
+            "steps_processed": self.steps_processed,
+            "steps_suppressed": self.steps_suppressed,
+            "wasted_steps": self.wasted_steps,
+            "completion_probability": self.completion_probability,
+            "mean_window_latency": self.mean_window_latency,
+            "window_latency_count": len(self.window_latencies),
+        }
+
 
 @dataclass
 class SpectreResult:

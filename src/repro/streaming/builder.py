@@ -39,30 +39,20 @@ from typing import Callable, Iterable, Optional
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
 from repro.events.ooo import SlackSorter
+from repro.middleware.base import Middleware
+from repro.middleware.sinks import SinkDispatchMiddleware, SinkError
 from repro.patterns.query import Query
 from repro.streaming.session import Session, drive
 from repro.utils.validation import require
 
-
-class SinkError(RuntimeError):
-    """One or more sink callbacks raised while matches were delivered.
-
-    Sinks are isolated: a raising sink never corrupts the session and
-    never starves the other sinks — the exception is captured, the
-    remaining sinks still receive the match, and the failures surface
-    here, raised by ``flush()``/``close()``.  ``errors`` holds
-    ``(sink, match, exception)`` triples in delivery order; ``matches``
-    holds whatever the raising call would have returned, so results are
-    never lost to the error path.
-    """
-
-    def __init__(self, errors, matches=()) -> None:
-        self.errors = list(errors)
-        self.matches = list(matches)
-        first = self.errors[0][2] if self.errors else None
-        super().__init__(
-            f"{len(self.errors)} sink error(s) during match delivery; "
-            f"first: {first!r}")
+__all__ = [
+    "ENGINE_ALIASES",
+    "Pipeline",
+    "PipelineSession",
+    "SinkError",  # canonical home: repro.middleware.sinks
+    "build_engine",
+    "pipeline",
+]
 
 # public/CLI alias -> canonical registry name
 ENGINE_ALIASES = {
@@ -153,17 +143,25 @@ class PipelineSession(Session):
     Sink failures are isolated: a raising sink does not interrupt
     ``push`` and the other sinks keep receiving matches; the captured
     errors surface as one :class:`SinkError` on ``flush()``/``close()``
-    (and stay inspectable via :attr:`sink_errors` meanwhile)."""
+    (and stay inspectable via :attr:`sink_errors` meanwhile).  That
+    delivery — sinks, isolation, error capture — runs through the
+    session's ``on_match``/``on_error`` middleware chains: ``middleware``
+    hooks run first (they may transform or suppress a match, shed a
+    push, observe errors), then the internal
+    :class:`~repro.middleware.sinks.SinkDispatchMiddleware` fans out to
+    the sinks."""
 
     def __init__(self, inner: Session, sorter: Optional[SlackSorter],
-                 sinks: tuple[Callable[[ComplexEvent], None], ...]) -> None:
-        super().__init__(eager=inner.eager, gc=False)
+                 sinks: tuple[Callable[[ComplexEvent], None], ...],
+                 middleware: tuple = ()) -> None:
+        stack = list(middleware)
+        if sinks:
+            stack.append(SinkDispatchMiddleware(sinks))
+        super().__init__(eager=inner.eager, gc=False, middleware=stack)
         self.inner = inner
         self.sorter = sorter
         self.sinks = sinks
         self._staged: list[ComplexEvent] = []
-        self._sink_errors: list[tuple[Callable, ComplexEvent,
-                                      Exception]] = []
 
     @property
     def late_events(self) -> int:
@@ -203,33 +201,9 @@ class PipelineSession(Session):
         self._staged.extend(self.inner.flush())
 
     def _drain(self) -> list[ComplexEvent]:
+        # sink delivery happens in the base class's on_match chain
+        # (user middleware, then SinkDispatchMiddleware)
         matches, self._staged = self._staged, []
-        for match in matches:
-            for sink in self.sinks:
-                try:
-                    sink(match)
-                except Exception as error:  # noqa: BLE001 - sink isolation
-                    self._sink_errors.append((sink, match, error))
-        return matches
-
-    @property
-    def sink_errors(self) -> list[tuple[Callable, ComplexEvent, Exception]]:
-        """Sink failures captured so far, ``(sink, match, exception)``."""
-        return list(self._sink_errors)
-
-    def _raise_sink_errors(self, matches: list[ComplexEvent]) -> None:
-        if self._sink_errors:
-            errors, self._sink_errors = self._sink_errors, []
-            raise SinkError(errors, matches)
-
-    def flush(self) -> list[ComplexEvent]:
-        matches = super().flush()
-        self._raise_sink_errors(matches)
-        return matches
-
-    def close(self) -> list[ComplexEvent]:
-        matches = super().close()
-        self._raise_sink_errors(matches)
         return matches
 
     def _release(self) -> None:
@@ -263,6 +237,7 @@ class Pipeline:
         self._slack: Optional[float] = None
         self._late_policy = "drop"
         self._sinks: list[Callable[[ComplexEvent], None]] = []
+        self._middleware: list[Middleware] = []
 
     def engine(self, name: str = "spectre", **options) -> "Pipeline":
         """Choose the runtime: any :data:`ENGINE_ALIASES` name plus
@@ -289,6 +264,14 @@ class Pipeline:
         self._sinks.append(callback)
         return self
 
+    def use(self, middleware: Middleware) -> "Pipeline":
+        """Install one middleware on the session's interception chain
+        (first installed = outermost).  See
+        :mod:`repro.middleware.base` for the hook model; sink delivery
+        always runs innermost, after every ``use()``d hook."""
+        self._middleware.append(middleware)
+        return self
+
     def build(self):
         """Instantiate the configured engine (one engine per stream)."""
         return build_engine(self.query, self._engine_name,
@@ -299,7 +282,8 @@ class Pipeline:
         inner = self.build().open(eager=eager, **open_options)
         sorter = SlackSorter(self._slack, self._late_policy) \
             if self._slack is not None else None
-        return PipelineSession(inner, sorter, tuple(self._sinks))
+        return PipelineSession(inner, sorter, tuple(self._sinks),
+                               middleware=tuple(self._middleware))
 
     def run(self, events: Iterable[Event]):
         """Batch convenience: drive a lazy session over a finite stream

@@ -46,10 +46,13 @@ block always cleans up.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Optional, Protocol, \
+    runtime_checkable
 
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
+from repro.middleware.base import MiddlewareContext, MiddlewareStack
+from repro.middleware.sinks import SinkError
 
 if TYPE_CHECKING:
     from repro.windows.splitter import Splitter
@@ -78,7 +81,8 @@ class Session(abc.ABC):
     (``_release``); this base class owns the lifecycle state machine.
     """
 
-    def __init__(self, *, eager: bool = True, gc: bool | None = None) -> None:
+    def __init__(self, *, eager: bool = True, gc: bool | None = None,
+                 middleware: Iterable | None = None) -> None:
         self.eager = eager
         # GC only makes sense while draining incrementally; lazy (batch)
         # sessions keep everything so results match the historical runs.
@@ -89,6 +93,41 @@ class Session(abc.ABC):
         self._closed = False
         self._aborted = False
         self._last_ts = float("-inf")
+        # interception: ``middleware`` composes on_push/on_push_many/
+        # on_flush around the session core, on_match/on_error around
+        # match delivery.  Chains for un-hooked operations stay None so
+        # the no-op case costs one attribute check per call — nothing
+        # is allocated on the hot path unless a hook is installed.
+        self.attachment = None  # stamped by the hub for its sessions
+        self._sink_errors: list[tuple] = []
+        self._chain_push = self._chain_push_many = None
+        self._chain_flush = self._chain_match = self._chain_error = None
+        self._mw_ctx: Optional[MiddlewareContext] = None
+        if middleware:
+            self._bind_middleware(middleware
+                                  if isinstance(middleware, MiddlewareStack)
+                                  else MiddlewareStack(middleware))
+
+    def _bind_middleware(self, stack: MiddlewareStack) -> None:
+        self._chain_push = stack.chain(
+            "on_push", lambda ctx: self._push_raw(ctx.event))
+        self._chain_push_many = stack.chain(
+            "on_push_many", lambda ctx: self._push_many_raw(ctx.events))
+        self._chain_flush = stack.chain(
+            "on_flush", lambda ctx: self._flush_raw())
+        self._chain_match = stack.chain("on_match", lambda ctx: ctx.match)
+        self._chain_error = stack.chain(
+            "on_error", lambda ctx: self._sink_errors.append(
+                (ctx.sink, ctx.match, ctx.error)))
+        self._mw_ctx = MiddlewareContext(session=self,
+                                         attachment=self.attachment)
+
+    def bind_attachment(self, attachment) -> None:
+        """Hub-internal: stamp the owning attachment so middleware
+        contexts (and bucket keys, metric labels, ...) can name it."""
+        self.attachment = attachment
+        if self._mw_ctx is not None:
+            self._mw_ctx.attachment = attachment
 
     # -- primitive hooks ---------------------------------------------------
 
@@ -156,9 +195,23 @@ class Session(abc.ABC):
         """Offer one event; return the matches *it* validated.
 
         Lazy sessions always return ``[]`` (everything surfaces at
-        ``flush``).
+        ``flush``).  With middleware installed the event routes through
+        the ``on_push`` chain first: hooks may transform it or
+        short-circuit (drop), in which case ``[]`` is returned and the
+        core never sees the event.
         """
         self._require_open("push")
+        chain = self._chain_push
+        if chain is None:
+            return self._push_raw(event)
+        ctx = self._mw_ctx
+        ctx.hook = "on_push"
+        ctx.event = event
+        ctx.events = None
+        result = chain(ctx)
+        return [] if result is None else result
+
+    def _push_raw(self, event: Event) -> list[ComplexEvent]:
         self._ingest(event)
         self.events_pushed += 1
         self._last_ts = event.timestamp
@@ -167,6 +220,8 @@ class Session(abc.ABC):
         matches = self._drain()
         if self.gc:
             self._collect_garbage()
+        if self._chain_match is not None:
+            matches = self._deliver_matches(matches)
         self.matches_emitted += len(matches)
         return matches
 
@@ -180,9 +235,21 @@ class Session(abc.ABC):
         batches) — per-event emission granularity is traded for
         throughput within the batch; across batches nothing changes.
         Subclasses with a cheaper bulk ingestion path override
-        :meth:`_ingest_many`, not this method.
+        :meth:`_ingest_many`, not this method.  The ``on_push_many``
+        chain may trim or replace the batch before the core ingests it.
         """
         self._require_open("push_many")
+        chain = self._chain_push_many
+        if chain is None:
+            return self._push_many_raw(events)
+        ctx = self._mw_ctx
+        ctx.hook = "on_push_many"
+        ctx.event = None
+        ctx.events = events if isinstance(events, list) else list(events)
+        result = chain(ctx)
+        return [] if result is None else result
+
+    def _push_many_raw(self, events: Iterable[Event]) -> list[ComplexEvent]:
         count, last_ts = self._ingest_many(events)
         self.events_pushed += count
         self._last_ts = last_ts
@@ -191,6 +258,8 @@ class Session(abc.ABC):
         matches = self._drain()
         if self.gc:
             self._collect_garbage()
+        if self._chain_match is not None:
+            matches = self._deliver_matches(matches)
         self.matches_emitted += len(matches)
         return matches
 
@@ -208,13 +277,32 @@ class Session(abc.ABC):
     def flush(self) -> list[ComplexEvent]:
         """End-of-stream: close trailing windows, drain everything still
         queued, and return the matches that surfaced.  A mid-stream
-        ``flush`` treats the events pushed so far as the whole stream."""
+        ``flush`` treats the events pushed so far as the whole stream.
+        Raises one :class:`~repro.middleware.sinks.SinkError` afterwards
+        if sinks failed during delivery (the matches are still on the
+        error's ``matches`` so nothing is lost)."""
         self._require_open("flush")
+        chain = self._chain_flush
+        if chain is None:
+            matches = self._flush_raw()
+        else:
+            ctx = self._mw_ctx
+            ctx.hook = "on_flush"
+            ctx.event = None
+            ctx.events = None
+            matches = chain(ctx)
+            matches = [] if matches is None else matches
+        self._raise_sink_errors(matches)
+        return matches
+
+    def _flush_raw(self) -> list[ComplexEvent]:
         self._finish()
         matches = self._drain()
         self._flushed = True
         if self.gc:
             self._collect_garbage()
+        if self._chain_match is not None:
+            matches = self._deliver_matches(matches)
         self.matches_emitted += len(matches)
         return matches
 
@@ -233,6 +321,45 @@ class Session(abc.ABC):
             self._closed = True
             self._release()
         return matches
+
+    # -- match delivery (sinks + on_match/on_error chains) -----------------
+
+    def _deliver_matches(self,
+                         matches: list[ComplexEvent]) -> list[ComplexEvent]:
+        """Route each validated match through the ``on_match`` chain
+        (user middleware first, then sink dispatch).  A hook returning
+        ``None`` suppresses the match: sinks never see it and it is not
+        returned, queued, or counted."""
+        chain = self._chain_match
+        delivered: list[ComplexEvent] = []
+        for match in matches:
+            ctx = MiddlewareContext("on_match", match=match, session=self,
+                                    attachment=self.attachment)
+            out = chain(ctx)
+            if out is not None:
+                delivered.append(out)
+        return delivered
+
+    def _record_sink_error(self, sink, match, error) -> None:
+        """Capture one sink failure, routed through ``on_error``."""
+        chain = self._chain_error
+        if chain is None:
+            self._sink_errors.append((sink, match, error))
+            return
+        ctx = MiddlewareContext("on_error", match=match, error=error,
+                                sink=sink, session=self,
+                                attachment=self.attachment)
+        chain(ctx)
+
+    @property
+    def sink_errors(self) -> list[tuple]:
+        """Sink failures captured so far, ``(sink, match, exception)``."""
+        return list(self._sink_errors)
+
+    def _raise_sink_errors(self, matches: list[ComplexEvent]) -> None:
+        if self._sink_errors:
+            errors, self._sink_errors = self._sink_errors, []
+            raise SinkError(errors, matches)
 
     def abort(self) -> None:
         """Release resources without the implicit flush.

@@ -1,0 +1,213 @@
+"""Property-based parity: interception must never change results.
+
+The acceptance contract of the middleware refactor — a hub or pipeline
+wrapped in a *non-transforming* chain (no-op middleware, whose chains
+are not even built, and a metrics-only chain, which observes every
+hook) emits exactly the matches of the bare run, across:
+
+* the sharing optimizer on and off (``share=`` — the REPRO_SHARE axis),
+* compiled and interpreted predicate kernels (``parse_query(compile=)``
+  — the REPRO_COMPILE axis),
+* per-event ``push`` and chunked ``push_many`` ingestion,
+* sink delivery and queue (drain) delivery.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    MetricsMiddleware,
+    Middleware,
+    StreamHub,
+    TraceMiddleware,
+    pipeline,
+)
+from repro.events import make_event
+from repro.patterns import parse_query
+
+N_TYPES = 3
+WINDOWS = ((6, 3), (8, 4), (5, 5))
+
+
+def make_typed_query(index, first, second, window, compiled):
+    within, every = window
+    text = (f"PATTERN (t{first} t{second}+)\n"
+            f"WITHIN {within} events FROM every {every} events\n")
+    return parse_query(text, name=f"q{index}", compile=compiled)
+
+
+_type_pairs = st.tuples(
+    st.integers(0, N_TYPES - 1),
+    st.integers(0, N_TYPES - 1)).filter(lambda pair: pair[0] != pair[1])
+query_specs = st.tuples(_type_pairs, st.sampled_from(WINDOWS)) \
+    .map(lambda drawn: (*drawn[0], drawn[1]))
+event_rows = st.lists(
+    st.tuples(st.integers(0, N_TYPES - 1), st.integers(0, 99)),
+    max_size=100)
+
+
+def build_events(rows):
+    return [make_event(index, f"t{etype}", timestamp=float(index),
+                       price=price / 100)
+            for index, (etype, price) in enumerate(rows)]
+
+
+def run_hub(specs, events, *, share, compiled, chunk, middleware):
+    """Drive one hub; return per-attachment constituent-seq outputs."""
+    queries = [make_typed_query(i, first, second, window, compiled)
+               for i, (first, second, window) in enumerate(specs)]
+    collectors = [[] for _ in queries]
+    hub = StreamHub(share=share, middleware=middleware)
+    for query, collector in zip(queries, collectors):
+        hub.attach(query, engine="sequential", sink=collector.append)
+    if chunk:
+        for start in range(0, len(events), chunk):
+            hub.push_many(events[start:start + chunk])
+    else:
+        for event in events:
+            hub.push(event)
+    hub.close()
+    return [[ce.constituent_seqs for ce in collector]
+            for collector in collectors]
+
+
+class TestHubChainParity:
+    @settings(max_examples=20, deadline=None)
+    @given(specs=st.lists(query_specs, min_size=1, max_size=3),
+           rows=event_rows,
+           share=st.booleans(),
+           compiled=st.booleans(),
+           chunk=st.sampled_from((0, 7)))
+    def test_noop_and_metrics_chains_change_nothing(
+            self, specs, rows, share, compiled, chunk):
+        events = build_events(rows)
+        bare = run_hub(specs, events, share=share, compiled=compiled,
+                       chunk=chunk, middleware=None)
+        noop = run_hub(specs, events, share=share, compiled=compiled,
+                       chunk=chunk, middleware=[Middleware()])
+        metrics = run_hub(specs, events, share=share, compiled=compiled,
+                          chunk=chunk, middleware=[MetricsMiddleware()])
+        assert bare == noop == metrics
+
+    @settings(max_examples=10, deadline=None)
+    @given(specs=st.lists(query_specs, min_size=1, max_size=2),
+           rows=event_rows,
+           share=st.booleans())
+    def test_observing_attachment_middleware_changes_nothing(
+            self, specs, rows, share):
+        """Per-attachment trace/metrics hooks (delivery-side only) keep
+        sharing AND keep outputs; they are pure observers."""
+        events = build_events(rows)
+        queries = [make_typed_query(i, first, second, window, None)
+                   for i, (first, second, window) in enumerate(specs)]
+
+        def drive(attach_middleware):
+            collectors = [[] for _ in queries]
+            hub = StreamHub(share=share)
+            for query, collector in zip(queries, collectors):
+                hub.attach(query, engine="sequential",
+                           sink=collector.append,
+                           middleware=attach_middleware())
+            for event in events:
+                hub.push(event)
+            hub.close()
+            return [[ce.constituent_seqs for ce in collector]
+                    for collector in collectors]
+
+        assert drive(lambda: None) \
+            == drive(lambda: [TraceMiddleware(capacity=4),
+                              MetricsMiddleware()])
+
+
+class TestPipelineChainParity:
+    @settings(max_examples=15, deadline=None)
+    @given(rows=event_rows,
+           compiled=st.booleans(),
+           engine=st.sampled_from(("sequential", "spectre")))
+    def test_use_of_observers_changes_nothing(self, rows, compiled,
+                                              engine):
+        spec = (0, 1, (6, 3))
+        events = build_events(rows)
+        options = {} if engine == "sequential" else {"k": 2}
+
+        def drive(wrap):
+            builder = pipeline(make_typed_query(0, *spec, compiled)) \
+                .engine(engine, **options)
+            if wrap:
+                builder = builder.use(MetricsMiddleware()) \
+                    .use(TraceMiddleware(capacity=8))
+            session = builder.open()
+            matches = []
+            for event in events:
+                matches.extend(session.push(event))
+            matches.extend(session.flush())
+            session.close()
+            return [ce.identity() for ce in matches]
+
+        assert drive(False) == drive(True)
+
+    @settings(max_examples=10, deadline=None)
+    @given(rows=event_rows, chunk=st.integers(1, 9))
+    def test_push_many_through_chain_matches_per_event(self, rows,
+                                                       chunk):
+        events = build_events(rows)
+
+        def drive(chunked):
+            session = pipeline(make_typed_query(0, 0, 1, (6, 3), None)) \
+                .engine("sequential").use(MetricsMiddleware()).open()
+            matches = []
+            if chunked:
+                for start in range(0, len(events), chunk):
+                    matches.extend(
+                        session.push_many(events[start:start + chunk]))
+            else:
+                for event in events:
+                    matches.extend(session.push(event))
+            matches.extend(session.flush())
+            session.close()
+            return [ce.identity() for ce in matches]
+
+        assert drive(False) == drive(True)
+
+
+class TestSinkIsolationParity:
+    """Sink isolation is served by the middleware chain now; the
+    observable contract must equal the old bespoke path's."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(rows=event_rows, share=st.booleans())
+    def test_raising_sink_never_starves_the_healthy_one(self, rows,
+                                                        share):
+        from repro.middleware.sinks import SinkError
+
+        events = build_events(rows)
+        healthy_alone = []
+        hub = StreamHub(share=share)
+        hub.attach(make_typed_query(0, 0, 1, (6, 3), None),
+                   engine="sequential", sink=healthy_alone.append)
+        for event in events:
+            hub.push(event)
+        hub.close()
+
+        healthy = []
+
+        def bad(ce):
+            raise RuntimeError("boom")
+
+        hub = StreamHub(share=share)
+        attachment = hub.attach(make_typed_query(0, 0, 1, (6, 3), None),
+                                engine="sequential",
+                                sink=(bad, healthy.append))
+        for event in events:
+            hub.push(event)
+        raised = False
+        try:
+            hub.close()
+        except SinkError as error:
+            raised = True
+            assert len(error.errors) == len(healthy)
+        assert [ce.constituent_seqs for ce in healthy] \
+            == [ce.constituent_seqs for ce in healthy_alone]
+        assert raised == bool(healthy)
+        assert attachment.stats().sink_errors == len(healthy)

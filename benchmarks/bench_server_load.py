@@ -1,0 +1,270 @@
+"""Serving-runtime load benchmark: sustained rate, delivery latency,
+connection churn.
+
+An in-process :class:`~repro.server.core.ServerCore` on ephemeral
+loopback ports, driven by real protocol clients over real sockets —
+the full wire path (JSON codec, framing, per-client chains, pumps,
+sender queues) is on the clock, only the network distance is not.
+Three legs, each over TCP and the first also over WebSocket:
+
+* **tcp** / **ws** — one pusher streams a typed feed in
+  ``push_many`` chunks while S subscribers (one typed query each,
+  distinct types) tail their matches.  Reports sustained events/s
+  (wall time from first push to the last final watermark) and match
+  delivery latency percentiles (p50/p99 of ``recv(match) -
+  send(chunk containing its last constituent)``, same-process clock).
+  Every leg is also a parity check: each subscriber must receive
+  exactly its alone-run ``pipeline()`` matches.
+* **churn** — connect → hello → subscribe → drop cycles; reports
+  cycles/s and asserts the hub leaked nothing.
+
+Writes ``BENCH_server_load.json`` at the repository root; CI runs
+``--quick`` (small stream, fewer subscribers) and archives the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_server_load.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import random
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.events.event import Event  # noqa: E402
+from repro.patterns.parser import parse_query  # noqa: E402
+from repro.server import (  # noqa: E402
+    ServerClient,
+    ServerConfig,
+    ServerCore,
+    TCPServer,
+    WSServer,
+)
+from repro.streaming.builder import pipeline  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_server_load.json"
+
+N_TYPES = 12          # small alphabet → plenty of matches per query
+CHUNK = 256           # events per push_many frame
+WINDOW_TEXT = "WITHIN 60 events FROM every 20 events\n"
+
+
+def subscriber_text(index: int) -> str:
+    first = index % N_TYPES
+    second = (index + 1) % N_TYPES
+    return (f"PATTERN (t{first} t{second}+)\n" + WINDOW_TEXT)
+
+
+def generate_feed(n_events: int, seed: int = 7) -> list[Event]:
+    rng = random.Random(seed)
+    return [Event(seq=index, etype=f"t{rng.randrange(N_TYPES)}",
+                  timestamp=float(index),
+                  attributes={"v": rng.random()})
+            for index in range(n_events)]
+
+
+def alone_seqs(text: str, events: list[Event]) -> list[list[int]]:
+    result = pipeline(parse_query(text, name="alone")) \
+        .engine("sequential").run(events)
+    return [list(ce.constituent_seqs) for ce in result.complex_events]
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def run_load_leg(transport: str, events: list[Event],
+                       n_subscribers: int) -> dict:
+    core = ServerCore(ServerConfig(engine="sequential",
+                                   queue_size=4096, send_queue=4096))
+    tcp = TCPServer(core, "127.0.0.1", 0)
+    ws = WSServer(core, "127.0.0.1", 0)
+    await tcp.start()
+    await ws.start()
+    sub_port = ws.port if transport == "ws" else tcp.port
+    send_ts: dict[int, float] = {}
+    try:
+        texts = [subscriber_text(index)
+                 for index in range(n_subscribers)]
+        subscribers = []
+        for index, text in enumerate(texts):
+            client = await ServerClient.connect(
+                "127.0.0.1", sub_port, transport=transport)
+            await client.hello(client=f"sub{index}")
+            name = await client.subscribe(text, name=f"q{index}")
+            subscribers.append((client, name))
+
+        async def tail(client, name):
+            seqs, latencies = [], []
+            async for frame in client.frames():
+                if frame["type"] == "match":
+                    now = time.perf_counter()
+                    match_seqs = frame["match"]["seqs"]
+                    seqs.append(match_seqs)
+                    sent = send_ts.get(match_seqs[-1])
+                    if sent is not None:
+                        latencies.append((now - sent) * 1000.0)
+                elif frame["type"] == "watermark" and \
+                        frame.get("final"):
+                    return seqs, latencies
+            return seqs, latencies
+
+        tails = [asyncio.create_task(tail(client, name))
+                 for client, name in subscribers]
+
+        pusher = await ServerClient.connect("127.0.0.1", tcp.port)
+        await pusher.hello(client="pusher")
+        started = time.perf_counter()
+        for start in range(0, len(events), CHUNK):
+            chunk = events[start:start + CHUNK]
+            now = time.perf_counter()
+            for event in chunk:
+                send_ts[event.seq] = now
+            ack = await pusher.push_many(chunk)
+            assert ack["accepted"] == len(chunk)
+        await pusher.flush()
+        results = await asyncio.gather(*tails)
+        wall = time.perf_counter() - started
+
+        latencies = [value for _, leg in results for value in leg]
+        match_frames = sum(len(seqs) for seqs, _ in results)
+        for (seqs, _), text in zip(results, texts):
+            expected = alone_seqs(text, events)
+            if seqs != expected:
+                raise SystemExit(
+                    f"parity violation on {transport} leg "
+                    f"({text.splitlines()[0]!r}: got {len(seqs)} "
+                    f"matches, expected {len(expected)})")
+        await pusher.close()
+        for client, _ in subscribers:
+            await client.close()
+        deadline = time.monotonic() + 10
+        while core.clients and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+    finally:
+        await tcp.stop()
+        await ws.stop()
+        await core.shutdown("bench-done")
+    return {
+        "leg": transport,
+        "events": len(events),
+        "subscribers": n_subscribers,
+        "chunk": CHUNK,
+        "wall_seconds": round(wall, 4),
+        "events_per_second": round(len(events) / wall, 1),
+        "match_frames": match_frames,
+        "match_frames_per_second": round(match_frames / wall, 1),
+        "latency_p50_ms": round(percentile(latencies, 0.50), 3),
+        "latency_p99_ms": round(percentile(latencies, 0.99), 3),
+        "latency_samples": len(latencies),
+        "parity": True,
+    }
+
+
+async def run_churn_leg(cycles: int) -> dict:
+    core = ServerCore(ServerConfig(engine="sequential"))
+    tcp = TCPServer(core, "127.0.0.1", 0)
+    await tcp.start()
+    text = subscriber_text(0)
+    try:
+        started = time.perf_counter()
+        for cycle in range(cycles):
+            client = await ServerClient.connect("127.0.0.1", tcp.port)
+            await client.hello(client=f"churn{cycle}")
+            await client.subscribe(text)
+            await client.close()  # abrupt: no unsubscribe, no goodbye
+        # cleanup is asynchronous to the drop; wait for the last one
+        deadline = time.monotonic() + 30
+        while core.clients and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        wall = time.perf_counter() - started
+        leaked = core.hub.stats().attachments_live \
+            + len(core.hub._attachments) + len(core.clients)
+        if leaked:
+            raise SystemExit(f"churn leg leaked state: {leaked}")
+    finally:
+        await tcp.stop()
+        await core.shutdown("bench-done")
+    return {
+        "leg": "churn",
+        "cycles": cycles,
+        "wall_seconds": round(wall, 4),
+        "cycles_per_second": round(cycles / wall, 1),
+        "leaked_attachments": 0,
+        "parity": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small stream, fewer subscribers (CI smoke)")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    n_events = 3000 if args.quick else 20000
+    n_subscribers = 4 if args.quick else 8
+    churn_cycles = 30 if args.quick else 200
+    events = generate_feed(n_events, seed=7)
+    print(f"workload: {n_events} events over {N_TYPES} types, "
+          f"{n_subscribers} subscribers, chunks of {CHUNK}")
+
+    runs = []
+    for leg in ("tcp", "ws"):
+        row = asyncio.run(run_load_leg(leg, events, n_subscribers))
+        runs.append(row)
+        print(f"{leg}: {row['events_per_second']:,.0f} ev/s, "
+              f"{row['match_frames']} match frames, "
+              f"p50={row['latency_p50_ms']:.1f}ms "
+              f"p99={row['latency_p99_ms']:.1f}ms")
+    row = asyncio.run(run_churn_leg(churn_cycles))
+    runs.append(row)
+    print(f"churn: {row['cycles_per_second']:,.0f} "
+          f"connect/subscribe/drop cycles/s, 0 leaked")
+
+    payload = {
+        "benchmark": "server_load",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "quick": args.quick,
+        "workload": {
+            "events": n_events,
+            "event_types": N_TYPES,
+            "subscribers": n_subscribers,
+            "chunk": CHUNK,
+            "churn_cycles": churn_cycles,
+            "query": "per-subscriber typed (tI tJ+), 60/20 sliding "
+                     "count windows",
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system(),
+        },
+        "parity": "per subscriber, wire-delivered match seqs identical "
+                  "to an alone pipeline() run over the same feed "
+                  "(asserted on every load leg)",
+        "runs": runs,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -249,7 +249,42 @@ def _parse_query_specs(specs: Sequence[str]) -> list[tuple[str, str]]:
     return parsed
 
 
+def _parse_hostport(spec: str, flag: str) -> tuple[str, int]:
+    """``HOST:PORT`` (port 0 = ephemeral; empty host = 127.0.0.1)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        raise SystemExit(f"{flag} needs HOST:PORT, got {spec!r}")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"{flag}: bad port in {spec!r}") from None
+
+
 _ATTR_TYPES = {"float": float, "int": int, "str": str, "bool": bool}
+
+
+def _validation_from_args(args: argparse.Namespace):
+    """Build a ValidationMiddleware from --require/--invalid-policy
+    (``None`` when no --require was given)."""
+    from repro.middleware import ValidationMiddleware
+
+    if not args.require:
+        return None
+    required: list[str] = []
+    types: dict[str, type] = {}
+    for spec in args.require:
+        attr, _, typename = spec.partition(":")
+        if not attr:
+            raise SystemExit(f"bad --require spec: {spec!r}")
+        required.append(attr)
+        if typename:
+            if typename not in _ATTR_TYPES:
+                raise SystemExit(
+                    f"bad --require type {typename!r}; expected one "
+                    f"of {sorted(_ATTR_TYPES)}")
+            types[attr] = _ATTR_TYPES[typename]
+    return ValidationMiddleware(required=required, types=types,
+                                policy=args.invalid_policy)
 
 
 def _serve_middleware(args: argparse.Namespace):
@@ -262,27 +297,12 @@ def _serve_middleware(args: argparse.Namespace):
         MetricsMiddleware,
         RateLimitMiddleware,
         TraceMiddleware,
-        ValidationMiddleware,
     )
 
     middleware: list = []
-    validation = ratelimit = metrics = trace = None
-    if args.require:
-        required: list[str] = []
-        types: dict[str, type] = {}
-        for spec in args.require:
-            attr, _, typename = spec.partition(":")
-            if not attr:
-                raise SystemExit(f"bad --require spec: {spec!r}")
-            required.append(attr)
-            if typename:
-                if typename not in _ATTR_TYPES:
-                    raise SystemExit(
-                        f"bad --require type {typename!r}; expected one "
-                        f"of {sorted(_ATTR_TYPES)}")
-                types[attr] = _ATTR_TYPES[typename]
-        validation = ValidationMiddleware(required=required, types=types,
-                                          policy=args.invalid_policy)
+    ratelimit = metrics = trace = None
+    validation = _validation_from_args(args)
+    if validation is not None:
         middleware.append(validation)
     if args.rate_limit is not None:
         ratelimit = RateLimitMiddleware(args.rate_limit,
@@ -297,6 +317,90 @@ def _serve_middleware(args: argparse.Namespace):
     return middleware, validation, ratelimit, metrics, trace
 
 
+def cmd_serve_network(args: argparse.Namespace) -> int:
+    """Network mode: listeners over an asyncio hub instead of a local
+    CSV pipe.  Clients connect over TCP/WebSocket, authenticate, push
+    events, and subscribe queries; ``--query`` files (if any) are
+    pre-attached server-side and print their matches locally."""
+    import asyncio
+
+    from repro.middleware import TraceMiddleware
+    from repro.server import ServerConfig
+    from repro.server.runner import ServeRuntime
+
+    if args.data:
+        raise SystemExit(
+            "--data is the local pipe mode; with --tcp/--ws the events "
+            "arrive from connected clients")
+    middleware: list = []
+    validation = _validation_from_args(args)
+    if validation is not None:
+        middleware.append(validation)
+    trace = None
+    if args.trace is not None:
+        trace = TraceMiddleware(capacity=args.trace)
+        middleware.append(trace)
+    config = ServerConfig(
+        slack=args.slack if args.slack is not None else 0.0,
+        engine=args.engine,
+        auth_token=args.auth_token,
+        max_clients=args.max_clients,
+        client_rate=args.rate_limit,      # per-client buckets in network mode
+        client_burst=args.rate_burst,
+        share=not args.no_share,
+        middleware=tuple(middleware))
+    listeners = {
+        name: _parse_hostport(spec, f"--{name}") if spec else None
+        for name, spec in (("tcp", args.tcp), ("ws", args.ws),
+                           ("http", args.http))}
+    specs = _parse_query_specs(args.query)
+    counts: dict[str, int] = {}
+
+    def make_sink(name: str):
+        def sink(ce) -> None:
+            counts[name] += 1
+            print(f"[{name}] match #{counts[name]}: {ce!r}", flush=True)
+        return sink
+
+    async def _run(runtime: ServeRuntime) -> None:
+        for name, path in specs:
+            query = _load_query(path, args.param, name=name)
+            counts[name] = 0
+            runtime.core.hub.attach(query, engine=args.engine,
+                                    name=name, sink=make_sink(name))
+        await runtime.run()
+
+    try:
+        runtime = ServeRuntime(config, tcp=listeners["tcp"],
+                               ws=listeners["ws"], http=listeners["http"])
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        asyncio.run(_run(runtime))
+    except KeyboardInterrupt:
+        pass
+    stats = runtime.core.hub.stats()
+    core = runtime.core
+    print(f"served {core.clients_total} clients "
+          f"({core.clients_rejected} rejected), "
+          f"{stats.events_pushed} events pushed, "
+          f"late_dropped={stats.late_events}")
+    if trace is not None:
+        records = list(trace.records)
+        print(f"trace: last {len(records)} interception records")
+        for record in records:
+            print(f"  {record}")
+    if args.stats_json:
+        payload = json.dumps(stats.to_dict(), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            Path(args.stats_json).write_text(payload + "\n",
+                                             encoding="utf-8")
+            print(f"stats: wrote {args.stats_json}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve many queries over one shared ingestion pass.
 
@@ -306,6 +410,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     validate."""
     from repro.hub import StreamHub
 
+    if args.tcp or args.ws or args.http:
+        return cmd_serve_network(args)
+    if not args.data:
+        raise SystemExit(
+            "serve needs --data in pipe mode (or a network listener "
+            "via --tcp/--ws)")
     specs = _parse_query_specs(args.query)
     if not specs:
         raise SystemExit("need at least one --query [name=]file")
@@ -382,6 +492,74 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                              encoding="utf-8")
             print(f"stats: wrote {args.stats_json}")
     return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Connect to a serving runtime, subscribe queries from files, and
+    tail their matches as JSON lines (one frame per line, so the output
+    pipes straight into ``jq``/the CI smoke script)."""
+    import asyncio
+
+    from repro.server.client import ServerClient, ServerError
+
+    host, port = _parse_hostport(args.connect, "--connect")
+    specs = _parse_query_specs(args.query)
+    if not specs:
+        raise SystemExit("client needs at least one --query [name=]file")
+    params = _parse_params(args.param)
+
+    async def _run() -> int:
+        client = await ServerClient.connect(host, port,
+                                            transport=args.transport)
+        matches = 0
+        try:
+            await client.hello(token=args.token, client="repro-cli")
+            subscribed: set[str] = set()
+            for name, path in specs:
+                text = Path(path).read_text()
+                subscribed.add(await client.subscribe(
+                    text, name=name, engine=args.engine,
+                    params=params or None, watermarks=True))
+            if args.data:
+                batch: list = []
+                for event in _iter_csv_events(args):
+                    batch.append(event)
+                    if len(batch) >= args.push_batch:
+                        await client.push_many(batch)
+                        batch = []
+                if batch:
+                    await client.push_many(batch)
+            if args.flush:
+                await client.flush()
+            finals: set[str] = set()
+            while True:
+                frame = await client.next_frame(timeout=args.timeout)
+                if frame is None:
+                    break  # timeout or connection end
+                ftype = frame.get("type")
+                if ftype == "match":
+                    print(json.dumps(frame, separators=(",", ":")),
+                          flush=True)
+                    matches += 1
+                    if args.max_matches is not None and \
+                            matches >= args.max_matches:
+                        break
+                elif ftype == "watermark" and frame.get("final"):
+                    finals.add(frame.get("subscription"))
+                    if args.flush and finals >= subscribed:
+                        break  # every subscription fully drained
+                elif ftype == "goodbye":
+                    break
+        except ServerError as error:
+            print(f"server refused: {error}", file=sys.stderr)
+            return 1
+        finally:
+            await client.close()
+        print(f"client: {matches} matches from "
+              f"{len(specs)} subscriptions", file=sys.stderr)
+        return 0
+
+    return asyncio.run(_run())
 
 
 def _parse_stages(pairs: Sequence[str]) -> list[tuple[str, str]]:
@@ -533,10 +711,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--query", action="append", default=[],
                        help="query file, optionally name=file "
                             "(repeatable; one attachment each)")
-    serve.add_argument("--data", required=True,
-                       help="events CSV ('-' reads rows from stdin)")
+    serve.add_argument("--data", default=None,
+                       help="events CSV ('-' reads rows from stdin); "
+                            "required in pipe mode, forbidden with "
+                            "--tcp/--ws (clients push events instead)")
     serve.add_argument("--engine", choices=list(RUN_ENGINES),
                        default="spectre")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="serve the NDJSON wire protocol over TCP "
+                            "(port 0 = ephemeral, printed on start)")
+    serve.add_argument("--ws", default=None, metavar="HOST:PORT",
+                       help="serve the wire protocol over WebSocket "
+                            "(RFC 6455, one frame per message)")
+    serve.add_argument("--http", default=None, metavar="HOST:PORT",
+                       help="observability listener: GET /metrics "
+                            "(Prometheus text) and GET /healthz")
+    serve.add_argument("--auth-token", default=None, metavar="TOKEN",
+                       help="require this token in every client's "
+                            "hello frame (network mode)")
+    serve.add_argument("--max-clients", type=int, default=64,
+                       help="refuse connections beyond this many "
+                            "concurrent clients (network mode)")
     _add_speculative_flags(serve)
     serve.add_argument("--poll", type=float, default=0.0,
                        help="on a file: seconds to wait for appended "
@@ -578,6 +773,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final hub stats snapshot as "
                             "JSON ('-' for stdout)")
     serve.set_defaults(func=cmd_serve)
+
+    client = commands.add_parser(
+        "client",
+        help="connect to a serving runtime, subscribe queries, and "
+             "tail matches as JSON lines")
+    client.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="server address (a --tcp or --ws listener)")
+    client.add_argument("--transport", choices=("tcp", "ws"),
+                        default="tcp")
+    client.add_argument("--token", default=None,
+                        help="auth token for the hello frame")
+    client.add_argument("--query", action="append", default=[],
+                        help="query file, optionally name=file "
+                             "(repeatable; one subscription each)")
+    client.add_argument("--param", action="append", default=[],
+                        help="query parameter name=value (repeatable, "
+                             "applies to every subscription)")
+    client.add_argument("--engine", choices=list(RUN_ENGINES),
+                        default=None,
+                        help="engine for the subscriptions (default: "
+                             "the server's)")
+    client.add_argument("--data", default=None,
+                        help="events CSV to push after subscribing "
+                             "('-' reads rows from stdin)")
+    client.add_argument("--poll", type=float, default=0.0,
+                        help="with --data on a file: seconds to wait "
+                             "for appended rows at EOF (0 stops)")
+    client.add_argument("--push-batch", type=int, default=256,
+                        metavar="N", help="events per push_many frame")
+    client.add_argument("--flush", action="store_true",
+                        help="send a flush after --data and exit once "
+                             "every subscription's final watermark "
+                             "arrives")
+    client.add_argument("--max-matches", type=int, default=None,
+                        metavar="N", help="exit after N match frames")
+    client.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit when no frame arrives for this long")
+    client.set_defaults(func=cmd_client)
     return parser
 
 

@@ -137,7 +137,9 @@ class AsyncAttachment:
                     await result
             except Exception as error:  # noqa: BLE001 - sink isolation
                 await self._record_error(match, error)
-        else:
+        elif not self._done_sent:
+            # after abandon/abort nobody will consume this queue, so a
+            # late match is dropped rather than parked (or blocked on)
             await self._queue.put(match)
 
     async def _record_error(self, match, error) -> None:
@@ -207,12 +209,38 @@ class AsyncAttachment:
 
     async def _detach_raw(self, drain: bool) -> list[ComplexEvent]:
         matches = self.inner.detach(drain=drain)
+        self._hub._forget(self)
         await self._dispatch()
         await self._send_done()
         errors = self._take_sink_errors()
         if errors:
             raise SinkError(errors, matches)
         return matches
+
+    async def abandon(self) -> None:
+        """Abrupt-consumer-gone cleanup (e.g. a dropped connection):
+        discard staged and queued matches, end iteration immediately,
+        and detach *without* flushing trailing windows.
+
+        Unlike :meth:`detach`, this never waits on the vanished
+        consumer: a producer suspended on this attachment's full queue
+        is *released* — each drain wakes one blocked ``put``, a yield
+        lets it complete, and once the attachment is marked done its
+        later matches are dropped in :meth:`_deliver` instead of
+        parked.  The ``on_detach`` chain still runs exactly once (via
+        the idempotent detach).
+        """
+        self._staged.clear()
+        if self._sink is None and not self._done_sent:
+            self._done_sent = True  # _deliver drops from here on
+            while True:
+                while not self._queue.empty():
+                    self._queue.get_nowait()
+                await asyncio.sleep(0)  # woken producers finish their put
+                if self._queue.empty():
+                    break
+            self._queue.put_nowait(_DONE)
+        await self.detach(drain=False)
 
 
 class AsyncStreamHub:
@@ -243,6 +271,8 @@ class AsyncStreamHub:
             if _implements(mw, "on_match") or _implements(mw, "on_error"))
         self._achain_push = self._stack.async_chain(
             "on_push", self._push_terminal)
+        self._achain_push_many = self._stack.async_chain(
+            "on_push_many", self._push_many_terminal)
         self._achain_flush = self._stack.async_chain(
             "on_flush", self._flush_terminal)
         self._achain_close = self._stack.async_chain(
@@ -317,6 +347,15 @@ class AsyncStreamHub:
         self._attachments.append(attachment)
         return attachment
 
+    def _forget(self, attachment: AsyncAttachment) -> None:
+        """Drop a detached attachment from the dispatch loop (the inner
+        sync hub keeps its stats history; the async facade must not
+        keep iterating dead queues on every push)."""
+        try:
+            self._attachments.remove(attachment)
+        except ValueError:
+            pass
+
     async def _dispatch(self) -> None:
         for attachment in list(self._attachments):
             await attachment._dispatch()
@@ -339,6 +378,24 @@ class AsyncStreamHub:
     async def _push_terminal(self, ctx: Optional[MiddlewareContext],
                              event: Optional[Event] = None) -> int:
         delivered = self._hub.push(ctx.event if ctx is not None else event)
+        await self._dispatch()
+        return delivered
+
+    async def push_many(self, events: list[Event]) -> int:
+        """Offer a batch through one sorter/fan-out pass (mirrors the
+        sync hub's ``push_many``); suspends on full consumer queues."""
+        if self._achain_push_many is None:
+            return await self._push_many_terminal(None, events)
+        ctx = MiddlewareContext("on_push_many", hub=self,
+                                events=events if isinstance(events, list)
+                                else list(events))
+        result = await self._achain_push_many(ctx)
+        return 0 if result is None else result
+
+    async def _push_many_terminal(self, ctx: Optional[MiddlewareContext],
+                                  events: Optional[list] = None) -> int:
+        delivered = self._hub.push_many(
+            ctx.events if ctx is not None else events)
         await self._dispatch()
         return delivered
 
@@ -374,6 +431,33 @@ class AsyncStreamHub:
         for attachment in list(self._attachments):
             await attachment._send_done()
         self._raise_sink_errors()
+        return delivered
+
+    async def aclose(self) -> int:
+        """Graceful shutdown: flush the hub (trailing windows emit and
+        their matches are *delivered*), detach every attachment with
+        its ``on_detach`` chain running exactly once, unblock every
+        iterating consumer, and release engine resources.  Idempotent;
+        returns the number of matches the final flush surfaced.
+
+        This is the drain path a serving runtime needs: after
+        ``aclose()`` every ``async for match in attachment`` loop has
+        ended normally (no match discarded, unlike :meth:`abort`) and
+        the hub rejects further pushes.
+        """
+        if self._hub.is_closed:
+            return 0
+        delivered = 0
+        try:
+            if not self._hub._flushed:
+                delivered = await self.flush()
+        finally:
+            for attachment in list(self._attachments):
+                # idempotent per attachment: runs its on_detach chain
+                # once, sends the end-of-iteration sentinel, and drops
+                # it from the dispatch loop
+                await attachment.detach()
+            self._hub.close()
         return delivered
 
     def abort(self) -> None:

@@ -3,7 +3,11 @@
 :class:`RateLimitMiddleware` buckets by attachment (one bucket per
 attachment name when installed on a hub's per-attachment delivery
 path, one global bucket at hub or pipeline scope) and applies one of
-two policies when a bucket runs dry:
+two policies when a bucket runs dry.  A caller-supplied ``key``
+function overrides the default bucketing — e.g. the serving runtime
+keys buckets by *client id* (``key=lambda ctx: ctx.name``) so one
+shared hub enforces per-client quotas through a single middleware
+instance.  The policies:
 
 * ``policy="shed"`` (default): the event is dropped before it reaches
   the core — ``on_push`` short-circuits, ``on_push_many`` trims the
@@ -76,11 +80,19 @@ class RateLimitMiddleware(Middleware):
         surfaces :class:`RateLimitExceeded` to the producer.
     clock:
         Monotonic time source, injectable for deterministic tests.
+    key:
+        Optional bucket-key function ``(context) -> str``.  When given
+        it fully replaces the default attachment/hub/session keying,
+        so callers can bucket by any context field (client id in
+        ``context.name``, query name, ...).  Buckets are still created
+        lazily per distinct key with the same ``rate``/``burst``.
     """
 
     def __init__(self, rate: float, *, burst: Optional[float] = None,
                  policy: str = "shed",
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 key: Optional[Callable[[MiddlewareContext], str]]
+                 = None) -> None:
         if rate <= 0:
             raise ValueError("rate must be > 0 events/s")
         if policy not in ("shed", "raise"):
@@ -92,11 +104,14 @@ class RateLimitMiddleware(Middleware):
             raise ValueError("burst must admit at least one event")
         self.policy = policy
         self.clock = clock
+        self.key = key
         self._buckets: dict[str, TokenBucket] = {}
         self.shed_total = 0
         self.shed_by_key: dict[str, int] = {}
 
     def _bucket_key(self, context: MiddlewareContext) -> str:
+        if self.key is not None:
+            return self.key(context)
         if context.attachment is not None:
             return context.attachment.name
         return "hub" if context.hub is not None else "session"

@@ -1,0 +1,243 @@
+"""Asyncio client for the serving runtime (both transports).
+
+:class:`ServerClient` speaks the version-1 wire protocol over TCP
+(NDJSON) or WebSocket and is what ``python -m repro client``, the test
+suite, and the load harness share:
+
+.. code-block:: python
+
+    async with ServerClient.connect("127.0.0.1", 7711) as client:
+        await client.hello(token="s3cr3t")
+        sub = await client.subscribe(QUERY_TEXT, watermarks=True)
+        await client.push_many(events)
+        await client.flush()
+        async for frame in client.frames():
+            if frame["type"] == "match":
+                ...
+            elif frame.get("final"):       # final watermark
+                break
+
+Request/response pairing uses the protocol's ``id`` echo: every
+request carries a fresh id and :meth:`request` waits for the matching
+``ack``/``error``, parking any ``match``/``watermark`` frames that
+arrive in between on the streaming queue — so pushing and tailing can
+interleave on one connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, AsyncIterator, Mapping, Optional
+
+from repro.events.event import Event
+from repro.server import ws as wslib
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    event_to_wire,
+)
+
+__all__ = ["ServerError", "ServerClient"]
+
+
+class ServerError(RuntimeError):
+    """The server answered a request with an ``error`` frame."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class ServerClient:
+    """One protocol connection (``transport`` = ``"tcp"`` | ``"ws"``)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 transport: str = "tcp") -> None:
+        self.reader = reader
+        self.writer = writer
+        self.transport = transport
+        self.client_id: Optional[str] = None
+        self.closed = False
+        self._ids = itertools.count(1)
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._stream: asyncio.Queue = asyncio.Queue()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    # -- connection --------------------------------------------------------
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      transport: str = "tcp") -> "ServerClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES + 1024)
+        if transport == "ws":
+            await wslib.client_handshake(reader, writer,
+                                         f"{host}:{port}")
+        elif transport != "tcp":
+            raise ValueError(f"unknown transport {transport!r}")
+        return cls(reader, writer, transport)
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServerClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- wire I/O ----------------------------------------------------------
+
+    async def _send(self, frame: Mapping[str, Any]) -> None:
+        payload = encode_frame(frame)
+        if self.transport == "ws":
+            self.writer.write(wslib.encode_ws_frame(
+                wslib.OP_TEXT, payload.rstrip(b"\n"), mask=True))
+        else:
+            self.writer.write(payload)
+        await self.writer.drain()
+
+    async def _recv_raw(self) -> Optional[bytes]:
+        if self.transport == "ws":
+            return await wslib.read_ws_message(
+                self.reader, self.writer, require_mask=False)
+        line = await self.reader.readline()
+        return line if line else None
+
+    async def _read_loop(self) -> None:
+        """Demultiplex inbound frames: acks/errors resolve their
+        pending request future, everything else (matches, watermarks,
+        goodbyes, unsolicited errors) streams to :meth:`frames`."""
+        try:
+            while True:
+                raw = await self._recv_raw()
+                if raw is None:
+                    break
+                frame = decode_frame(raw)
+                rid = frame.get("id")
+                if rid is not None and rid in self._pending:
+                    self._pending.pop(rid).set_result(frame)
+                else:
+                    await self._stream.put(frame)
+        except (ConnectionError, OSError, ProtocolError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection"))
+            self._pending.clear()
+            await self._stream.put(None)
+
+    # -- requests ----------------------------------------------------------
+
+    async def request(self, frame: dict) -> dict:
+        """Send one request and await its ``ack`` (or raise the
+        matching ``error`` as :class:`ServerError`)."""
+        rid = next(self._ids)
+        frame["id"] = rid
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[rid] = future
+        await self._send(frame)
+        response = await future
+        if response["type"] == "error":
+            raise ServerError(response.get("code", "unknown"),
+                              response.get("message", ""))
+        return response
+
+    async def hello(self, token: Optional[str] = None,
+                    client: str = "") -> dict:
+        frame: dict = {"type": "hello", "version": PROTOCOL_VERSION}
+        if token is not None:
+            frame["token"] = token
+        if client:
+            frame["client"] = client
+        ack = await self.request(frame)
+        self.client_id = ack.get("client_id")
+        return ack
+
+    async def subscribe(self, query: str, *,
+                        name: Optional[str] = None,
+                        engine: Optional[str] = None,
+                        params: Optional[Mapping[str, Any]] = None,
+                        watermarks: bool = False) -> str:
+        frame: dict = {"type": "subscribe", "query": query}
+        if name:
+            frame["name"] = name
+        if engine:
+            frame["engine"] = engine
+        if params:
+            frame["params"] = dict(params)
+        if watermarks:
+            frame["watermarks"] = True
+        ack = await self.request(frame)
+        return ack["subscription"]
+
+    async def unsubscribe(self, subscription: str) -> dict:
+        return await self.request({"type": "unsubscribe",
+                                   "subscription": subscription})
+
+    async def push(self, event: Event, ack: bool = False) -> None:
+        frame: dict = {"type": "push", "event": event_to_wire(event)}
+        if ack:
+            frame["ack"] = True
+            await self.request(frame)
+        else:
+            await self._send(frame)
+
+    async def push_many(self, events: list[Event]) -> dict:
+        return await self.request(
+            {"type": "push_many",
+             "events": [event_to_wire(event) for event in events]})
+
+    async def push_raw(self, objs: list[dict]) -> dict:
+        """Push pre-encoded event objects (the CLI's CSV path)."""
+        return await self.request({"type": "push_many", "events": objs})
+
+    async def flush(self) -> dict:
+        return await self.request({"type": "flush"})
+
+    async def stats(self) -> dict:
+        return await self.request({"type": "stats"})
+
+    async def ping(self) -> dict:
+        return await self.request({"type": "ping"})
+
+    # -- streaming ---------------------------------------------------------
+
+    async def next_frame(self,
+                         timeout: Optional[float] = None
+                         ) -> Optional[dict]:
+        """One streamed frame (match/watermark/goodbye/...), ``None``
+        on connection end or timeout."""
+        try:
+            if timeout is None:
+                return await self._stream.get()
+            return await asyncio.wait_for(self._stream.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    async def frames(self) -> AsyncIterator[dict]:
+        """Iterate streamed frames until the connection ends."""
+        while True:
+            frame = await self.next_frame()
+            if frame is None:
+                return
+            yield frame

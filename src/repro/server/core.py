@@ -1,0 +1,664 @@
+"""The serving core shared by every transport.
+
+One :class:`ServerCore` owns one
+:class:`~repro.hub.aio.AsyncStreamHub` and maps each connection —
+TCP or WebSocket, they differ only in framing — to a
+:class:`ClientSession`:
+
+* **authentication** is a pluggable token check applied at ``hello``
+  and *enforced* by an ``on_attach`` middleware on the hub
+  (:class:`AuthAttachMiddleware`): an unauthenticated client cannot
+  subscribe no matter which code path tries, because the refusal lives
+  on the interception chain, not in the handler;
+* **per-client rate limiting** reuses
+  :class:`~repro.middleware.ratelimit.RateLimitMiddleware` with a
+  caller-supplied key function — one shared middleware instance,
+  buckets keyed by client id, composed into a per-client
+  ``on_push_many`` chain so each client's pushes spend that client's
+  tokens only;
+* **subscriptions** are per-client
+  :class:`~repro.hub.aio.AsyncAttachment`\\ s named
+  ``<client_id>/<name>``, each drained by a pump task that turns
+  matches into ``match`` frames; disconnecting — gracefully or
+  abruptly — detaches every one of them
+  (:meth:`AsyncAttachment.abandon`), so the hub never leaks
+  attachments or keeps a producer suspended on a dead client's queue;
+* **graceful drain** (:meth:`ServerCore.shutdown`) flushes the hub via
+  :meth:`AsyncStreamHub.aclose` — trailing windows emit, every pump
+  delivers its remaining matches and a final ``watermark`` frame —
+  then says ``goodbye`` on every connection.
+
+The mechanism/policy split follows the PR-7 middleware design: the
+core routes frames; auth, quotas, validation and metrics stack onto
+the hub's interception chains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.hub.aio import AsyncAttachment, AsyncStreamHub
+from repro.hub.core import HubClosedError
+from repro.middleware.base import (
+    Middleware,
+    MiddlewareContext,
+    MiddlewareStack,
+)
+from repro.middleware.metrics import MetricsMiddleware
+from repro.middleware.ratelimit import RateLimitExceeded, RateLimitMiddleware
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ack_frame,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    event_from_wire,
+    goodbye_frame,
+    match_frame,
+    stats_frame,
+    validate_request,
+    watermark_frame,
+)
+
+__all__ = ["ServerConfig", "ServerBusy", "AuthError",
+           "AuthAttachMiddleware", "ClientSession", "ServerCore",
+           "Connection"]
+
+_CLOSE = object()  # outbox sentinel: sender task exits after this
+
+
+class ServerBusy(RuntimeError):
+    """The server refused a new connection (capacity or draining)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+class AuthError(RuntimeError):
+    """An unauthenticated client reached a guarded operation."""
+
+
+@dataclass
+class ServerConfig:
+    """Everything the serving runtime is configured with.
+
+    ``token_check`` is the pluggable authentication hook: it receives
+    the (possibly absent) token from ``hello`` and decides.  When it
+    is ``None``, ``auth_token`` is compared verbatim; when both are
+    ``None``, the server is open.
+    """
+
+    slack: float = 0.0
+    engine: str = "sequential"
+    auth_token: Optional[str] = None
+    token_check: Optional[Callable[[Optional[str]], bool]] = None
+    max_clients: int = 64
+    max_subscriptions: int = 16      # per client
+    client_rate: Optional[float] = None   # events/s per client (shed)
+    client_burst: Optional[float] = None
+    queue_size: int = 1024           # per-attachment match queue bound
+    send_queue: int = 1024           # per-connection outbound frames
+    max_frame: int = MAX_FRAME_BYTES
+    share: Optional[bool] = None     # cross-query optimizer gate
+    drain_timeout: float = 10.0      # seconds to wait for pumps on drain
+    middleware: tuple = ()           # extra hub-level middleware
+
+    def authorized(self, token: Optional[str]) -> bool:
+        if self.token_check is not None:
+            return bool(self.token_check(token))
+        if self.auth_token is None:
+            return True
+        return token == self.auth_token
+
+
+class AuthAttachMiddleware(Middleware):
+    """Refuse hub attachment on behalf of unauthenticated clients.
+
+    The core marks which client a ``hub.attach`` call is made for
+    (single event loop, no await between mark and attach); any attach
+    without an authenticated mark — or with none at all while the
+    server requires tokens and the attach is client-scoped — raises
+    before the attachment exists.  Server-side attachments (the CLI's
+    pre-attached ``--query`` files) carry no client mark and pass.
+    """
+
+    def __init__(self, core: "ServerCore") -> None:
+        self.core = core
+        self.refused_total = 0
+
+    def on_attach(self, context: MiddlewareContext, call_next):
+        client = self.core._attaching_client
+        if client is not None and not client.authenticated:
+            self.refused_total += 1
+            raise AuthError(
+                f"client {client.client_id} is not authenticated")
+        return call_next(context)
+
+
+class Subscription:
+    """One attachment + the pump task feeding its connection."""
+
+    __slots__ = ("name", "attachment", "task", "watermarks",
+                 "last_watermark", "matches_sent")
+
+    def __init__(self, name: str, attachment: AsyncAttachment,
+                 watermarks: bool) -> None:
+        self.name = name
+        self.attachment = attachment
+        self.task: Optional[asyncio.Task] = None
+        self.watermarks = watermarks
+        self.last_watermark = float("-inf")
+        self.matches_sent = 0
+
+
+class ClientSession:
+    """Server-side state of one connected client."""
+
+    def __init__(self, core: "ServerCore", client_id: str, peer: str,
+                 transport: str) -> None:
+        self.core = core
+        self.client_id = client_id
+        self.peer = peer
+        self.transport = transport
+        self.greeted = False
+        self.authenticated = False
+        self.label = ""
+        self.closed = False
+        self.subscriptions: dict[str, Subscription] = {}
+        self.outbox: asyncio.Queue = asyncio.Queue(
+            maxsize=core.config.send_queue)
+        self._sub_counter = 0
+        # counters surfaced by the stats frame / metrics endpoint
+        self.frames_in = 0
+        self.frames_out = 0
+        self.events_in = 0
+        self.events_shed = 0
+        self.matches_out = 0
+        # per-client ingestion chain: the shared rate limiter keyed by
+        # this client's id (None when no client_rate is configured)
+        self.push_chain = core._client_push_chain()
+
+    async def send(self, frame: dict) -> None:
+        """Queue one frame for the sender task (bounded: a slow
+        consumer backpressures whoever produces frames for it)."""
+        if self.closed:
+            return
+        self.frames_out += 1
+        await self.outbox.put(frame)
+
+    async def end_outbox(self) -> None:
+        """Let the sender task flush what is queued, then exit."""
+        await self.outbox.put(_CLOSE)
+
+    def next_subscription_name(self) -> str:
+        self._sub_counter += 1
+        return f"q{self._sub_counter}"
+
+
+class ServerCore:
+    """The hub-owning, transport-agnostic request handler."""
+
+    def __init__(self, config: ServerConfig,
+                 ratelimit: Optional[RateLimitMiddleware] = None) -> None:
+        self.config = config
+        self.metrics = MetricsMiddleware()
+        self.auth = AuthAttachMiddleware(self)
+        self.ratelimit = ratelimit
+        if self.ratelimit is None and config.client_rate is not None:
+            self.ratelimit = RateLimitMiddleware(
+                config.client_rate, burst=config.client_burst,
+                key=lambda ctx: ctx.name or "server")
+        self.hub = AsyncStreamHub(
+            slack=config.slack, queue_size=config.queue_size,
+            share=config.share,
+            middleware=[self.auth, self.metrics, *config.middleware])
+        self.clients: dict[str, ClientSession] = {}
+        self.draining = False
+        self.flushed = False
+        self.started_monotonic = time.monotonic()
+        self.clients_total = 0
+        self.clients_rejected = 0
+        self._next_client = 0
+        self._next_seq = 0           # auto-assigned event sequence floor
+        self._attaching_client: Optional[ClientSession] = None
+        reg = self.metrics.registry
+        self._gauge_clients = reg.gauge(
+            "server_clients_connected", "Currently connected clients")
+        self._gauge_subs = reg.gauge(
+            "server_subscriptions", "Live subscriptions across clients")
+        self._gauge_draining = reg.gauge(
+            "server_draining", "1 while the shutdown drain is running")
+        self._counter_clients = reg.counter(
+            "server_clients_total", "Connections accepted")
+        self._counter_frames_in = reg.counter(
+            "server_frames_in_total", "Request frames handled")
+        self._counter_frames_out = reg.counter(
+            "server_frames_out_total", "Response frames queued")
+        self._counter_matches = reg.counter(
+            "server_matches_sent_total", "Match frames queued")
+
+    # -- connection lifecycle ---------------------------------------------
+
+    def connect(self, peer: str, transport: str) -> ClientSession:
+        if self.draining:
+            self.clients_rejected += 1
+            raise ServerBusy("busy", "server is draining")
+        if len(self.clients) >= self.config.max_clients:
+            self.clients_rejected += 1
+            raise ServerBusy(
+                "busy", f"server is at max_clients="
+                        f"{self.config.max_clients}")
+        self._next_client += 1
+        client_id = f"c{self._next_client}"
+        session = ClientSession(self, client_id, peer, transport)
+        self.clients[client_id] = session
+        self.clients_total += 1
+        self._counter_clients.inc()
+        return session
+
+    async def disconnect(self, session: ClientSession,
+                         reason: str = "disconnect") -> None:
+        """Tear one client down; safe on abrupt socket loss, idempotent.
+
+        Pumps are cancelled first (they may be suspended mid-send),
+        then every attachment is *abandoned* — queued matches dropped,
+        any producer blocked on its full queue released, ``on_detach``
+        run exactly once — so 100 connect/disconnect cycles leave the
+        hub with exactly as many attachments as it started with.
+        """
+        if session.closed:
+            return
+        session.closed = True
+        self.clients.pop(session.client_id, None)
+        for sub in list(session.subscriptions.values()):
+            if sub.task is not None:
+                sub.task.cancel()
+                try:
+                    await sub.task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            await sub.attachment.abandon()
+        session.subscriptions.clear()
+
+    def _client_push_chain(self):
+        if self.ratelimit is None:
+            return None
+        stack = MiddlewareStack([self.ratelimit])
+        return stack.async_chain("on_push_many", self._ingest_terminal)
+
+    # -- frame handling ----------------------------------------------------
+
+    async def handle_frame(self, session: ClientSession,
+                           frame: dict) -> bool:
+        """Dispatch one validated-on-entry frame; return ``False`` when
+        the connection must close (protocol/auth violations)."""
+        session.frames_in += 1
+        self._counter_frames_in.inc()
+        rid = frame.get("id")
+        try:
+            rtype = validate_request(frame)
+        except ProtocolError as error:
+            await session.send(error_frame(error.code, str(error), rid))
+            return False
+        if rtype == "hello":
+            return await self._handle_hello(session, frame, rid)
+        if not session.greeted:
+            await session.send(error_frame(
+                "protocol", "first frame must be 'hello'", rid))
+            return False
+        try:
+            if rtype == "subscribe":
+                await self._handle_subscribe(session, frame, rid)
+            elif rtype == "unsubscribe":
+                await self._handle_unsubscribe(session, frame, rid)
+            elif rtype == "push":
+                await self._handle_push(session, frame, rid)
+            elif rtype == "push_many":
+                await self._handle_push_many(session, frame, rid)
+            elif rtype == "flush":
+                await self._handle_flush(session, rid)
+            elif rtype == "stats":
+                await self._handle_stats(session, rid)
+            elif rtype == "ping":
+                await session.send(ack_frame("ping", rid))
+        except ProtocolError as error:
+            await session.send(error_frame(error.code, str(error), rid))
+        except HubClosedError as error:
+            await session.send(error_frame("closed", str(error), rid))
+        except RateLimitExceeded as error:
+            await session.send(error_frame("rate_limited", str(error),
+                                           rid))
+        except AuthError as error:
+            await session.send(error_frame("unauthorized", str(error),
+                                           rid))
+            return False
+        return True
+
+    async def _handle_hello(self, session: ClientSession, frame: dict,
+                            rid) -> bool:
+        version = frame.get("version", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            await session.send(error_frame(
+                "version", f"server speaks protocol version "
+                           f"{PROTOCOL_VERSION}, client sent {version}",
+                rid))
+            return False
+        if not self.config.authorized(frame.get("token")):
+            await session.send(error_frame(
+                "unauthorized", "bad or missing token", rid))
+            return False
+        session.greeted = True
+        session.authenticated = True
+        session.label = frame.get("client", "")
+        await session.send(ack_frame(
+            "hello", rid, client_id=session.client_id,
+            version=PROTOCOL_VERSION, server="repro"))
+        return True
+
+    async def _handle_subscribe(self, session: ClientSession,
+                                frame: dict, rid) -> None:
+        if len(session.subscriptions) >= self.config.max_subscriptions:
+            await session.send(error_frame(
+                "limit", f"client is at max_subscriptions="
+                         f"{self.config.max_subscriptions}", rid))
+            return
+        name = frame.get("name") or session.next_subscription_name()
+        if name in session.subscriptions:
+            await session.send(error_frame(
+                "limit", f"subscription {name!r} already exists", rid))
+            return
+        full_name = f"{session.client_id}/{name}"
+        engine = frame.get("engine") or self.config.engine
+        self._attaching_client = session
+        try:
+            attachment = self.hub.attach(
+                frame["query"], engine=engine, name=full_name,
+                params=frame.get("params"))
+        except AuthError:
+            raise
+        except (ValueError, KeyError, TypeError, SyntaxError) as error:
+            raise ProtocolError(
+                "bad_query", f"subscribe failed: {error}") from None
+        finally:
+            self._attaching_client = None
+        sub = Subscription(name, attachment,
+                           bool(frame.get("watermarks")))
+        session.subscriptions[name] = sub
+        sub.task = asyncio.ensure_future(self._pump(session, sub))
+        await session.send(ack_frame(
+            "subscribe", rid, subscription=name,
+            query=attachment.query.name, engine=engine))
+
+    async def _handle_unsubscribe(self, session: ClientSession,
+                                  frame: dict, rid) -> None:
+        sub = session.subscriptions.pop(frame["subscription"], None)
+        if sub is None:
+            await session.send(error_frame(
+                "unknown", f"no subscription "
+                           f"{frame['subscription']!r}", rid))
+            return
+        # graceful: trailing windows flush, the pump delivers them and
+        # the final watermark, then we ack
+        matches = await sub.attachment.detach()
+        if sub.task is not None:
+            await sub.task
+        await session.send(ack_frame(
+            "unsubscribe", rid, subscription=sub.name,
+            matches_flushed=len(matches)))
+
+    def _decode_events(self, objs: list) -> list:
+        events = []
+        for obj in objs:
+            event = event_from_wire(obj, default_seq=self._next_seq)
+            if event.seq >= self._next_seq:
+                self._next_seq = event.seq + 1
+            events.append(event)
+        return events
+
+    async def _ingest_terminal(self, ctx: MiddlewareContext) -> int:
+        await self.hub.push_many(ctx.events)
+        return len(ctx.events)
+
+    async def _ingest(self, session: ClientSession, events: list) -> int:
+        """Push a client's batch through its rate-limit chain; return
+        how many events were accepted (the rest were shed)."""
+        session.events_in += len(events)
+        if session.push_chain is None:
+            await self.hub.push_many(events)
+            accepted = len(events)
+        else:
+            ctx = MiddlewareContext("on_push_many", hub=self.hub,
+                                    events=events,
+                                    name=session.client_id)
+            result = await session.push_chain(ctx)
+            accepted = 0 if result is None else result
+        session.events_shed += len(events) - accepted
+        await self._emit_watermarks()
+        return accepted
+
+    async def _handle_push(self, session: ClientSession, frame: dict,
+                           rid) -> None:
+        events = self._decode_events([frame["event"]])
+        accepted = await self._ingest(session, events)
+        if frame.get("ack"):
+            await session.send(ack_frame("push", rid, accepted=accepted))
+
+    async def _handle_push_many(self, session: ClientSession,
+                                frame: dict, rid) -> None:
+        events = self._decode_events(frame["events"])
+        accepted = await self._ingest(session, events)
+        await session.send(ack_frame("push_many", rid,
+                                     count=len(events),
+                                     accepted=accepted))
+
+    async def _handle_flush(self, session: ClientSession, rid) -> None:
+        if self.flushed:
+            await session.send(error_frame(
+                "closed", "hub already flushed", rid))
+            return
+        self.flushed = True
+        delivered = await self.hub.flush()
+        await self._emit_watermarks(final=False)
+        await session.send(ack_frame("flush", rid, delivered=delivered))
+
+    async def _handle_stats(self, session: ClientSession, rid) -> None:
+        await session.send(stats_frame(
+            self.hub.stats().to_dict(), self.server_stats(), rid))
+
+    # -- match delivery ----------------------------------------------------
+
+    async def _pump(self, session: ClientSession,
+                    sub: Subscription) -> None:
+        """Move one subscription's matches onto its connection; ends
+        when the attachment's iteration ends (flush/detach), closing
+        with a final ``watermark`` frame."""
+        try:
+            async for match in sub.attachment:
+                sub.matches_sent += 1
+                session.matches_out += 1
+                self._counter_matches.inc()
+                await session.send(match_frame(sub.name, match))
+            await session.send(watermark_frame(
+                sub.name, sub.attachment.watermark, final=True))
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass  # connection torn down mid-send; disconnect() cleans up
+
+    async def _emit_watermarks(self, final: bool = False) -> None:
+        """Stream watermark progress to subscriptions that asked for it
+        (``subscribe`` with ``watermarks: true``)."""
+        watermark = self.hub.watermark
+        if watermark == float("-inf"):
+            return
+        for session in list(self.clients.values()):
+            for sub in session.subscriptions.values():
+                if sub.watermarks and watermark > sub.last_watermark:
+                    sub.last_watermark = watermark
+                    await session.send(watermark_frame(
+                        sub.name, watermark, final=final))
+
+    # -- observability -----------------------------------------------------
+
+    def server_stats(self) -> dict:
+        return {
+            "clients_connected": len(self.clients),
+            "clients_total": self.clients_total,
+            "clients_rejected": self.clients_rejected,
+            "subscriptions": sum(len(s.subscriptions)
+                                 for s in self.clients.values()),
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "draining": self.draining,
+            "flushed": self.flushed,
+            "events_shed": 0 if self.ratelimit is None
+            else self.ratelimit.shed_total,
+            "auth_refused": self.auth.refused_total,
+        }
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` exposition: the middleware's live counters,
+        the server gauges, and the flattened hub stats snapshot."""
+        self._gauge_clients.set(float(len(self.clients)))
+        self._gauge_subs.set(float(sum(
+            len(s.subscriptions) for s in self.clients.values())))
+        self._gauge_draining.set(float(self.draining))
+        self.metrics.observe_stats(self.hub.stats())
+        return self.metrics.render()
+
+    # -- graceful drain ----------------------------------------------------
+
+    async def shutdown(self, reason: str = "shutdown") -> None:
+        """SIGTERM path: flush the hub so every already-pushed event's
+        matches are delivered, wait for the pumps to hand them to the
+        senders, say goodbye, release everything.  Idempotent."""
+        if self.draining:
+            return
+        self.draining = True
+        try:
+            await self.hub.aclose()   # flush + detach; pumps end cleanly
+        except Exception:
+            self.hub.abort()
+        self.flushed = True
+        pumps = [sub.task
+                 for session in self.clients.values()
+                 for sub in session.subscriptions.values()
+                 if sub.task is not None]
+        if pumps:
+            done, pending = await asyncio.wait(
+                pumps, timeout=self.config.drain_timeout)
+            for task in pending:
+                task.cancel()
+        for session in list(self.clients.values()):
+            session.subscriptions.clear()
+            try:
+                await session.send(goodbye_frame(reason))
+            except (ConnectionError, OSError):
+                pass
+            session.closed = True
+            try:
+                session.outbox.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                pass  # sender still draining; connection close ends it
+
+
+class Connection:
+    """The transport-agnostic connection driver.
+
+    Subclasses (:class:`~repro.server.tcp.TCPConnection`,
+    :class:`~repro.server.ws.WSConnection`) implement raw-message I/O:
+    ``recv() -> bytes | None`` (one message, ``None`` on EOF/close),
+    ``send_encoded(bytes)`` and ``close_transport()``.  ``run()`` owns
+    the session lifecycle: accept/reject, the sender task, the read →
+    decode → dispatch loop, and teardown through
+    :meth:`ServerCore.disconnect`.
+    """
+
+    transport = "?"
+
+    def __init__(self, core: ServerCore, peer: str) -> None:
+        self.core = core
+        self.peer = peer
+        self.session: Optional[ClientSession] = None
+
+    async def recv(self) -> Optional[bytes]:  # pragma: no cover
+        raise NotImplementedError
+
+    async def send_encoded(self, payload: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    async def close_transport(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    async def run(self) -> None:
+        core = self.core
+        try:
+            session = core.connect(self.peer, self.transport)
+        except ServerBusy as busy:
+            try:
+                await self.send_encoded(encode_frame(
+                    error_frame(busy.code, str(busy))))
+            except (ConnectionError, OSError):
+                pass
+            await self.close_transport()
+            return
+        self.session = session
+        sender = asyncio.ensure_future(self._sender(session))
+        try:
+            while True:
+                try:
+                    message = await self.recv()
+                except ProtocolError as error:
+                    await session.send(error_frame(error.code,
+                                                   str(error)))
+                    break
+                if message is None:
+                    break
+                try:
+                    frame = decode_frame(message,
+                                         core.config.max_frame)
+                except ProtocolError as error:
+                    await session.send(error_frame(error.code,
+                                                   str(error)))
+                    break
+                if not await core.handle_frame(session, frame):
+                    break
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                await core.disconnect(session)
+                await session.end_outbox()
+                try:
+                    await sender
+                except (ConnectionError, OSError):
+                    pass
+            finally:
+                # if cancellation interrupted the drain above, the
+                # sender must not outlive the connection
+                if not sender.done():
+                    sender.cancel()
+                await self.close_transport()
+
+    async def _sender(self, session: ClientSession) -> None:
+        """Single writer per connection: serializes every frame the
+        handlers and pumps queue.  After a send failure it keeps
+        consuming (dropping) so producers are never left suspended on
+        the outbox."""
+        broken = False
+        while True:
+            frame = await session.outbox.get()
+            if frame is _CLOSE:
+                return
+            if broken:
+                continue
+            try:
+                await self.send_encoded(encode_frame(frame))
+                self.core._counter_frames_out.inc()
+            except (ConnectionError, OSError):
+                broken = True

@@ -1,0 +1,146 @@
+"""Minimal HTTP/1.1 support: the observability endpoint + the parsing
+the WebSocket handshake shares.
+
+Stdlib-only by design (the container bakes no third-party server): a
+request parser over :class:`asyncio.StreamReader`, a response builder,
+and :class:`HTTPServer` exposing
+
+* ``GET /metrics`` — the Prometheus text exposition from the core's
+  :class:`~repro.middleware.metrics.MetricsMiddleware`, including the
+  flattened hub stats snapshot and the server's own gauges;
+* ``GET /healthz`` — liveness (``200 ok``; ``503 draining`` once the
+  runtime began its shutdown drain).
+
+Connections are one-shot (``Connection: close``) — scrape traffic is
+low-rate and keeping the server loop trivial beats keep-alive here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+__all__ = ["HTTPRequest", "read_http_request", "http_response",
+           "HTTPServer"]
+
+MAX_HEADER_BYTES = 16384
+MAX_HEADER_COUNT = 64
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 431: "Request Header Fields "
+                                                "Too Large",
+                503: "Service Unavailable", 101: "Switching Protocols"}
+
+
+@dataclass
+class HTTPRequest:
+    """The parsed request line + headers (bodies are never needed:
+    both consumers — the scrape endpoint and the WS handshake — are
+    body-less GETs)."""
+
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_http_request(reader: asyncio.StreamReader) -> HTTPRequest:
+    """Parse one request head (request line + headers, CRLF-tolerant).
+
+    Raises ``ValueError`` on malformed input or oversized heads; the
+    caller answers with a 400/431 and closes.
+    """
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("peer closed before the request line")
+    request_line = line.decode("latin-1").strip()
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line: {request_line!r}")
+    method, path, version = parts
+    headers: dict[str, str] = {}
+    total = len(line)
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise ValueError("request head too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ValueError("too many request headers")
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+    return HTTPRequest(method, path, version, headers)
+
+
+def http_response(status: int, body: str = "",
+                  content_type: str = "text/plain; charset=utf-8",
+                  extra_headers: tuple[tuple[str, str], ...] = ()) -> bytes:
+    payload = body.encode("utf-8")
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(payload)}",
+             "Connection: close"]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload
+
+
+class HTTPServer:
+    """The observability listener (``GET /metrics``, ``GET /healthz``)."""
+
+    def __init__(self, core, host: str, port: int) -> None:
+        self.core = core
+        self.host = host
+        self.port = port  # 0 = ephemeral; resolved on start()
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_http_request(reader)
+            except ValueError as error:
+                writer.write(http_response(400, f"{error}\n"))
+            except ConnectionError:
+                return
+            else:
+                writer.write(self._respond(request))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _respond(self, request: HTTPRequest) -> bytes:
+        if request.method != "GET":
+            return http_response(405, "only GET is supported\n")
+        path = request.path.split("?", 1)[0]
+        if path == "/metrics":
+            return http_response(
+                200, self.core.render_metrics(),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
+        if path == "/healthz":
+            if self.core.draining:
+                return http_response(503, "draining\n")
+            return http_response(200, "ok\n")
+        return http_response(404, f"no such endpoint: {path}\n")

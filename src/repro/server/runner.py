@@ -1,0 +1,120 @@
+"""The serving runtime: listeners + signal-driven graceful drain.
+
+:class:`ServeRuntime` owns one :class:`~repro.server.core.ServerCore`
+and whichever listeners were configured (TCP, WebSocket, HTTP
+observability).  ``SIGTERM``/``SIGINT`` trigger the drain sequence:
+
+1. stop accepting connections (listeners close; ``/healthz`` turns
+   503 while the HTTP listener is still up),
+2. flush the hub — trailing windows emit, every already-pushed
+   event's matches are *delivered* to their subscribers,
+3. wait for the pump tasks to hand those matches to the senders
+   (bounded by ``drain_timeout``),
+4. send every client a ``goodbye`` frame and close.
+
+:func:`run_server` is the synchronous entry the CLI calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Optional
+
+from repro.server.core import ServerConfig, ServerCore
+from repro.server.http import HTTPServer
+from repro.server.tcp import TCPServer
+from repro.server.ws import WSServer
+
+__all__ = ["ServeRuntime", "run_server"]
+
+
+class ServeRuntime:
+    """Listeners + core + shutdown orchestration for one serve run."""
+
+    def __init__(self, config: ServerConfig, *,
+                 tcp: Optional[tuple[str, int]] = None,
+                 ws: Optional[tuple[str, int]] = None,
+                 http: Optional[tuple[str, int]] = None,
+                 ratelimit=None, quiet: bool = False) -> None:
+        if tcp is None and ws is None:
+            raise ValueError(
+                "a serving runtime needs at least one of tcp=/ws=")
+        self.core = ServerCore(config, ratelimit=ratelimit)
+        self.tcp = TCPServer(self.core, *tcp) if tcp else None
+        self.ws = WSServer(self.core, *ws) if ws else None
+        self.http = HTTPServer(self.core, *http) if http else None
+        self.quiet = quiet
+        self._stop = asyncio.Event()
+        self._stop_reason = "shutdown"
+
+    def _say(self, message: str) -> None:
+        if not self.quiet:
+            # flush=True: tests and the CI smoke script parse these
+            # lines from a pipe to learn the ephemeral port numbers
+            print(message, flush=True)
+
+    async def start(self) -> None:
+        for server, label in ((self.tcp, "tcp"), (self.ws, "ws"),
+                              (self.http, "http")):
+            if server is not None:
+                await server.start()
+                self._say(f"serving {label} on "
+                          f"{server.host}:{server.port}")
+
+    def request_stop(self, reason: str = "shutdown") -> None:
+        """Signal-safe: flips the event the serve loop waits on."""
+        self._stop_reason = reason
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.request_stop, signal.Signals(signum).name)
+            except (NotImplementedError, RuntimeError):
+                # non-unix event loop: the caller falls back to
+                # KeyboardInterrupt / explicit request_stop()
+                pass
+
+    async def serve_until_stopped(self) -> None:
+        await self._stop.wait()
+        await self.shutdown(self._stop_reason)
+
+    async def shutdown(self, reason: str = "shutdown") -> None:
+        self._say(f"draining ({reason})")
+        # stop accepting first: new sockets are refused while the
+        # drain delivers what is already in flight
+        for server in (self.tcp, self.ws):
+            if server is not None:
+                await server.stop()
+        await self.core.shutdown(reason)
+        if self.http is not None:
+            await self.http.stop()
+        self._say("drained")
+
+    async def run(self) -> None:
+        """start → wait for a stop signal → drain.  The whole serve
+        lifecycle, used by ``python -m repro serve`` in network mode."""
+        await self.start()
+        self.install_signal_handlers()
+        try:
+            await self.serve_until_stopped()
+        except asyncio.CancelledError:
+            await self.shutdown("cancelled")
+            raise
+
+
+def run_server(config: ServerConfig, *,
+               tcp: Optional[tuple[str, int]] = None,
+               ws: Optional[tuple[str, int]] = None,
+               http: Optional[tuple[str, int]] = None,
+               ratelimit=None, quiet: bool = False) -> None:
+    """Blocking entry point: serve until SIGTERM/SIGINT, then drain."""
+    runtime = ServeRuntime(config, tcp=tcp, ws=ws, http=http,
+                           ratelimit=ratelimit, quiet=quiet)
+    try:
+        asyncio.run(runtime.run())
+    except KeyboardInterrupt:
+        pass

@@ -374,6 +374,39 @@ class TestProductionMiddlewares:
         assert limiter.shed_by_key["q1"] == 4
         hub.abort()
 
+    def test_rate_limit_custom_key_function(self):
+        # the serving runtime's keying: one shared limiter, buckets by
+        # a caller-chosen context field (client id in ctx.name) instead
+        # of the attachment/hub default
+        limiter = RateLimitMiddleware(1.0, burst=1, clock=lambda: 0.0,
+                                      key=lambda ctx: ctx.name or "anon")
+        stack = MiddlewareStack([limiter])
+        admitted = []
+        chain = stack.chain(
+            "on_push_many",
+            lambda ctx: admitted.append(len(ctx.events)) or
+            len(ctx.events))
+        for client in ("c1", "c2", "c1"):
+            ctx = MiddlewareContext(
+                "on_push_many", name=client,
+                events=[make_event(i, "A") for i in range(3)])
+            chain(ctx)
+        # each client spends its own bucket: c1's first batch admits
+        # the burst, c2 still has a fresh bucket, c1's second batch is
+        # fully shed (short-circuits before the terminal)
+        assert admitted == [1, 1]
+        assert limiter.shed_by_key == {"c1": 5, "c2": 2}
+
+    def test_rate_limit_custom_key_leaves_default_keying_alone(self):
+        limiter = RateLimitMiddleware(1.0, burst=1, clock=lambda: 0.0)
+        hub = StreamHub()
+        hub.attach(abc_query(name="q1"), engine="sequential", name="q1",
+                   middleware=[limiter])
+        hub.push(make_event(0, "A"))
+        hub.push(make_event(1, "B"))
+        assert set(limiter.shed_by_key) == {"q1"}  # attachment-keyed
+        hub.abort()
+
     def test_validation_null_feeds_sql_null_path(self):
         # predicate price < 1 is false against a nulled attribute, so
         # nulled events can never anchor a match

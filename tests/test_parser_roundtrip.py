@@ -20,7 +20,8 @@ names = st.sampled_from([f"T{i}" for i in range(12)])
 @st.composite
 def type_patterns(draw):
     """Random type-based patterns with unique symbol names."""
-    pool = draw(st.permutations([f"T{i}" for i in range(12)]))
+    # worst case pops 5 elements x 3 set members = 15 symbols
+    pool = draw(st.permutations([f"T{i}" for i in range(15)]))
     pool = list(pool)
     count = draw(st.integers(min_value=1, max_value=5))
     elements = []

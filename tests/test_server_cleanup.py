@@ -1,0 +1,244 @@
+"""Disconnect cleanup and graceful hub shutdown.
+
+The satellite guarantees: an abruptly dropped client detaches its
+subscriptions (no leaked attachments across 100 connect/disconnect
+cycles), ``AsyncAttachment.abandon()`` releases a producer suspended
+on that attachment's full queue, and ``AsyncStreamHub.aclose()``
+flushes, runs every ``on_detach`` hook exactly once, and unblocks
+iterating consumers — idempotently.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import Middleware, pipeline
+from repro.patterns.parser import parse_query
+from repro.events import make_event
+from repro.hub.aio import AsyncStreamHub
+from repro.server import ServerClient, ServerConfig, ServerCore, TCPServer
+
+ABC_TEXT = "PATTERN (A B C)\nWITHIN 8 events FROM every 4 events\n"
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def abc_stream(n, seed=7):
+    rng = random.Random(seed)
+    return [make_event(i, rng.choice("ABCX")) for i in range(n)]
+
+
+class DetachCounter(Middleware):
+    def __init__(self):
+        self.detached = []
+
+    def on_detach(self, context, call_next):
+        self.detached.append(context.attachment.name)
+        return call_next(context)
+
+
+async def wait_until(predicate, timeout=5.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_event_loop().time() < deadline, \
+            "condition never became true"
+        await asyncio.sleep(0.01)
+
+
+class TestAbruptDisconnect:
+    def test_abrupt_disconnect_detaches_subscription(self):
+        async def scenario():
+            core = ServerCore(ServerConfig(engine="sequential"))
+            tcp = TCPServer(core, "127.0.0.1", 0)
+            await tcp.start()
+            try:
+                client = await ServerClient.connect("127.0.0.1",
+                                                    tcp.port)
+                await client.hello()
+                await client.subscribe(ABC_TEXT)
+                assert core.hub.stats().attachments_live == 1
+                # no unsubscribe, no goodbye: just drop the socket
+                await client.close()
+                await wait_until(lambda: not core.clients)
+                assert core.hub.stats().attachments_live == 0
+                assert core.hub._attachments == []
+            finally:
+                await tcp.stop()
+                await core.shutdown("test")
+
+        run_async(scenario())
+
+    def test_hundred_connect_disconnect_cycles_leak_nothing(self):
+        async def scenario():
+            core = ServerCore(ServerConfig(engine="sequential"))
+            tcp = TCPServer(core, "127.0.0.1", 0)
+            await tcp.start()
+            try:
+                baseline_live = core.hub.stats().attachments_live
+                for cycle in range(100):
+                    client = await ServerClient.connect("127.0.0.1",
+                                                        tcp.port)
+                    await client.hello()
+                    await client.subscribe(ABC_TEXT)
+                    if cycle % 3 == 0:  # sometimes leave data behind
+                        await client.push_many(abc_stream(10,
+                                                          seed=cycle))
+                    await client.close()  # abrupt: no unsubscribe
+                await wait_until(lambda: not core.clients)
+                stats = core.hub.stats()
+                assert stats.attachments_live == baseline_live
+                # the async facade's dispatch list must not grow with
+                # churn — dead queues would slow every future push
+                assert core.hub._attachments == []
+                assert core.clients == {}
+                assert core.clients_total == 100
+                # the hub survived the churn: a fresh client still
+                # gets correct service
+                events = abc_stream(40, seed=1)
+                alone = pipeline(parse_query(ABC_TEXT, name="alone")).engine("sequential") \
+                    .run(events)
+                client = await ServerClient.connect("127.0.0.1",
+                                                    tcp.port)
+                await client.hello()
+                sub = await client.subscribe(ABC_TEXT)
+                await client.push_many(events)
+                await client.flush()
+                seqs = []
+                async for frame in client.frames():
+                    if frame["type"] == "match":
+                        seqs.append(frame["match"]["seqs"])
+                    elif frame["type"] == "watermark" and \
+                            frame.get("final"):
+                        break
+                await client.close()
+                assert seqs == [list(ce.constituent_seqs)
+                                for ce in alone.complex_events]
+            finally:
+                await tcp.stop()
+                await core.shutdown("test")
+
+        run_async(scenario())
+
+
+class TestAbandon:
+    def test_abandon_releases_blocked_producer(self):
+        """A producer suspended on a full per-attachment queue must be
+        released when the consumer vanishes (abandon), not wait for a
+        reader that will never come."""
+        async def scenario():
+            hub = AsyncStreamHub(queue_size=1)
+            attachment = hub.attach(
+                "PATTERN (A)\nWITHIN 1 events FROM every 1 events\n",
+                engine="sequential")
+            # every A is a match; queue_size=1 → the producer suspends
+            # after the second undelivered match
+            events = [make_event(i, "A") for i in range(16)]
+
+            async def produce():
+                await hub.push_many(events)
+                return True
+
+            producer = asyncio.create_task(produce())
+            await asyncio.sleep(0.05)
+            assert not producer.done()  # genuinely blocked
+            await attachment.abandon()
+            assert await asyncio.wait_for(producer, timeout=5.0)
+            # on_detach ran once; iteration over the attachment ends
+            with pytest.raises(StopAsyncIteration):
+                await attachment.__anext__()
+            hub.abort()
+
+        run_async(scenario())
+
+    def test_abandon_runs_on_detach_exactly_once(self):
+        async def scenario():
+            counter = DetachCounter()
+            hub = AsyncStreamHub(middleware=[counter])
+            attachment = hub.attach(
+                ABC_TEXT, engine="sequential", name="abc")
+            await attachment.abandon()
+            await attachment.abandon()          # idempotent
+            await attachment.detach()           # still idempotent
+            assert counter.detached == ["abc"]
+            await hub.close()
+
+        run_async(scenario())
+
+
+class TestAclose:
+    def test_aclose_flushes_detaches_once_and_unblocks(self):
+        events = abc_stream(60, seed=3)
+        alone = pipeline(parse_query(ABC_TEXT, name="alone")).engine("sequential").run(events)
+
+        async def scenario():
+            counter = DetachCounter()
+            hub = AsyncStreamHub(middleware=[counter])
+            one = hub.attach(ABC_TEXT, engine="sequential", name="one")
+            two = hub.attach(ABC_TEXT, engine="sequential", name="two")
+            got_one, got_two = [], []
+
+            async def consume(attachment, into):
+                async for match in attachment:
+                    into.append(match)
+                return True
+
+            consumers = [asyncio.create_task(consume(one, got_one)),
+                         asyncio.create_task(consume(two, got_two))]
+            await hub.push_many(events)
+            await hub.aclose()
+            # consumers unblocked: their iterations ended normally
+            assert await asyncio.wait_for(
+                asyncio.gather(*consumers), timeout=5.0) == [True, True]
+            assert sorted(counter.detached) == ["one", "two"]
+            assert hub.is_closed
+            await hub.aclose()  # idempotent
+            assert sorted(counter.detached) == ["one", "two"]
+            return got_one, got_two
+
+        got_one, got_two = run_async(scenario())
+        # zero loss: the trailing-window matches arrived through the
+        # aclose() flush, not just the pushed-stream ones
+        expected = [ce.constituent_seqs
+                    for ce in alone.complex_events]
+        for got in (got_one, got_two):
+            assert [ce.constituent_seqs for ce in got] == expected
+
+    def test_aclose_on_fresh_hub(self):
+        async def scenario():
+            hub = AsyncStreamHub()
+            assert await hub.aclose() == 0
+            assert hub.is_closed
+
+        run_async(scenario())
+
+    def test_server_drain_consistent_stats_after_churn(self):
+        """Hub stats stay coherent through connect/disconnect churn +
+        drain: totals reflect what was pushed, live count is zero."""
+        async def scenario():
+            core = ServerCore(ServerConfig(engine="sequential"))
+            tcp = TCPServer(core, "127.0.0.1", 0)
+            await tcp.start()
+            pushed = 0
+            try:
+                for cycle in range(10):
+                    client = await ServerClient.connect("127.0.0.1",
+                                                        tcp.port)
+                    await client.hello()
+                    await client.subscribe(ABC_TEXT)
+                    ack = await client.push_many(abc_stream(20,
+                                                            seed=cycle))
+                    pushed += ack["accepted"]
+                    await client.close()
+                await wait_until(lambda: not core.clients)
+            finally:
+                await tcp.stop()
+                await core.shutdown("churn-test")
+            stats = core.hub.stats()
+            assert stats.events_pushed == pushed == 200
+            assert stats.attachments_live == 0
+            assert core.hub.is_closed
+
+        run_async(scenario())

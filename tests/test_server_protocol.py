@@ -1,0 +1,278 @@
+"""Wire protocol + WebSocket codec: pure-function coverage.
+
+Frame/event/match roundtrips, the typed request validation table,
+per-message size limits, and the RFC 6455 primitives (mask roundtrip,
+the three length encodings, the spec's accept-key vector).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.events import make_event
+from repro.events.complex_event import ComplexEvent
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ack_frame,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    event_from_wire,
+    event_to_wire,
+    match_frame,
+    match_to_wire,
+    stats_frame,
+    validate_request,
+    watermark_frame,
+)
+from repro.server.ws import (
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_TEXT,
+    WSProtocolError,
+    accept_key,
+    encode_ws_frame,
+    mask_payload,
+    read_ws_frame,
+    read_ws_message,
+)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = {"type": "hello", "version": 1, "token": "t"}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoded_is_one_line(self):
+        data = encode_frame({"type": "ack", "op": "ping"})
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+
+    def test_exotic_values_never_break_the_wire(self):
+        data = encode_frame({"type": "x", "value": {3, 1}})
+        assert json.loads(data)  # non-JSON leaves degrade to str()
+
+    def test_size_limit(self):
+        big = encode_frame({"type": "push", "blob": "x" * 256})
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(big, max_bytes=128)
+        assert err.value.code == "too_large"
+        assert decode_frame(big, max_bytes=4096)["type"] == "push"
+
+    def test_default_limit(self):
+        assert MAX_FRAME_BYTES == 1 << 20
+
+    @pytest.mark.parametrize("raw", [b"not json\n", b"[1,2]\n",
+                                     b'{"no":"type"}\n',
+                                     b'{"type":7}\n'])
+    def test_malformed(self, raw):
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(raw)
+        assert err.value.code == "protocol"
+
+
+class TestValidation:
+    def test_every_known_type_validates(self):
+        frames = [
+            {"type": "hello", "version": PROTOCOL_VERSION},
+            {"type": "subscribe", "query": "PATTERN (A)"},
+            {"type": "unsubscribe", "subscription": "q1"},
+            {"type": "push", "event": {"etype": "A"}},
+            {"type": "push_many", "events": []},
+            {"type": "flush"}, {"type": "stats"}, {"type": "ping"},
+        ]
+        assert [validate_request(f) for f in frames] == \
+            ["hello", "subscribe", "unsubscribe", "push",
+             "push_many", "flush", "stats", "ping"]
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"type": "teleport"})
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError) as err:
+            validate_request({"type": "subscribe"})
+        assert "query" in str(err.value)
+
+    def test_wrong_field_type(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"type": "subscribe", "query": 42})
+        with pytest.raises(ProtocolError):
+            validate_request({"type": "push_many", "events": "nope"})
+
+    def test_bad_id_type(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"type": "ping", "id": [1]})
+        assert validate_request({"type": "ping", "id": "a"}) == "ping"
+        assert validate_request({"type": "ping", "id": 7}) == "ping"
+
+
+class TestEventCodec:
+    def test_roundtrip(self):
+        event = make_event(3, "A", price=10.5)
+        back = event_from_wire(event_to_wire(event))
+        assert (back.seq, back.etype, back.timestamp,
+                back.attributes) == (3, "A", 3.0, {"price": 10.5})
+
+    def test_wire_json_safe(self):
+        json.dumps(event_to_wire(make_event(0, "B", symbol="X")))
+
+    def test_defaults(self):
+        event = event_from_wire({"etype": "A"}, default_seq=9)
+        assert event.seq == 9 and event.timestamp == 9.0
+
+    def test_explicit_timestamp(self):
+        event = event_from_wire({"etype": "A", "seq": 1,
+                                 "timestamp": 4.5})
+        assert event.timestamp == 4.5
+
+    @pytest.mark.parametrize("obj", [
+        {"seq": 1},                                   # no etype
+        {"etype": ""},                                # empty etype
+        {"etype": "A", "seq": "one"},                 # bad seq
+        {"etype": "A", "seq": True},                  # bool is not int
+        {"etype": "A", "seq": 1, "timestamp": "t"},   # bad timestamp
+        {"etype": "A", "seq": 1, "attributes": []},   # bad attributes
+        "not-an-object",
+    ])
+    def test_rejects(self, obj):
+        with pytest.raises(ProtocolError):
+            event_from_wire(obj, default_seq=0)
+
+    def test_no_seq_and_no_default(self):
+        with pytest.raises(ProtocolError):
+            event_from_wire({"etype": "A"})
+
+
+class TestMatchCodec:
+    def test_match_wire_shape(self):
+        constituents = (make_event(0, "A"), make_event(1, "B"))
+        match = ComplexEvent(query_name="q", window_id=2,
+                             constituents=constituents,
+                             attributes={"x": 1})
+        wire = match_to_wire(match)
+        assert wire == {"query": "q", "window": 2, "seqs": [0, 1],
+                        "etypes": ["A", "B"], "attributes": {"x": 1}}
+        frame = match_frame("sub", match)
+        assert frame["type"] == "match"
+        assert frame["subscription"] == "sub"
+        json.dumps(frame)
+
+
+class TestResponseBuilders:
+    def test_ack_echoes_id(self):
+        assert ack_frame("ping", 4) == {"type": "ack", "op": "ping",
+                                        "id": 4}
+        assert "id" not in ack_frame("ping")
+
+    def test_error(self):
+        frame = error_frame("busy", "full", "r1")
+        assert (frame["code"], frame["id"]) == ("busy", "r1")
+
+    def test_watermark_infinity_becomes_null(self):
+        assert watermark_frame("s", float("-inf"))["watermark"] is None
+        frame = watermark_frame("s", 4.0, final=True)
+        assert frame["watermark"] == 4.0 and frame["final"] is True
+        assert "final" not in watermark_frame("s", 4.0)
+
+    def test_stats(self):
+        frame = stats_frame({"events_pushed": 1}, {"clients": 0}, 9)
+        assert frame["hub"]["events_pushed"] == 1
+        assert frame["id"] == 9
+
+
+class TestWSPrimitives:
+    def test_rfc_accept_key_vector(self):
+        # RFC 6455 section 1.3's worked example
+        assert accept_key("dGhlIHNhbXBsZSBub25jZQ==") == \
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def test_mask_roundtrip(self):
+        key = b"\x12\x34\x56\x78"
+        for size in (0, 1, 3, 4, 5, 125, 126, 127, 1000):
+            data = bytes(range(256)) * (size // 256 + 1)
+            data = data[:size]
+            assert mask_payload(mask_payload(data, key), key) == data
+
+    @pytest.mark.parametrize("size", [0, 125, 126, 127, 65535, 65536,
+                                      100_000])
+    def test_frame_roundtrip_length_encodings(self, size):
+        payload = b"x" * size
+
+        async def scenario(mask):
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_ws_frame(OP_TEXT, payload,
+                                             mask=mask))
+            reader.feed_eof()
+            return await read_ws_frame(reader, max_size=1 << 20,
+                                       require_mask=mask)
+
+        for mask in (False, True):
+            fin, opcode, got = run_async(scenario(mask))
+            assert fin and opcode == OP_TEXT and got == payload
+
+    def test_mask_enforcement(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_ws_frame(OP_TEXT, b"hi", mask=False))
+            reader.feed_eof()
+            await read_ws_frame(reader, require_mask=True)
+
+        with pytest.raises(WSProtocolError):
+            run_async(scenario())
+
+    def test_size_limit(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_ws_frame(OP_TEXT, b"y" * 200,
+                                             mask=True))
+            await read_ws_frame(reader, max_size=100)
+
+        with pytest.raises(ProtocolError) as err:
+            run_async(scenario())
+        assert err.value.code == "too_large"
+
+    def test_fragmentation_reassembly(self):
+        # hand-build CONT frames: first fragment FIN=0/TEXT, second
+        # FIN=1/CONT
+        def fragment(opcode, fin, payload):
+            frame = bytearray(encode_ws_frame(opcode, payload,
+                                              mask=True))
+            if not fin:
+                frame[0] &= 0x7F
+            return bytes(frame)
+
+        class _Writer:
+            def write(self, data): pass
+            async def drain(self): pass
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(fragment(OP_TEXT, False, b"hel"))
+            reader.feed_data(encode_ws_frame(OP_PING, b"p", mask=True))
+            reader.feed_data(fragment(OP_CONT, True, b"lo"))
+            reader.feed_eof()
+            return await read_ws_message(reader, _Writer())
+
+        assert run_async(scenario()) == b"hello"
+
+    def test_close_returns_none(self):
+        class _Writer:
+            def write(self, data): pass
+            async def drain(self): pass
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_ws_frame(
+                OP_CLOSE, (1000).to_bytes(2, "big"), mask=True))
+            reader.feed_eof()
+            return await read_ws_message(reader, _Writer())
+
+        assert run_async(scenario()) is None

@@ -1,0 +1,274 @@
+"""Durability cost: WAL-on ingest overhead and recovery-time scaling.
+
+Two questions gate the durability subsystem:
+
+* **What does the WAL cost on the hot path?**  The same multi-query
+  NYSE workload is ingested through a bare :class:`StreamHub` and
+  through a :class:`DurableHub` (``fsync="batch"``, the default:
+  every append reaches the OS, fsync at checkpoints).  Guarded at
+  ≤25% overhead versus bare at full scale (``--quick`` uses a looser
+  tripwire — see the budget constants); all legs are parity-checked.
+* **How does recovery scale with the WAL tail?**  A hub is crashed
+  (aborted, never checkpointed) after N events so recovery must
+  replay the entire log, for growing N — recovery wall time should
+  scale roughly linearly with the tail.
+
+Results go to ``BENCH_durability.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from statistics import median
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_nyse  # noqa: E402
+from repro.durability import DurableHub  # noqa: E402
+from repro.hub import StreamHub  # noqa: E402
+from repro.patterns.parser import parse_query  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_durability.json"
+
+WAL_OVERHEAD_BUDGET_PCT = 25.0
+# The budget is set against the full workload.  --quick runs the same
+# checkpoint cadence (4 per stream) against a ~60ms stream, so the
+# fixed per-checkpoint cost (two fsyncs + a snapshot) that amortizes
+# to ~3% at full scale weighs ~20 points there; the quick guard is a
+# regression tripwire, not the contract.
+WAL_OVERHEAD_QUICK_BUDGET_PCT = 60.0
+CHUNK = 512
+
+BAND_TEXT = """PATTERN (A B)
+DEFINE
+    A AS (A.closePrice > lowerLimit AND A.closePrice < upperLimit),
+    B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit)
+WITHIN 40 events FROM every 20 events"""
+
+WIDE_TEXT = BAND_TEXT.replace("WITHIN 40", "WITHIN 60")
+PARAMS = {"lowerLimit": 49.95, "upperLimit": 50.3}
+
+
+def build_workload(quick: bool):
+    n_events = 8_000 if quick else 60_000
+    events = generate_nyse(n_events, n_symbols=12, n_leading=8, seed=53)
+    queries = [("band", BAND_TEXT), ("wide", WIDE_TEXT)]
+    return events, queries, {
+        "dataset": "nyse",
+        "events": n_events,
+        "n_symbols": 12,
+        "queries": len(queries),
+        "query": "price-band (Q2-style)",
+        "params": PARAMS,
+        "chunk": CHUNK,
+        "engine": "sequential",
+        "seed": 53,
+    }
+
+
+def attach_all(hub, queries, collectors):
+    for name, text in queries:
+        query = parse_query(text, name=name, params=PARAMS)
+        hub.attach(query, engine="sequential", name=name,
+                   sink=collectors[name].append)
+
+
+def drive_bare(events, queries):
+    collectors = {name: [] for name, _text in queries}
+    hub = StreamHub()
+    attach_all(hub, queries, collectors)
+    started = time.perf_counter()
+    for start in range(0, len(events), CHUNK):
+        hub.push_many(events[start:start + CHUNK])
+    hub.flush()
+    wall = time.perf_counter() - started
+    hub.close()
+    return wall, {name: [ce.identity() for ce in collected]
+                  for name, collected in collectors.items()}, {}
+
+
+def drive_wal(events, queries, *, fsync, checkpoint_every):
+    directory = tempfile.mkdtemp(prefix="bench-wal-")
+    try:
+        collectors = {name: [] for name, _text in queries}
+        hub = DurableHub(directory, checkpoint_every=checkpoint_every,
+                         fsync=fsync)
+        attach_all(hub, queries, collectors)
+        started = time.perf_counter()
+        for start in range(0, len(events), CHUNK):
+            hub.push_many(events[start:start + CHUNK])
+        hub.flush()
+        wall = time.perf_counter() - started
+        stats = hub.manager.stats_dict()
+        hub.close()
+        extra = {"wal_bytes": stats["wal_bytes"],
+                 "checkpoints": stats["checkpoints_total"]}
+        return wall, {name: [ce.identity() for ce in collected]
+                      for name, collected in collectors.items()}, extra
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def bench_ingest(events, queries, repeats):
+    runners = [
+        ("bare", lambda: drive_bare(events, queries)),
+        ("wal_batch", lambda: drive_wal(
+            events, queries, fsync="batch",
+            checkpoint_every=len(events) // 4)),
+        ("wal_never", lambda: drive_wal(
+            events, queries, fsync="never",
+            checkpoint_every=len(events) // 4)),
+    ]
+    # One untimed warmup per leg (kernel interning, page cache), then
+    # interleave the legs round-robin.  Wall-clock noise on a shared
+    # machine drifts by tens of percent over seconds — far more than
+    # the effect under test — so each round pairs every leg against
+    # the bare run *adjacent in time* (same noise regime) and the
+    # reported overhead is the median of those per-round ratios;
+    # best-of walls are kept for the throughput display only.
+    best: dict = {}
+    outputs: dict = {}
+    extras: dict = {}
+    ratios: dict = {name: [] for name, _r in runners}
+    for name, runner in runners:
+        _wall, outputs[name], extras[name] = runner()
+    for _ in range(repeats):
+        walls = {}
+        for name, runner in runners:
+            wall, out, info = runner()
+            if out != outputs[name]:
+                raise SystemExit(f"leg {name!r} is not deterministic")
+            walls[name] = wall
+            if name not in best or wall < best[name]:
+                best[name], extras[name] = wall, info
+        for name in walls:
+            ratios[name].append(walls[name] / walls["bare"])
+    for name in best:
+        if outputs[name] != outputs["bare"]:
+            raise SystemExit(f"parity violation in leg {name!r}")
+    legs = []
+    for name, _runner in runners:
+        row = {"leg": name,
+               "wall_seconds": round(best[name], 4),
+               "events_per_second": round(len(events) / best[name], 1),
+               "matches": sum(len(v) for v in outputs[name].values()),
+               "overhead_vs_bare": round(median(ratios[name]), 4),
+               "overhead_ratios": [round(r, 4) for r in ratios[name]]}
+        row.update(extras[name])
+        legs.append(row)
+        print(f"{name:10s} {row['events_per_second']:>10.1f} ev/s  "
+              f"x{row['overhead_vs_bare']:.3f} vs bare (median of "
+              f"{len(ratios[name])} paired rounds, {row['matches']} "
+              f"matches)")
+    return legs
+
+
+def bench_recovery(queries, tail_lengths):
+    """Crash a never-checkpointed hub after N events and time the
+    full-tail replay recovery."""
+    rows = []
+    for n_events in tail_lengths:
+        events = generate_nyse(n_events, n_symbols=12, n_leading=8,
+                               seed=59)
+        directory = tempfile.mkdtemp(prefix="bench-recover-")
+        try:
+            hub = DurableHub(directory, checkpoint_every=10 ** 9,
+                             fsync="never")
+            attach_all(hub, queries,
+                       {name: [] for name, _text in queries})
+            for start in range(0, len(events), CHUNK):
+                hub.push_many(events[start:start + CHUNK])
+            hub.hub.abort()  # crash: recovery must replay everything
+
+            started = time.perf_counter()
+            recovered = DurableHub(directory, fsync="never")
+            wall = time.perf_counter() - started
+            report = recovered.recovery_report
+            assert report.recovered
+            assert report.replayed_events >= n_events
+            recovered.manager.close(checkpoint=False)
+            rows.append({
+                "wal_tail_events": n_events,
+                "replayed_events": report.replayed_events,
+                "suppressed_matches": report.suppressed_matches,
+                "recovery_seconds": round(wall, 4),
+                "replay_events_per_second": round(
+                    report.replayed_events / wall, 1),
+            })
+            print(f"recover {n_events:>7d} events: {wall:.3f}s "
+                  f"({rows[-1]['replay_events_per_second']:.0f} ev/s, "
+                  f"{report.suppressed_matches} suppressed)")
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small stream (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per leg (best-of)")
+    parser.add_argument("--out", default=str(OUTPUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or 5  # median wants a few paired rounds
+
+    events, queries, workload = build_workload(args.quick)
+    tail_lengths = [2_000, 4_000, 8_000] if args.quick \
+        else [10_000, 20_000, 40_000]
+    print(f"workload: {workload['events']} NYSE events x "
+          f"{workload['queries']} band queries, chunks of {CHUNK}, "
+          f"best of {repeats}")
+
+    legs = bench_ingest(events, queries, repeats)
+    recovery = bench_recovery(queries, tail_lengths)
+
+    wal_row = next(row for row in legs if row["leg"] == "wal_batch")
+    overhead_pct = round(100.0 * (wal_row["overhead_vs_bare"] - 1.0), 2)
+    budget_pct = WAL_OVERHEAD_QUICK_BUDGET_PCT if args.quick \
+        else WAL_OVERHEAD_BUDGET_PCT
+    guard_ok = overhead_pct <= budget_pct
+
+    payload = {
+        "benchmark": "durability",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "quick": args.quick,
+        "workload": workload,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.system(),
+        },
+        "legs": legs,
+        "recovery": recovery,
+        "wal_overhead_pct": overhead_pct,
+        "wal_overhead_budget_pct": budget_pct,
+        "wal_guard_ok": guard_ok,
+        "parity": "all legs emit the bare hub's matches",
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"WAL (batch fsync) overhead: {overhead_pct:+.2f}% "
+          f"(budget {budget_pct:.0f}%"
+          f"{', quick tripwire' if args.quick else ''})")
+    if not guard_ok:
+        raise SystemExit("WAL ingest overhead exceeds budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -348,7 +348,10 @@ def cmd_serve_network(args: argparse.Namespace) -> int:
         client_rate=args.rate_limit,      # per-client buckets in network mode
         client_burst=args.rate_burst,
         share=not args.no_share,
-        middleware=tuple(middleware))
+        middleware=tuple(middleware),
+        wal_dir=args.wal,
+        checkpoint_every=args.checkpoint_every,
+        wal_fsync=args.wal_fsync)
     listeners = {
         name: _parse_hostport(spec, f"--{name}") if spec else None
         for name, spec in (("tcp", args.tcp), ("ws", args.ws),
@@ -375,6 +378,15 @@ def cmd_serve_network(args: argparse.Namespace) -> int:
                                ws=listeners["ws"], http=listeners["http"])
     except ValueError as error:
         raise SystemExit(str(error)) from None
+    durability = runtime.core.durability
+    if durability is not None:
+        report = durability.recovery_report
+        if report is not None and report.recovered:
+            print(f"durability: recovered segment "
+                  f"{report.snapshot_segment}, replayed "
+                  f"{report.replayed_events} events, restored "
+                  f"{len(report.restored_attachments)} durable "
+                  f"attachments", flush=True)
     try:
         asyncio.run(_run(runtime))
     except KeyboardInterrupt:
@@ -385,6 +397,11 @@ def cmd_serve_network(args: argparse.Namespace) -> int:
           f"({core.clients_rejected} rejected), "
           f"{stats.events_pushed} events pushed, "
           f"late_dropped={stats.late_events}")
+    if durability is not None:
+        dstats = durability.stats_dict()
+        print(f"durability: {dstats['checkpoints_total']} checkpoints, "
+              f"segment {dstats['segment']}, "
+              f"wal_bytes={dstats['wal_bytes']}")
     if trace is not None:
         records = list(trace.records)
         print(f"trace: last {len(records)} interception records")
@@ -421,33 +438,74 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("need at least one --query [name=]file")
     middleware, validation, ratelimit, metrics, trace = \
         _serve_middleware(args)
-    hub = StreamHub(slack=args.slack if args.slack is not None else 0.0,
-                    share=not args.no_share, middleware=middleware)
     counts: dict[str, int] = {}
 
     def make_sink(name: str):
         def sink(ce) -> None:
-            counts[name] += 1
+            counts[name] = counts.get(name, 0) + 1
             print(f"[{name}] match #{counts[name]}: {ce!r}", flush=True)
         return sink
 
+    dhub = None
+    if args.wal:
+        from repro.durability import DurableHub
+
+        # restored attachments re-sink into the same tagged printer
+        dhub = DurableHub(
+            args.wal, checkpoint_every=args.checkpoint_every,
+            fsync=args.wal_fsync,
+            slack=args.slack if args.slack is not None else 0.0,
+            share=not args.no_share, middleware=middleware,
+            sink_provider=lambda record: make_sink(record["name"]))
+        hub = dhub.hub
+        if hub._flushed:
+            raise SystemExit(
+                f"--wal {args.wal}: this WAL holds a completed (flushed) "
+                f"run; point --wal at a fresh directory")
+        report = dhub.recovery_report
+        if report is not None and report.recovered:
+            print(f"durability: recovered segment "
+                  f"{report.snapshot_segment}, replayed "
+                  f"{report.replayed_events} events, suppressed "
+                  f"{report.suppressed_matches} already-delivered "
+                  f"matches", flush=True)
+    else:
+        hub = StreamHub(
+            slack=args.slack if args.slack is not None else 0.0,
+            share=not args.no_share, middleware=middleware)
+
     try:
+        restored = {attachment.name for attachment in hub.attachments}
         for name, path in specs:
+            if name in restored:
+                print(f"[{name}] restored from WAL", flush=True)
+                continue
             query = _load_query(path, args.param, name=name)
-            counts[name] = 0
+            counts.setdefault(name, 0)
             # the sequential engine takes no speculation config; passing
             # one would needlessly disqualify the attachment from the
             # hub's cross-query optimizer (custom engine options opt out)
             options = {} if args.engine == "sequential" \
                 else {"config": _make_config(args)}
-            hub.attach(query, engine=args.engine, name=name,
-                       sink=make_sink(name), **options)
+            if dhub is not None:
+                dhub.attach(query, engine=args.engine, name=name,
+                            sink=make_sink(name), **options)
+            else:
+                hub.attach(query, engine=args.engine, name=name,
+                           sink=make_sink(name), **options)
     except ValueError as error:
         raise SystemExit(f"bad --query spec: {error}") from None
 
-    with hub:
-        for event in _iter_csv_events(args):
-            hub.push(event)
+    if dhub is not None:
+        try:
+            for event in _iter_csv_events(args):
+                dhub.push(event)
+        finally:
+            dhub.close()
+    else:
+        with hub:
+            for event in _iter_csv_events(args):
+                hub.push(event)
     stats = hub.stats()
     for attachment in stats.attachments:
         print(f"{attachment.name}: {attachment.matches_emitted} complex "
@@ -468,6 +526,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     skipped = sum(a.events_skipped_by_index for a in stats.attachments)
     print(f"routing: {offered} events offered, "
           f"{skipped} skipped by type index")
+    if dhub is not None:
+        dstats = dhub.manager.stats_dict()
+        print(f"durability: {dstats['checkpoints_total']} checkpoints, "
+              f"segment {dstats['segment']}, "
+              f"wal_bytes={dstats['wal_bytes']} "
+              f"(fsync={dstats['fsync']})")
     if validation is not None:
         print(f"validation: {validation.events_rejected} events "
               f"rejected, {validation.events_nulled} nulled "
@@ -482,6 +546,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"  {record}")
     if metrics is not None:
         metrics.observe_stats(stats)
+        if dhub is not None:
+            metrics.observe_durability(dhub.manager.stats_dict())
         print(metrics.render(), end="")
     if args.stats_json:
         payload = json.dumps(stats.to_dict(), indent=2, sort_keys=True)
@@ -517,9 +583,18 @@ def cmd_client(args: argparse.Namespace) -> int:
             subscribed: set[str] = set()
             for name, path in specs:
                 text = Path(path).read_text()
-                subscribed.add(await client.subscribe(
-                    text, name=name, engine=args.engine,
-                    params=params or None, watermarks=True))
+                if args.durable or args.resume_from is not None:
+                    ack = await client.subscribe_durable(
+                        text, name=name, engine=args.engine,
+                        params=params or None,
+                        resume_from=args.resume_from)
+                    subscribed.add(ack["subscription"])
+                    print(f"subscribed durable {name!r} at cursor "
+                          f"{ack.get('cursor')}", file=sys.stderr)
+                else:
+                    subscribed.add(await client.subscribe(
+                        text, name=name, engine=args.engine,
+                        params=params or None, watermarks=True))
             if args.data:
                 batch: list = []
                 for event in _iter_csv_events(args):
@@ -560,6 +635,98 @@ def cmd_client(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(_run())
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """LIVE mode: run queries over a CSV stream exactly like pipe-mode
+    serve, journaling hub config, attaches, ingests, and every emitted
+    match (with its cursor) into one run log for later ``replay`` /
+    ``verify-run``."""
+    from repro.durability import recording_hub
+
+    specs = _parse_query_specs(args.query)
+    if not specs:
+        raise SystemExit("need at least one --query [name=]file")
+    hub, log = recording_hub(
+        args.out, slack=args.slack if args.slack is not None else 0.0,
+        share=not args.no_share)
+    counts: dict[str, int] = {}
+
+    def make_sink(name: str):
+        def sink(ce) -> None:
+            counts[name] = counts.get(name, 0) + 1
+            if not args.quiet:
+                print(f"[{name}] match #{counts[name]}: {ce!r}",
+                      flush=True)
+        return sink
+
+    try:
+        for name, path in specs:
+            query = _load_query(path, args.param, name=name)
+            counts[name] = 0
+            options = {} if args.engine == "sequential" \
+                else {"config": _make_config(args)}
+            hub.attach(query, engine=args.engine, name=name,
+                       sink=make_sink(name), **options)
+    except ValueError as error:
+        raise SystemExit(f"bad --query spec: {error}") from None
+    try:
+        with hub:
+            for event in _iter_csv_events(args):
+                hub.push(event)
+    finally:
+        log.close()
+    for name, _path in specs:
+        print(f"{name}: {counts.get(name, 0)} matches")
+    print(f"recorded {log.events_recorded} events, "
+          f"{log.matches_recorded} matches from {len(specs)} queries "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """REPLAY mode: rebuild the hub from a run log's configuration
+    records and re-execute the operation stream deterministically."""
+    from repro.durability import ReplayError, replay_run
+
+    share = {"on": True, "off": False, "recorded": None}[args.share]
+    try:
+        emits = replay_run(args.run, share=share)
+    except (ReplayError, OSError) as error:
+        raise SystemExit(f"replay failed: {error}") from None
+    total = 0
+    for name in sorted(emits):
+        total += len(emits[name])
+        print(f"{name}: {len(emits[name])} matches")
+        for cursor, wire in emits[name][:args.show]:
+            print(f"  #{cursor}: "
+                  f"{json.dumps(wire, separators=(',', ':'))}")
+    print(f"replayed {total} matches from {args.run}")
+    return 0
+
+
+def cmd_verify_run(args: argparse.Namespace) -> int:
+    """VERIFY mode: replay a run log and compare every emitted match
+    against the recorded stream; exits non-zero on any divergence."""
+    from repro.durability import ReplayError, verify_run
+
+    try:
+        report = verify_run(args.run)
+    except (ReplayError, OSError) as error:
+        raise SystemExit(f"verify-run failed: {error}") from None
+    if report.ok:
+        print(f"OK: replay identical to recording "
+              f"({report.matches_recorded} matches across "
+              f"{report.attachments} attachments)")
+        return 0
+    print(f"DIVERGED: {len(report.divergences)} divergences "
+          f"(recorded={report.matches_recorded} "
+          f"replayed={report.matches_replayed})")
+    for divergence in report.divergences[:args.show]:
+        print(f"  {json.dumps(divergence, separators=(',', ':'))}")
+    if len(report.divergences) > args.show:
+        print(f"  ... and {len(report.divergences) - args.show} more")
+    return 1
 
 
 def _parse_stages(pairs: Sequence[str]) -> list[tuple[str, str]]:
@@ -772,6 +939,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stats-json", default=None, metavar="FILE",
                        help="write the final hub stats snapshot as "
                             "JSON ('-' for stdout)")
+    serve.add_argument("--wal", default=None, metavar="DIR",
+                       help="durability: write-ahead log + snapshot "
+                            "directory; restarting over the same "
+                            "directory recovers state exactly-once "
+                            "(both pipe and network mode)")
+    serve.add_argument("--checkpoint-every", type=int, default=10_000,
+                       metavar="N",
+                       help="ingested events between snapshot "
+                            "checkpoints (with --wal)")
+    serve.add_argument("--wal-fsync", choices=("always", "batch", "never"),
+                       default="batch",
+                       help="WAL fsync policy: always (fsync per "
+                            "append), batch (fsync at checkpoints; "
+                            "OS-buffered between), never")
     serve.set_defaults(func=cmd_serve)
 
     client = commands.add_parser(
@@ -811,7 +992,66 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="exit when no frame arrives for this long")
+    client.add_argument("--durable", action="store_true",
+                        help="durable subscriptions: the server keeps "
+                             "the attachment and its WAL cursor across "
+                             "disconnects and restarts (needs serve "
+                             "--wal; query names are the resume keys)")
+    client.add_argument("--resume-from", type=int, default=None,
+                        metavar="CURSOR",
+                        help="resume a durable subscription: replay "
+                             "WAL-logged matches with cursor > CURSOR, "
+                             "then continue live (implies --durable)")
     client.set_defaults(func=cmd_client)
+
+    record = commands.add_parser(
+        "record",
+        help="LIVE: run queries over a CSV stream while journaling "
+             "everything into a replayable run log")
+    record.add_argument("--out", required=True, metavar="RUNLOG",
+                        help="run log file to write")
+    record.add_argument("--query", action="append", default=[],
+                        help="query file, optionally name=file "
+                             "(repeatable; one attachment each)")
+    record.add_argument("--data", required=True,
+                        help="events CSV ('-' reads rows from stdin)")
+    record.add_argument("--engine", choices=list(RUN_ENGINES),
+                        default="sequential")
+    _add_speculative_flags(record)
+    record.add_argument("--poll", type=float, default=0.0,
+                        help="on a file: seconds to wait for appended "
+                             "rows at EOF (0 stops at EOF)")
+    record.add_argument("--slack", type=float, default=None,
+                        help="out-of-order slack buffer (time units)")
+    record.add_argument("--no-share", action="store_true",
+                        help="disable the cross-query optimizer")
+    record.add_argument("--quiet", action="store_true",
+                        help="suppress per-match printing")
+    record.set_defaults(func=cmd_record)
+
+    replay = commands.add_parser(
+        "replay",
+        help="REPLAY: re-execute a recorded run deterministically and "
+             "print the reproduced match streams")
+    replay.add_argument("--run", required=True, metavar="RUNLOG")
+    replay.add_argument("--show", type=int, default=0, metavar="N",
+                        help="print the first N matches per attachment")
+    replay.add_argument("--share", choices=("recorded", "on", "off"),
+                        default="recorded",
+                        help="override the recorded sharing-optimizer "
+                             "setting (identities must not change)")
+    replay.set_defaults(func=cmd_replay)
+
+    verify_run_parser = commands.add_parser(
+        "verify-run",
+        help="VERIFY: replay a recorded run and compare every match "
+             "against the recording; non-zero exit on divergence")
+    verify_run_parser.add_argument("--run", required=True,
+                                   metavar="RUNLOG")
+    verify_run_parser.add_argument("--show", type=int, default=5,
+                                   metavar="N",
+                                   help="divergences to print")
+    verify_run_parser.set_defaults(func=cmd_verify_run)
     return parser
 
 

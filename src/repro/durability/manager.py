@@ -1,0 +1,715 @@
+"""The durability manager: WAL + snapshots + exactly-once recovery.
+
+One :class:`DurabilityManager` owns one directory::
+
+    wal-00000001.log        segment 1 (rotated at every checkpoint)
+    snapshot-00000001.json  state as of the end of segment 1
+    wal-00000002.log        records since that checkpoint
+    ...
+
+**Checkpoint** = write ``snapshot-K`` (the hub state, atomically),
+then rotate to segment ``K+1``.  **Recovery** = load the newest valid
+snapshot ``K``, rebuild the hub from it (re-attach queries from their
+source text, replay the released suffix to reopen windows and their
+partial matches), then replay the WAL tail (segments ``> K``) through
+the sorter.  Matches regenerated during replay that the pre-crash run
+already delivered are suppressed by a per-attachment *multiset* of
+match identities (a plain set would be wrong: the same constituent
+set can legitimately match in two overlapping windows), so the
+recovered hub emits **exactly** the matches the crashed run had not
+yet delivered — no loss, no duplication, asserted by the
+crash-injection suite.
+
+The manager is the journal behind
+:class:`~repro.durability.middleware.DurabilityMiddleware` and the
+checkpoint scheduler behind :class:`DurableHub` (sync) and the
+network server (``serve --wal``).  A durable *cursor* — the count of
+matches ever emitted per attachment — is assigned at emit-log time
+and is the unit of subscription resume (``client --resume-from``).
+
+Caveats (documented, by design):
+
+* suffix replay rebuilds open windows by re-running them, which is
+  exact for consumption-free and tumbling-window queries (same
+  contract as the hub's mid-stream admission); overlapping windows
+  *with* consumption restore their ledgers (consumed events are
+  skipped on replay) but may resolve cross-window races differently
+  than the original run,
+* sink delivery is at-least-once across a crash (the emit record is
+  durable before the sink runs); the exactly-once guarantee is on the
+  logged match stream and its cursors,
+* replay determinism assumes deterministic engines (``sequential``,
+  ``spectre``, ``trex``, ...); wall-clock-dependent engines are out.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.durability.middleware import DurabilityMiddleware
+from repro.durability.snapshot import (
+    build_snapshot,
+    compute_cut,
+    hub_config,
+    sorter_state,
+    suffix_events,
+)
+from repro.durability.wal import (
+    SnapshotError,
+    WalWriter,
+    iter_records,
+    json_safe_float,
+    list_segments,
+    list_snapshots,
+    read_snapshot,
+    read_wal,
+    segment_path,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.events.event import Event
+from repro.events.wire import unpack_event
+from repro.hub.core import Attachment, StreamHub
+from repro.patterns.parser import parse_query
+
+__all__ = ["DurabilityManager", "DurableHub", "RecoveryReport"]
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery did (``manager.recovery_report``)."""
+
+    recovered: bool = False
+    snapshot_segment: Optional[int] = None
+    segments_replayed: int = 0
+    replayed_events: int = 0
+    suppressed_matches: int = 0
+    residual_debt: int = 0        # pre-crash emits replay could not
+    #                               regenerate (closed pre-cut windows)
+    torn_segments: list[int] = field(default_factory=list)
+    restored_attachments: list[str] = field(default_factory=list)
+    skipped_attachments: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "recovered": self.recovered,
+            "snapshot_segment": self.snapshot_segment,
+            "segments_replayed": self.segments_replayed,
+            "replayed_events": self.replayed_events,
+            "suppressed_matches": self.suppressed_matches,
+            "residual_debt": self.residual_debt,
+            "torn_segments": list(self.torn_segments),
+            "restored_attachments": list(self.restored_attachments),
+            "skipped_attachments": list(self.skipped_attachments),
+        }
+
+
+class DurabilityManager:
+    """WAL writer, checkpoint scheduler and recovery driver for one
+    hub (see the module docstring for the directory layout)."""
+
+    def __init__(self, directory: Path | str, *,
+                 checkpoint_every: int = 10_000,
+                 fsync: str = "batch",
+                 default_durable: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_every = int(checkpoint_every)
+        self.fsync = fsync
+        self.default_durable = default_durable
+        self.middleware = DurabilityMiddleware(self)
+        self._hub: Optional[StreamHub] = None
+        self._writer: Optional[WalWriter] = None
+        self._segment = 0
+        self._recovering = False
+        self._closed = False
+        # per-attachment durable state
+        self._cursors: dict[str, int] = {}
+        self._emitted: dict[str, Counter] = {}
+        self._debt: dict[str, Counter] = {}       # recovery suppression
+        self._attach_meta: dict[str, dict] = {}
+        self._next_durable: Optional[bool] = None  # set_durable() latch
+        # checkpoint bookkeeping
+        self.events_since_checkpoint = 0
+        self.checkpoints_total = 0
+        self._last_checkpoint_monotonic = time.monotonic()
+        self._last_snapshot_bytes = 0
+        self.extra_provider: Optional[Callable[[], dict]] = None
+        self.recovered_extra: dict = {}
+        self.max_replayed_seq = -1
+        self.recovery_report = RecoveryReport()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def hub(self) -> StreamHub:
+        if self._hub is None:
+            raise RuntimeError("manager not started")
+        return self._hub
+
+    def has_state(self) -> bool:
+        """Does the directory hold anything to recover from?"""
+        return bool(list_segments(self.directory)
+                    or list_snapshots(self.directory))
+
+    def start(self, *, slack: float = 0.0, late_policy: str = "drop",
+              share: Optional[bool] = None, queue_size: int = 1024,
+              overflow: str = "raise", middleware: Iterable = (),
+              restore_filter: Optional[Callable[[dict], bool]] = None,
+              sink_provider: Optional[Callable[[dict], Any]] = None,
+              ) -> StreamHub:
+        """Open (or recover) the durable hub.
+
+        A fresh directory gets a new hub with the given configuration;
+        a directory with prior state is recovered — the *stored*
+        configuration wins there, so a recovered hub behaves like the
+        one that crashed.  ``middleware`` is extra hub middleware
+        composed *outside* the durability middleware (so its effects
+        are logged).  ``restore_filter`` decides per attachment record
+        whether to restore it (default: its ``durable`` flag);
+        ``sink_provider`` may return a sink callable for a restored
+        attachment (default: sink-less, overflow ``drop_oldest`` so an
+        unconsumed recovered attachment never blocks ingestion).
+        """
+        if self._hub is not None:
+            raise RuntimeError("manager already started")
+        if self.has_state():
+            return self._recover(middleware=middleware,
+                                 restore_filter=restore_filter,
+                                 sink_provider=sink_provider,
+                                 fallback_config={
+                                     "slack": slack,
+                                     "late_policy": late_policy,
+                                     "share": share,
+                                     "queue_size": queue_size,
+                                     "overflow": overflow})
+        hub = self._make_hub({"slack": slack, "late_policy": late_policy,
+                              "share": share, "queue_size": queue_size,
+                              "overflow": overflow},
+                             middleware)
+        self._segment = 1
+        self._open_segment()
+        return hub
+
+    def _make_hub(self, config: dict, middleware: Iterable) -> StreamHub:
+        hub = StreamHub(slack=config["slack"],
+                        late_policy=config["late_policy"],
+                        share=config["share"],
+                        queue_size=config["queue_size"],
+                        overflow=config["overflow"],
+                        middleware=[*middleware, self.middleware])
+        hub.retain_released()
+        hub.durability = self
+        self._hub = hub
+        self._config = dict(config)
+        return hub
+
+    def _open_segment(self) -> None:
+        self._writer = WalWriter(
+            segment_path(self.directory, self._segment), self.fsync)
+        if self._writer.records_written == 0 and \
+                self._writer.bytes_written <= 10:
+            self._writer.append({"t": "meta", "segment": self._segment,
+                                 "hub": self._config})
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Flush the log to disk (and by default take a final
+        checkpoint so the next start recovers instantly)."""
+        if self._closed:
+            return
+        if checkpoint and self._hub is not None and \
+                self._writer is not None:
+            self.checkpoint()
+        if self._writer is not None:
+            self._writer.close()
+        self._closed = True
+
+    # -- journal protocol (called by DurabilityMiddleware) -----------------
+
+    def log_push(self, events: Iterable[Event]) -> None:
+        if self._recovering or self._writer is None or self._closed:
+            return
+        events = list(events)
+        if not events:
+            return
+        # packed event rows (see repro.events.wire.pack_event), built
+        # inline: this runs once per ingested batch on the hot path
+        self._writer.append(
+            {"t": "push",
+             "events": [[e.seq, e.etype, e.timestamp, e.attributes]
+                        for e in events]})
+        self.events_since_checkpoint += len(events)
+
+    def log_flush(self) -> None:
+        if self._recovering or self._writer is None or self._closed:
+            return
+        self._writer.append({"t": "flush"})
+
+    def log_op_end(self) -> None:
+        """Per-operation durability boundary: one OS write for the
+        operation's push record and every emit it caused."""
+        if self._recovering or self._writer is None or self._closed:
+            return
+        self._writer.flush_os()
+
+    def log_attach(self, attachment: Attachment) -> None:
+        durable, self._next_durable = (
+            self.default_durable if self._next_durable is None
+            else self._next_durable), None
+        if self._recovering or self._writer is None or self._closed:
+            return
+        query = attachment.query
+        position = attachment.hub._position
+        options = attachment.engine_options
+        self._attach_meta[attachment.name] = {"durable": durable,
+                                              "pos": position}
+        self._writer.append({
+            "t": "attach", "name": attachment.name,
+            "query": query.text,
+            "params": [[k, v] for k, v in (query.params or ())],
+            "engine": attachment.engine,
+            "options": dict(options),
+            "durable": durable, "pos": position})
+        self._writer.flush_os()  # lifecycle records are not batched
+
+    def log_detach(self, attachment, drain: bool = True) -> None:
+        name = getattr(attachment, "name", None)
+        if name is not None:
+            self._attach_meta.pop(name, None)
+            self._cursors.pop(name, None)
+            self._emitted.pop(name, None)
+        if self._recovering or self._writer is None or self._closed:
+            return
+        self._writer.append({"t": "detach", "name": name,
+                             "drain": bool(drain)})
+        self._writer.flush_os()
+
+    def set_durable(self, durable: bool) -> None:
+        """Latch the durable flag for the *next* attach (consumed by
+        its ``log_attach``; single-threaded like the hub itself)."""
+        self._next_durable = durable
+
+    def handle_match(self, name: str, match) -> Optional[Any]:
+        key = match.constituent_seqs
+        debt = self._debt.get(name)
+        if debt:
+            count = debt.get(key, 0)
+            if count > 0:
+                if count == 1:
+                    del debt[key]
+                else:
+                    debt[key] = count - 1
+                self.recovery_report.suppressed_matches += 1
+                return None
+        cursor = self._cursors.get(name, 0) + 1
+        self._cursors[name] = cursor
+        self._emitted.setdefault(name, Counter())[key] += 1
+        if self._writer is not None and not self._closed:
+            # the compact match wire, built zero-copy (tuples encode as
+            # JSON arrays; the record is serialized immediately)
+            self._writer.append({"t": "emit", "a": name, "c": cursor,
+                                 "m": {"query": match.query_name,
+                                       "window": match.window_id,
+                                       "seqs": key,
+                                       "etypes": [e.etype for e in
+                                                  match.constituents],
+                                       "attributes": match.attributes}})
+        return match
+
+    def cursor(self, name: str) -> int:
+        """Durable cursor of one attachment: matches emitted, ever."""
+        return self._cursors.get(name, 0)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if the configured ingest budget has passed.
+        Call between pushes (the hub must be quiesced)."""
+        if self.events_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+            return True
+        return False
+
+    def checkpoint(self) -> int:
+        """Snapshot the hub and rotate the WAL; returns the snapshot's
+        segment index."""
+        hub = self.hub
+        if self._writer is None or self._closed:
+            raise RuntimeError("durability log is closed")
+        cut = compute_cut(hub)
+        body = build_snapshot(hub, segment=self._segment, cut=cut,
+                              emitted=self._emitted,
+                              cursors=self._cursors,
+                              attach_meta=self._attach_meta,
+                              extra=self.extra_provider()
+                              if self.extra_provider else {})
+        self._writer.sync()
+        self._last_snapshot_bytes = write_snapshot(
+            snapshot_path(self.directory, self._segment), body)
+        # prune the in-memory emitted ledgers to what the snapshot kept
+        # (identities regenerable from the suffix) so they stay bounded
+        suffix_seqs = {e.seq for _p, e in hub.retained_suffix(cut)}
+        for counter in self._emitted.values():
+            for key in [k for k in counter
+                        if not suffix_seqs.issuperset(k)]:
+                del counter[key]
+        hub.trim_retained(cut)
+        done = self._segment
+        self._writer.close()
+        self._segment += 1
+        self._open_segment()
+        self.checkpoints_total += 1
+        self.events_since_checkpoint = 0
+        self._last_checkpoint_monotonic = time.monotonic()
+        return done
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self, *, middleware: Iterable,
+                 restore_filter, sink_provider,
+                 fallback_config: dict) -> StreamHub:
+        report = self.recovery_report = RecoveryReport(recovered=True)
+        if restore_filter is None:
+            restore_filter = lambda record: bool(record.get("durable"))
+        body, snapshot_segment = self._load_latest_snapshot()
+        existing = list_segments(self.directory)
+        last_existing = existing[-1][0] if existing else 0
+        report.snapshot_segment = snapshot_segment
+
+        config = hub_config(body) if body is not None \
+            else self._segment_config(existing, fallback_config)
+        hub = self._make_hub(config, middleware)
+
+        # open the post-recovery segment *before* replaying: novel
+        # matches surfacing during replay (their emit records were lost
+        # in the crash) are themselves logged durably
+        self._segment = max(last_existing, snapshot_segment or 0) + 1
+        self._open_segment()
+        self._recovering = True
+        try:
+            if body is not None:
+                self._restore_snapshot(body, restore_filter,
+                                       sink_provider, report)
+            tail_after = snapshot_segment or 0
+            self._collect_debt(tail_after, last_existing)
+            self._replay_tail(tail_after, last_existing, hub,
+                              restore_filter, sink_provider, report)
+        finally:
+            self._recovering = False
+            for attachment in hub._attachments:
+                attachment._replay_skip = None
+            report.residual_debt = sum(
+                sum(c.values()) for c in self._debt.values())
+            self._debt.clear()
+        # fold the recovered state into a fresh checkpoint so repeated
+        # crash/recover cycles never re-replay this tail
+        self.checkpoint()
+        return hub
+
+    def _load_latest_snapshot(self) -> tuple[Optional[dict],
+                                             Optional[int]]:
+        for index, path in reversed(list_snapshots(self.directory)):
+            try:
+                return read_snapshot(path), index
+            except SnapshotError:
+                continue  # torn/corrupt snapshot: fall back one
+        return None, None
+
+    def _segment_config(self, existing: list,
+                        fallback: dict) -> dict:
+        for _index, path in existing:
+            for record in read_wal(path).records:
+                if record.get("t") == "meta" and "hub" in record:
+                    merged = dict(fallback)
+                    merged.update(record["hub"])
+                    return merged
+            break
+        return dict(fallback)
+
+    def _restore_snapshot(self, body: dict, restore_filter,
+                          sink_provider, report: RecoveryReport) -> None:
+        hub = self.hub
+        for record in body.get("attachments", []):
+            name = record.get("name")
+            if not restore_filter(record) or not record.get("query"):
+                report.skipped_attachments.append(name)
+                continue
+            attachment = self._reattach(record, sink_provider)
+            if attachment is None:
+                report.skipped_attachments.append(name)
+                continue
+            report.restored_attachments.append(name)
+            self._cursors[name] = int(record.get("cursor", 0))
+            debt = Counter()
+            for key, count in record.get("emitted", []):
+                debt[tuple(key)] = int(count)
+            self._debt[name] = debt
+            self._emitted[name] = Counter(debt)
+            consumed = record.get("consumed") or []
+            if consumed:
+                attachment._replay_skip = frozenset(consumed)
+        first_position, events = suffix_events(body)
+        hub.replay_suffix(first_position, events)
+        report.replayed_events += len(events)
+        # restore admission provenance and the ingest-side counters
+        by_name = {a["name"]: a for a in body.get("attachments", [])}
+        for attachment in hub._attachments:
+            record = by_name.get(attachment.name)
+            if record and record.get("state") == Attachment.LIVE and \
+                    attachment._live:
+                attachment.admission_position = \
+                    record.get("admission_position")
+                wm = record.get("admission_watermark")
+                attachment.admission_watermark = \
+                    None if wm is None else float(wm)
+        state = sorter_state(body)
+        hub.restore_ingest_state(
+            events_pushed=int(body.get("events_pushed", 0)),
+            pending=state["pending"], max_seen=state["max_seen"],
+            released_key=state["released_key"],
+            late_events=state["late_events"])
+        for event in state["pending"]:
+            self.max_replayed_seq = max(self.max_replayed_seq,
+                                        event.seq)
+        self.recovered_extra = dict(body.get("extra") or {})
+        if body.get("flushed"):
+            hub._flush_raw()
+
+    def _reattach(self, record: dict,
+                  sink_provider) -> Optional[Attachment]:
+        hub = self.hub
+        if record["name"] in hub._names:
+            return None
+        params = dict(tuple(pair) for pair in record.get("params", []))
+        try:
+            query = parse_query(record["query"], name=record["name"],
+                                params=params)
+        except Exception:
+            return None
+        sink = sink_provider(record) if sink_provider else None
+        options = record.get("options") or {}
+        self._attach_meta[record["name"]] = {
+            "durable": bool(record.get("durable", True)),
+            "pos": record.get("admit_floor") or 0}
+        try:
+            attachment = hub.attach(
+                query, engine=record.get("engine", "sequential"),
+                name=record["name"], sink=sink,
+                overflow=None if sink else "drop_oldest",
+                **options)
+        except Exception:
+            return None
+        floor = record.get("admit_floor")
+        if floor is not None:
+            attachment._admit_floor = int(floor)
+        return attachment
+
+    def _collect_debt(self, after_segment: int,
+                      last_segment: int) -> None:
+        """Pre-scan the tail's emit records: every match the crashed
+        run delivered after the snapshot joins the suppression multiset
+        (replay will regenerate it) and advances its cursor floor."""
+        for index, record in iter_records(self.directory, after_segment):
+            if index > last_segment or record.get("t") != "emit":
+                continue
+            name = record.get("a")
+            wire = record.get("m") or {}
+            key = tuple(wire.get("seqs") or ())
+            self._debt.setdefault(name, Counter())[key] += 1
+            self._emitted.setdefault(name, Counter())[key] += 1
+            cursor = int(record.get("c", 0))
+            if cursor > self._cursors.get(name, 0):
+                self._cursors[name] = cursor
+
+    def _replay_tail(self, after_segment: int, last_segment: int,
+                     hub: StreamHub, restore_filter, sink_provider,
+                     report: RecoveryReport) -> None:
+        current = None
+        for index, path in list_segments(self.directory):
+            if index <= after_segment or index > last_segment:
+                continue
+            result = read_wal(path)
+            if result.torn:
+                report.torn_segments.append(index)
+            report.segments_replayed += 1
+            for record in result.records:
+                rtype = record.get("t")
+                if rtype == "push":
+                    events = [unpack_event(obj)
+                              for obj in record.get("events", [])]
+                    for event in events:
+                        if event.seq > self.max_replayed_seq:
+                            self.max_replayed_seq = event.seq
+                    hub.ingest_replay(events)
+                    report.replayed_events += len(events)
+                elif rtype == "attach":
+                    if not restore_filter(record) or \
+                            not record.get("query"):
+                        report.skipped_attachments.append(
+                            record.get("name"))
+                        continue
+                    attach_record = dict(record)
+                    attach_record.setdefault("admit_floor",
+                                             record.get("pos"))
+                    attachment = self._reattach(attach_record,
+                                                sink_provider)
+                    if attachment is not None:
+                        report.restored_attachments.append(
+                            attachment.name)
+                elif rtype == "detach":
+                    name = record.get("name")
+                    for attachment in list(hub._attachments):
+                        if attachment.name == name:
+                            attachment.detach(
+                                drain=bool(record.get("drain", True)))
+                            break
+                elif rtype == "flush":
+                    if not hub._flushed:
+                        hub._flush_raw()
+            current = index
+        del current
+
+    # -- resume / observability --------------------------------------------
+
+    def read_emits(self, name: str, after: int = 0,
+                   upto: Optional[int] = None
+                   ) -> Iterator[tuple[int, dict]]:
+        """Yield ``(cursor, wire_match)`` for one attachment's logged
+        emits with ``after < cursor <= upto`` across all segments —
+        the subscription-resume read path."""
+        for _index, record in iter_records(self.directory):
+            if record.get("t") != "emit" or record.get("a") != name:
+                continue
+            cursor = int(record.get("c", 0))
+            if cursor > after and (upto is None or cursor <= upto):
+                yield cursor, record.get("m") or {}
+
+    def wal_bytes(self) -> int:
+        total = 0
+        for _index, path in list_segments(self.directory):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def stats_dict(self) -> dict:
+        """The ``durability`` block of ``hub.stats().to_dict()``."""
+        return {
+            "directory": str(self.directory),
+            "segment": self._segment,
+            "wal_bytes": self.wal_bytes(),
+            "snapshot_bytes": self._last_snapshot_bytes,
+            "checkpoints_total": self.checkpoints_total,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_age_seconds":
+                time.monotonic() - self._last_checkpoint_monotonic,
+            "events_since_checkpoint": self.events_since_checkpoint,
+            "fsync": self.fsync,
+            "cursors": dict(self._cursors),
+            "retained_events": len(self.hub._retained or ()),
+            "recovery": self.recovery_report.to_dict(),
+        }
+
+
+class DurableHub:
+    """A :class:`~repro.hub.core.StreamHub` with durability: every
+    ingest is WAL-logged, checkpoints fire automatically every
+    ``checkpoint_every`` events, and constructing a :class:`DurableHub`
+    over a directory with prior state *recovers* it.
+
+    .. code-block:: python
+
+        hub = DurableHub("state/", checkpoint_every=5000)
+        hub.attach("PATTERN (A B) WITHIN 6 events FROM every 3 events",
+                   engine="sequential", name="pairs")
+        for event in source:
+            hub.push(event)          # logged, periodically snapshotted
+        hub.close()                  # final checkpoint
+
+        hub = DurableHub("state/")   # crash or not: resumes exactly
+    """
+
+    def __init__(self, directory: Path | str, *,
+                 checkpoint_every: int = 10_000, fsync: str = "batch",
+                 slack: float = 0.0, late_policy: str = "drop",
+                 share: Optional[bool] = None, queue_size: int = 1024,
+                 overflow: str = "raise", middleware: Iterable = (),
+                 restore_filter: Optional[Callable] = None,
+                 sink_provider: Optional[Callable] = None) -> None:
+        self.manager = DurabilityManager(
+            directory, checkpoint_every=checkpoint_every, fsync=fsync)
+        self.hub = self.manager.start(
+            slack=slack, late_policy=late_policy, share=share,
+            queue_size=queue_size, overflow=overflow,
+            middleware=middleware, restore_filter=restore_filter,
+            sink_provider=sink_provider)
+
+    @property
+    def recovered(self) -> bool:
+        return self.manager.recovery_report.recovered
+
+    @property
+    def recovery_report(self) -> RecoveryReport:
+        return self.manager.recovery_report
+
+    def attach(self, query, *, durable: bool = True, **kwargs):
+        if durable:
+            text = query if isinstance(query, str) \
+                else getattr(query, "text", None)
+            if not text:
+                raise ValueError(
+                    "durable attachments need query source text "
+                    "(pass MATCH-RECOGNIZE text or a parsed query); "
+                    "use durable=False for hand-built queries")
+        self.manager.set_durable(durable)
+        return self.hub.attach(query, **kwargs)
+
+    def push(self, event: Event) -> int:
+        delivered = self.hub.push(event)
+        self.manager.maybe_checkpoint()
+        return delivered
+
+    def push_many(self, events: Iterable[Event]) -> int:
+        delivered = self.hub.push_many(events)
+        self.manager.maybe_checkpoint()
+        return delivered
+
+    def flush(self) -> int:
+        return self.hub.flush()
+
+    def close(self) -> int:
+        delivered = self.hub.close()
+        self.manager.close(checkpoint=True)
+        return delivered
+
+    def checkpoint(self) -> int:
+        return self.manager.checkpoint()
+
+    def stats(self):
+        return self.hub.stats()
+
+    @property
+    def watermark(self) -> float:
+        return self.hub.watermark
+
+    @property
+    def attachments(self):
+        return self.hub.attachments
+
+    def cursor(self, name: str) -> int:
+        return self.manager.cursor(name)
+
+    def __enter__(self) -> "DurableHub":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.hub.abort()
+            self.manager.close(checkpoint=False)
+        else:
+            self.close()

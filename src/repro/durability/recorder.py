@@ -1,0 +1,292 @@
+"""Deterministic run recording: LIVE → REPLAY → VERIFY.
+
+A *run log* is one WAL file (same framing and record grammar as the
+durability log, ``fsync="never"`` by default — recording is a
+determinism tool, not crash insurance) capturing everything that
+influenced a hub run: the hub configuration, every attach (query
+source text + params + engine + options), every ingested batch in
+released order, every detach/flush, and every emitted match with its
+cursor.  The three modes:
+
+* **LIVE** — :func:`recording_hub` builds a hub whose innermost
+  middleware journals to the run log while the application runs
+  normally (``python -m repro record`` does this for a CSV workload),
+* **REPLAY** — :func:`replay_run` rebuilds the hub from the log's
+  configuration records and re-executes the operation stream;
+  deterministic engines reproduce the original matches bit-identically
+  on their identities (``python -m repro replay``),
+* **VERIFY** — :func:`verify_run` replays *and* compares each emitted
+  match against the recorded emit stream, per attachment, in cursor
+  order; any divergence (mismatched identity, missing or extra match)
+  is reported and exits non-zero (``python -m repro verify-run``) —
+  a regression harness for engine determinism.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.durability.middleware import DurabilityMiddleware
+from repro.durability.wal import WalWriter, read_wal
+from repro.events.wire import match_to_wire, pack_event, unpack_event
+from repro.hub.core import StreamHub
+from repro.patterns.parser import parse_query
+
+__all__ = ["RunMode", "RunLog", "ReplayError", "VerifyReport",
+           "recording_hub", "replay_run", "verify_run", "load_run"]
+
+
+class RunMode:
+    LIVE = "live"
+    REPLAY = "replay"
+    VERIFY = "verify"
+
+
+class ReplayError(RuntimeError):
+    """The run log cannot be replayed (not a run log, or it recorded
+    an attachment without replayable query source text)."""
+
+
+def _normalize(wire: dict) -> dict:
+    """One JSON round-trip so LIVE-recorded and freshly-replayed match
+    wires compare field-by-field (tuples become lists etc.)."""
+    return json.loads(json.dumps(wire, separators=(",", ":"),
+                                 default=str))
+
+
+class RunLog:
+    """The LIVE-mode journal: every hub operation becomes one record
+    in the run log, every emitted match gets a per-attachment cursor."""
+
+    def __init__(self, path: Path | str, *, config: dict,
+                 fsync: str = "never") -> None:
+        self.path = Path(path)
+        self._writer = WalWriter(self.path, fsync)
+        self._cursors: dict[str, int] = {}
+        self.events_recorded = 0
+        self.matches_recorded = 0
+        self._writer.append({"t": "meta", "mode": RunMode.LIVE,
+                             "hub": dict(config)})
+
+    # journal protocol (see repro.durability.middleware)
+
+    def log_push(self, events) -> None:
+        events = list(events)
+        if not events:
+            return
+        self._writer.append(
+            {"t": "push", "events": [pack_event(e) for e in events]})
+        self.events_recorded += len(events)
+
+    def log_flush(self) -> None:
+        self._writer.append({"t": "flush"})
+
+    def log_attach(self, attachment) -> None:
+        query = attachment.query
+        options = dict(attachment.engine_options)
+        try:
+            json.dumps(options)
+        except (TypeError, ValueError):
+            # non-JSON options (engine config objects) tune performance,
+            # not output (the engines' equivalence contract); replay
+            # falls back to the engine's defaults
+            options = {}
+        self._writer.append({
+            "t": "attach", "name": attachment.name,
+            "query": query.text,
+            "params": [[k, v] for k, v in (query.params or ())],
+            "engine": attachment.engine,
+            "options": options,
+            "pos": attachment.hub._position})
+
+    def log_detach(self, attachment, drain: bool = True) -> None:
+        self._writer.append({"t": "detach", "name": attachment.name,
+                             "drain": bool(drain)})
+
+    def log_op_end(self) -> None:
+        # hand the operation's batch (push record + its emits) to the OS
+        self._writer.flush_os()
+
+    def handle_match(self, name: str, match):
+        cursor = self._cursors.get(name, 0) + 1
+        self._cursors[name] = cursor
+        self._writer.append({"t": "emit", "a": name, "c": cursor,
+                             "m": match_to_wire(match)})
+        self.matches_recorded += 1
+        return match
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def recording_hub(path: Path | str, *, slack: float = 0.0,
+                  late_policy: str = "drop",
+                  share: Optional[bool] = None, queue_size: int = 1024,
+                  overflow: str = "raise", middleware: Iterable = (),
+                  ) -> tuple[StreamHub, RunLog]:
+    """A hub that records itself.  Extra ``middleware`` composes
+    outside the recorder, so the log captures its effects (what was
+    shed never reaches the log, exactly as it never reached the
+    engines)."""
+    config = {"slack": slack, "late_policy": late_policy, "share": share,
+              "queue_size": queue_size, "overflow": overflow}
+    log = RunLog(path, config=config)
+    hub = StreamHub(slack=slack, late_policy=late_policy, share=share,
+                    queue_size=queue_size, overflow=overflow,
+                    middleware=[*middleware, DurabilityMiddleware(log)])
+    return hub, log
+
+
+class _Collector:
+    """REPLAY-mode journal: assigns cursors exactly like LIVE mode but
+    accumulates emits in memory instead of appending to a log."""
+
+    def __init__(self) -> None:
+        self.emits: dict[str, list[tuple[int, dict]]] = {}
+        self._cursors: dict[str, int] = {}
+
+    def log_push(self, events) -> None:
+        pass
+
+    def log_flush(self) -> None:
+        pass
+
+    def log_op_end(self) -> None:
+        pass
+
+    def log_attach(self, attachment) -> None:
+        pass
+
+    def log_detach(self, attachment, drain: bool = True) -> None:
+        pass
+
+    def handle_match(self, name: str, match):
+        cursor = self._cursors.get(name, 0) + 1
+        self._cursors[name] = cursor
+        self.emits.setdefault(name, []).append(
+            (cursor, _normalize(match_to_wire(match))))
+        return match
+
+
+def load_run(path: Path | str) -> tuple[dict, list[dict]]:
+    """``(hub_config, records)`` of a run log; tolerates a torn tail
+    (the clean prefix is still a valid, shorter run)."""
+    result = read_wal(path)
+    records = result.records
+    if not records or records[0].get("t") != "meta" \
+            or "hub" not in records[0]:
+        raise ReplayError(f"{path} is not a run log (no meta record)")
+    return dict(records[0]["hub"]), records[1:]
+
+
+def replay_run(path: Path | str, *,
+               share: Optional[bool] = None) -> dict:
+    """Re-execute a run log; returns ``{name: [(cursor, match_wire)]}``
+    — the replayed emit streams.  ``share`` overrides the recorded
+    sharing gate (replay across optimizer settings is itself a useful
+    equivalence check; identities must not change)."""
+    config, records = load_run(path)
+    if share is not None:
+        config = dict(config, share=share)
+    collector = _Collector()
+    hub = StreamHub(slack=float(config.get("slack", 0.0)),
+                    late_policy=config.get("late_policy", "drop"),
+                    share=config.get("share"),
+                    queue_size=int(config.get("queue_size", 1024)),
+                    overflow=config.get("overflow", "raise"),
+                    middleware=[DurabilityMiddleware(collector)])
+    for record in records:
+        rtype = record.get("t")
+        if rtype == "push":
+            hub.push_many([unpack_event(obj)
+                           for obj in record.get("events", [])])
+        elif rtype == "attach":
+            if not record.get("query"):
+                raise ReplayError(
+                    f"attachment {record.get('name')!r} was recorded "
+                    f"without query source text; only parsed "
+                    f"MATCH-RECOGNIZE attachments replay")
+            params = dict(tuple(p) for p in record.get("params", []))
+            query = parse_query(record["query"], name=record["name"],
+                                params=params)
+            hub.attach(query, engine=record.get("engine", "sequential"),
+                       name=record["name"], overflow="drop_oldest",
+                       **(record.get("options") or {}))
+        elif rtype == "detach":
+            for attachment in list(hub._attachments):
+                if attachment.name == record.get("name"):
+                    attachment.detach(
+                        drain=bool(record.get("drain", True)))
+                    break
+        elif rtype == "flush":
+            if not hub._flushed:
+                hub.flush()
+        # "emit"/"meta" records replay as no-ops: emits are *outputs*
+    return collector.emits
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of VERIFY mode: recorded vs replayed emit streams."""
+
+    attachments: int = 0
+    matches_recorded: int = 0
+    matches_replayed: int = 0
+    divergences: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "attachments": self.attachments,
+                "matches_recorded": self.matches_recorded,
+                "matches_replayed": self.matches_replayed,
+                "divergences": list(self.divergences)}
+
+
+def verify_run(path: Path | str) -> VerifyReport:
+    """Replay a run log and compare every emitted match — identity
+    (constituent seqs/types), window, and derived attributes — against
+    the recorded emit stream, in cursor order per attachment."""
+    _config, records = load_run(path)
+    recorded: dict[str, list[tuple[int, dict]]] = {}
+    for record in records:
+        if record.get("t") == "emit":
+            recorded.setdefault(record.get("a"), []).append(
+                (int(record.get("c", 0)),
+                 _normalize(record.get("m") or {})))
+    replayed = replay_run(path)
+    report = VerifyReport(
+        attachments=len(set(recorded) | set(replayed)),
+        matches_recorded=sum(len(v) for v in recorded.values()),
+        matches_replayed=sum(len(v) for v in replayed.values()))
+    for name in sorted(set(recorded) | set(replayed)):
+        want = recorded.get(name, [])
+        got = replayed.get(name, [])
+        for index in range(max(len(want), len(got))):
+            if index >= len(want):
+                report.divergences.append(
+                    {"kind": "extra", "attachment": name,
+                     "cursor": got[index][0], "replayed": got[index][1]})
+            elif index >= len(got):
+                report.divergences.append(
+                    {"kind": "missing", "attachment": name,
+                     "cursor": want[index][0],
+                     "recorded": want[index][1]})
+            elif want[index][1] != got[index][1]:
+                report.divergences.append(
+                    {"kind": "mismatch", "attachment": name,
+                     "cursor": want[index][0],
+                     "recorded": want[index][1],
+                     "replayed": got[index][1]})
+    return report

@@ -10,6 +10,13 @@ from repro.events.stream import (
     merge_streams,
     validate_order,
 )
+from repro.events.wire import (
+    WireError,
+    event_from_wire,
+    event_to_wire,
+    match_from_wire,
+    match_to_wire,
+)
 
 __all__ = [
     "Event",
@@ -22,4 +29,9 @@ __all__ = [
     "validate_order",
     "SlackSorter",
     "LateEventError",
+    "WireError",
+    "event_to_wire",
+    "event_from_wire",
+    "match_to_wire",
+    "match_from_wire",
 ]

@@ -108,3 +108,29 @@ class SlackSorter:
         for event in events:
             yield from self.push(event)
         yield from self.flush()
+
+    # -- durability (checkpoint / recovery) --------------------------------
+
+    def state(self) -> dict:
+        """Everything a checkpoint needs to rebuild this sorter:
+        the held-back events (in release order), the maximum timestamp
+        seen, the release horizon, and the late counter."""
+        return {
+            "pending": [event for _key, event in sorted(self._heap)],
+            "max_seen": self._max_seen,
+            "released_key": self._released_key,
+            "late_events": self.late_events,
+        }
+
+    def restore(self, pending: Iterable[Event], max_seen: float,
+                released_key: tuple[float, float],
+                late_events: int = 0) -> None:
+        """Rebuild the buffer from a checkpointed :meth:`state`.  The
+        slack/late-policy configuration is *not* part of the state —
+        the caller constructs the sorter with its own configuration
+        first (recovery reads it from the snapshot's hub section)."""
+        self._heap = [(event.order_key, event) for event in pending]
+        heapq.heapify(self._heap)
+        self._max_seen = max_seen
+        self._released_key = (released_key[0], released_key[1])
+        self.late_events = late_events

@@ -1,0 +1,166 @@
+"""Shared wire codecs for events and complex events.
+
+One JSON shape per object, used identically by the network protocol
+(:mod:`repro.server.protocol`), the write-ahead log and the run
+recorder (:mod:`repro.durability`) — so a match recorded in a WAL is
+byte-compatible with a match streamed to a client, and replaying a
+recorded run re-decodes exactly what the server would have decoded.
+
+Wire shapes
+-----------
+``Event``::
+
+    {"seq": 7, "etype": "A", "timestamp": 7.0, "attributes": {...}}
+
+``ComplexEvent``::
+
+    {"query": "q1", "window": 3, "seqs": [5, 7], "etypes": ["A", "B"],
+     "attributes": {...}}                       # compact form
+    {..., "events": [<event wire>, ...]}        # extended form
+
+The compact form is what protocol frames and WAL ``emit`` records
+carry: it round-trips the match *identity* (query + constituent seqs)
+but degrades constituents to seq/etype skeletons.  The extended form
+(``match_to_wire(match, events=True)``) embeds the full constituent
+events so :func:`match_from_wire` reconstructs a faithful
+:class:`~repro.events.complex_event.ComplexEvent` — the WAL does not
+pay for it on the hot path because a match's constituents are already
+durable in the ``push`` records that carried them.
+
+Attribute values must be JSON-representable; exotic leaves degrade to
+``str()`` at serialization time (the callers' ``json.dumps`` use
+``default=str``), which preserves identity-based comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.events.complex_event import ComplexEvent
+from repro.events.event import Event
+
+__all__ = [
+    "WireError",
+    "event_to_wire",
+    "event_from_wire",
+    "pack_event",
+    "unpack_event",
+    "match_to_wire",
+    "match_from_wire",
+]
+
+
+class WireError(ValueError):
+    """A wire object failed to decode (malformed shape or field type)."""
+
+
+def event_to_wire(event: Event) -> dict:
+    return {"seq": event.seq, "etype": event.etype,
+            "timestamp": event.timestamp,
+            "attributes": dict(event.attributes)}
+
+
+def event_from_wire(obj: Mapping[str, Any],
+                    default_seq: Optional[int] = None) -> Event:
+    """A wire ``event`` object → :class:`Event`.
+
+    ``seq`` may be omitted when the caller assigns sequence numbers
+    (the server passes its next global sequence as ``default_seq``);
+    ``timestamp`` defaults to ``float(seq)`` mirroring
+    :func:`repro.events.event.make_event`.
+    """
+    if not isinstance(obj, Mapping):
+        raise WireError("event must be a JSON object")
+    etype = obj.get("etype")
+    if not isinstance(etype, str) or not etype:
+        raise WireError("event needs a non-empty string 'etype'")
+    seq = obj.get("seq", default_seq)
+    if not isinstance(seq, int) or isinstance(seq, bool):
+        raise WireError("event 'seq' must be an int")
+    timestamp = obj.get("timestamp", float(seq))
+    if isinstance(timestamp, bool) or \
+            not isinstance(timestamp, (int, float)):
+        raise WireError("event 'timestamp' must be a number")
+    attributes = obj.get("attributes", {})
+    if not isinstance(attributes, dict):
+        raise WireError("event 'attributes' must be an object")
+    return Event(seq=seq, etype=etype, timestamp=float(timestamp),
+                 attributes=attributes)
+
+
+def pack_event(event: Event) -> list:
+    """The packed event row ``[seq, etype, timestamp, attributes]`` —
+    same information as :func:`event_to_wire`, but positional and
+    zero-copy on ``attributes``, so building + JSON-encoding a WAL
+    ``push`` record costs a fraction of the dict form.  The row is the
+    WAL's hot-path shape; :func:`unpack_event` accepts both."""
+    return [event.seq, event.etype, event.timestamp, event.attributes]
+
+
+def unpack_event(obj: Any) -> Event:
+    """Decode an event from the packed row or the dict wire form."""
+    if type(obj) is list:
+        if len(obj) != 4:
+            raise WireError("packed event row must have 4 fields")
+        seq, etype, timestamp, attributes = obj
+        if not isinstance(seq, int) or isinstance(seq, bool):
+            raise WireError("event 'seq' must be an int")
+        if not isinstance(etype, str) or not etype:
+            raise WireError("event needs a non-empty string 'etype'")
+        if isinstance(timestamp, bool) or \
+                not isinstance(timestamp, (int, float)):
+            raise WireError("event 'timestamp' must be a number")
+        if not isinstance(attributes, dict):
+            raise WireError("event 'attributes' must be an object")
+        return Event(seq=seq, etype=etype, timestamp=float(timestamp),
+                     attributes=attributes)
+    return event_from_wire(obj)
+
+
+def match_to_wire(match: ComplexEvent, *, events: bool = False) -> dict:
+    wire = {"query": match.query_name,
+            "window": match.window_id,
+            "seqs": list(match.constituent_seqs),
+            "etypes": [event.etype for event in match.constituents],
+            "attributes": dict(match.attributes)}
+    if events:
+        wire["events"] = [event_to_wire(e) for e in match.constituents]
+    return wire
+
+
+def match_from_wire(obj: Mapping[str, Any]) -> ComplexEvent:
+    """A wire ``match`` object → :class:`ComplexEvent`.
+
+    Prefers the durable form's embedded ``events``; without them the
+    constituents are rebuilt as seq/etype skeletons (timestamp =
+    ``float(seq)``, no attributes) — identity-faithful, payload-lossy.
+    """
+    if not isinstance(obj, Mapping):
+        raise WireError("match must be a JSON object")
+    query = obj.get("query")
+    if not isinstance(query, str) or not query:
+        raise WireError("match needs a non-empty string 'query'")
+    events = obj.get("events")
+    if events is not None:
+        if not isinstance(events, list):
+            raise WireError("match 'events' must be a list")
+        constituents = tuple(event_from_wire(e) for e in events)
+    else:
+        seqs = obj.get("seqs")
+        if not isinstance(seqs, list):
+            raise WireError("match needs a 'seqs' list")
+        etypes = obj.get("etypes") or [""] * len(seqs)
+        if not isinstance(etypes, list) or len(etypes) != len(seqs):
+            raise WireError("match 'etypes' must parallel 'seqs'")
+        constituents = tuple(
+            Event(seq=int(seq), etype=str(etype), timestamp=float(seq),
+                  attributes={})
+            for seq, etype in zip(seqs, etypes))
+    attributes = obj.get("attributes") or {}
+    if not isinstance(attributes, dict):
+        raise WireError("match 'attributes' must be an object")
+    window = obj.get("window")
+    return ComplexEvent(query_name=query,
+                        window_id=window if window is not None else -1,
+                        constituents=constituents,
+                        attributes=attributes)

@@ -254,14 +254,18 @@ class AsyncStreamHub:
     def __init__(self, *, slack: float = 0.0, late_policy: str = "drop",
                  queue_size: int = 256,
                  share: Optional[bool] = None,
-                 middleware: Optional[list] = None) -> None:
+                 middleware: Optional[list] = None,
+                 hub: Optional[StreamHub] = None) -> None:
         # sink-less *sync* queues are never used here (every inner
         # attachment gets a staging sink), so the sync bound is moot.
         # The inner hub gets NO middleware: interception happens at
         # this layer, where hooks may be ``async def`` and each chain
-        # link awaits — the sync hub would not await them.
-        self._hub = StreamHub(slack=slack, late_policy=late_policy,
-                              share=share)
+        # link awaits — the sync hub would not await them.  A caller
+        # may wrap a pre-built (e.g. durability-recovered) sync hub via
+        # ``hub=``; its own middleware (synchronous, like the
+        # DurabilityMiddleware) keeps running at the sync layer.
+        self._hub = hub if hub is not None else StreamHub(
+            slack=slack, late_policy=late_policy, share=share)
         self.queue_size = queue_size
         self._attachments: list[AsyncAttachment] = []
         self._stack = MiddlewareStack(middleware or ())

@@ -179,6 +179,7 @@ class HubStats:
     watermark: float
     attachments: tuple[AttachmentStats, ...]
     sharing: Optional[SharingStats] = None
+    durability: Optional[dict] = None  # WAL/checkpoint block (if durable)
 
     @property
     def matches_total(self) -> int:
@@ -202,6 +203,7 @@ class HubStats:
             "attachments": [a.to_dict() for a in self.attachments],
             "sharing": None if self.sharing is None
             else self.sharing.to_dict(),
+            "durability": self.durability,
         }
 
 
@@ -250,6 +252,15 @@ class Attachment:
         self._routed_types = routed_types
         self.events_offered = 0
         self.events_skipped_by_index = 0
+        # durability/recovery state: ``_admit_floor`` keeps a restored
+        # or replayed attachment pending until the stream position it
+        # originally joined at (suffix replay must not open windows the
+        # original run never saw); ``_replay_skip`` filters events a
+        # pre-crash consumption ledger already claimed; ``engine_options``
+        # records the attach-time engine kwargs for durable re-attachment.
+        self._admit_floor: Optional[int] = None
+        self._replay_skip: Optional[frozenset] = None
+        self.engine_options: dict = {}
 
     # -- delivery (hub-internal) ------------------------------------------
 
@@ -264,6 +275,8 @@ class Attachment:
         """Try to admit a pending attachment at ``position``."""
         if self.state != Attachment.PENDING or not self._admits(position):
             return False
+        if self._admit_floor is not None and position < self._admit_floor:
+            return False
         self.state = Attachment.LIVE
         self._live = True
         self.admission_position = position
@@ -276,6 +289,9 @@ class Attachment:
         if not self._live:
             if not self._begin_admission(event, position):
                 return 0
+        if self._replay_skip is not None and \
+                event.seq in self._replay_skip:
+            return 0  # consumed pre-crash; the ledger already spent it
         if self._member is not None:
             # the SharedGroup ingests this event once for every member
             self.events_delivered += 1
@@ -408,7 +424,8 @@ class Attachment:
             "on_detach", lambda ctx: self._detach_raw(drain))
         if chain is None:
             return self._detach_raw(drain)
-        ctx = MiddlewareContext("on_detach", hub=self.hub, attachment=self)
+        ctx = MiddlewareContext("on_detach", hub=self.hub, attachment=self,
+                                drain=drain)
         result = chain(ctx)
         return [] if result is None else result
 
@@ -515,6 +532,13 @@ class StreamHub:
         self._routing = RoutingIndex()
         self._groups: dict[tuple, SharedGroup] = {}
         self._all_groups: list[SharedGroup] = []  # incl. emptied (stats)
+        # durability: when retention is enabled the hub keeps the
+        # released-event suffix (position, event) that a checkpoint
+        # needs to make open windows replayable; the manager trims it
+        # at every checkpoint cut.  ``durability`` is stamped by a
+        # DurabilityManager so stats()/to_dict() can include its block.
+        self._retained: Optional[list[tuple[int, Event]]] = None
+        self.durability: Optional[Any] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -639,6 +663,7 @@ class StreamHub:
             member=member, routed_types=routed_types)
         if member is not None:
             member.attachment = attachment
+        attachment.engine_options = dict(engine_options)
         session.bind_attachment(attachment)
         self._routing.add(name, routed_types)
         self._names.add(name)
@@ -720,6 +745,10 @@ class StreamHub:
         if released:
             first_position = self._position
             self._position += len(released)
+            if self._retained is not None:
+                self._retained.extend(
+                    (first_position + index, event)
+                    for index, event in enumerate(released))
             # classify the chunk once against the routing index; each
             # live routed attachment receives only its interested subset
             buckets = self._routing.buckets(released) \
@@ -748,6 +777,8 @@ class StreamHub:
         for event in released:
             position = self._position
             self._position += 1
+            if self._retained is not None:
+                self._retained.append((position, event))
             for attachment in list(self._attachments):
                 delivered += attachment._offer(event, position)
             if self._groups:
@@ -834,6 +865,83 @@ class StreamHub:
         else:
             self.close()
 
+    # -- durability (checkpoint / recovery) --------------------------------
+
+    def retain_released(self) -> None:
+        """Keep the released-event suffix for checkpointing.  Enabled
+        by the durability manager before the first push; the retained
+        list is trimmed to the checkpoint cut at every snapshot.
+        Entries hold *contiguous* positions (every released event is
+        retained, and trimming only drops a prefix), so suffix and
+        trim are index arithmetic, not scans — checkpoint cost must
+        not grow with the checkpoint interval."""
+        if self._retained is None:
+            self._retained = []
+
+    @property
+    def retained_floor(self) -> int:
+        """Position of the oldest retained released event (equals the
+        current position when nothing is retained)."""
+        if self._retained:
+            return self._retained[0][0]
+        return self._position
+
+    def retained_suffix(self, cut: int) -> list[tuple[int, Event]]:
+        """The retained ``(position, event)`` entries at/after ``cut``."""
+        retained = self._retained
+        if not retained:
+            return []
+        start = cut - retained[0][0]
+        if start <= 0:
+            return list(retained)
+        return retained[start:]
+
+    def trim_retained(self, cut: int) -> None:
+        """Drop retained events below ``cut`` (the checkpoint decided
+        no open window can need them)."""
+        retained = self._retained
+        if retained is None or not retained:
+            return
+        drop = cut - retained[0][0]
+        if drop > 0:
+            del retained[:len(retained) if drop > len(retained)
+                         else drop]
+
+    def restore_ingest_state(self, *, events_pushed: int,
+                             pending: list[Event], max_seen: float,
+                             released_key: tuple[float, float],
+                             late_events: int = 0) -> None:
+        """Recovery: restore the ingestion counters and the sorter's
+        held-back buffer from a snapshot (called after the released
+        suffix has been replayed, so positions line up)."""
+        self.events_pushed = events_pushed
+        self._sorter.restore(pending, max_seen, released_key,
+                             late_events)
+
+    def replay_suffix(self, first_position: int,
+                      events: list[Event]) -> int:
+        """Recovery: re-fan-out already-released events so open
+        windows rebuild their partial matches.  Bypasses the sorter
+        (these events were released before the snapshot) and the
+        middleware chains; emitted matches are expected to be
+        suppressed by the recovery dedup ledger."""
+        self._position = first_position
+        return self._fan_out(events, raise_backpressure=False)
+
+    def ingest_replay(self, events: Iterable[Event]) -> int:
+        """Recovery: re-push WAL-tail events through the shared sorter
+        and fan-out, bypassing the middleware chains (their effects —
+        shedding, validation rewrites — are baked into the logged
+        events) and the backpressure raise (consumers are not running
+        during recovery)."""
+        released: list[Event] = []
+        count = 0
+        for event in events:
+            released.extend(self._sorter.push(event))
+            count += 1
+        self.events_pushed += count
+        return self._fan_out(released, raise_backpressure=False)
+
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> HubStats:
@@ -848,6 +956,8 @@ class StreamHub:
             pending_reorder=self._sorter.pending,
             watermark=self.watermark,
             attachments=tuple(a.stats() for a in everyone),
+            durability=None if self.durability is None
+            else self.durability.stats_dict(),
             sharing=SharingStats(
                 enabled=self._share,
                 groups=len(groups),

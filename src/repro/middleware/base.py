@@ -96,12 +96,13 @@ class MiddlewareContext:
     """
 
     __slots__ = ("hook", "event", "events", "match", "error", "sink",
-                 "session", "hub", "attachment", "query", "name", "engine")
+                 "session", "hub", "attachment", "query", "name", "engine",
+                 "drain")
 
     def __init__(self, hook: str = "", *, event=None, events=None,
                  match=None, error=None, sink=None, session=None,
                  hub=None, attachment=None, query=None, name=None,
-                 engine=None) -> None:
+                 engine=None, drain=None) -> None:
         self.hook = hook
         self.event = event
         self.events = events
@@ -114,6 +115,7 @@ class MiddlewareContext:
         self.query = query
         self.name = name
         self.engine = engine
+        self.drain = drain
 
     @property
     def watermark(self) -> Optional[float]:

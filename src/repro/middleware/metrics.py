@@ -234,6 +234,25 @@ class MetricsMiddleware(Middleware):
         labelnames = ("scope",) * len(labels)
         self.registry.gauge(path, labelnames=labelnames).set(value, labels)
 
+    def observe_durability(self, durability: dict) -> None:
+        """Set the durability gauges from a manager's ``stats_dict()``
+        (the registry prefix makes them ``repro_wal_bytes``,
+        ``repro_checkpoint_age_seconds``,
+        ``repro_recovery_replayed_events``)."""
+        recovery = durability.get("recovery") or {}
+        self.registry.gauge(
+            "wal_bytes",
+            "Bytes across all live WAL segments").set(
+            float(durability.get("wal_bytes", 0)))
+        self.registry.gauge(
+            "checkpoint_age_seconds",
+            "Seconds since the last snapshot checkpoint").set(
+            float(durability.get("checkpoint_age_seconds", 0.0)))
+        self.registry.gauge(
+            "recovery_replayed_events",
+            "Events replayed by the last crash recovery").set(
+            float(recovery.get("replayed_events", 0)))
+
     # -- convenience -------------------------------------------------------
 
     def snapshot(self) -> dict[str, dict[str, float]]:

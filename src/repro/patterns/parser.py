@@ -40,7 +40,7 @@ regardless of type.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional
 
 from repro.patterns.ast import (
@@ -480,7 +480,7 @@ def parse_query(text: str, name: str = "query",
     if anchored is None:
         anchored = start_kind == "symbol" and start_value == first_symbol
 
-    return make_query(
+    query = make_query(
         name=name,
         pattern=pattern,
         window=window,
@@ -491,6 +491,10 @@ def parse_query(text: str, name: str = "query",
         description=text.strip(),
         compile=compiled,
     )
+    # stamp provenance so the durability layer can re-attach this
+    # query from its source after a restart
+    return replace(query, text=text,
+                   params=tuple(sorted(params.items())))
 
 
 def render_query_text(pattern: PatternElement, window: WindowSpec,

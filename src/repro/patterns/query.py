@@ -20,7 +20,7 @@ pattern-detection task:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.events.event import Event
 from repro.matching.base import Detector
@@ -67,6 +67,19 @@ class Query:
     pattern: Optional[PatternElement] = None
     plan: Optional[QueryPlan] = None
     nfa_options: Optional[NFAOptions] = None
+    # provenance: the MATCH-RECOGNIZE source text and parameter
+    # bindings this query was parsed from (stamped by ``parse_query``;
+    # None for hand-constructed queries).  The durability layer
+    # re-attaches durable queries from these after a restart; params
+    # are stored as sorted (key, value) pairs to keep Query hashable.
+    text: Optional[str] = None
+    params: Optional[tuple[tuple[str, Any], ...]] = None
+
+    @property
+    def params_map(self) -> dict:
+        """The parse-time parameter bindings as a dict (empty when the
+        query was not parsed from text or took no parameters)."""
+        return dict(self.params or ())
 
     def new_detector(self, start_event: Event) -> Detector:
         """Fresh detector for a window starting at ``start_event``."""

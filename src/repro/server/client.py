@@ -177,7 +177,13 @@ class ServerClient:
                         name: Optional[str] = None,
                         engine: Optional[str] = None,
                         params: Optional[Mapping[str, Any]] = None,
-                        watermarks: bool = False) -> str:
+                        watermarks: bool = False,
+                        durable: bool = False,
+                        resume_from: Optional[int] = None) -> str:
+        """Subscribe a query; with ``durable=True`` (needs ``name``)
+        the server keeps the attachment and its WAL-logged match
+        cursor across disconnects and restarts — pass the last seen
+        cursor as ``resume_from`` to replay the gap exactly once."""
         frame: dict = {"type": "subscribe", "query": query}
         if name:
             frame["name"] = name
@@ -187,8 +193,31 @@ class ServerClient:
             frame["params"] = dict(params)
         if watermarks:
             frame["watermarks"] = True
+        if durable:
+            frame["durable"] = True
+        if resume_from is not None:
+            frame["resume_from"] = int(resume_from)
         ack = await self.request(frame)
         return ack["subscription"]
+
+    async def subscribe_durable(self, query: str, *, name: str,
+                                engine: Optional[str] = None,
+                                params: Optional[Mapping[str, Any]] = None,
+                                resume_from: Optional[int] = None,
+                                watermarks: bool = False) -> dict:
+        """Like :meth:`subscribe` with ``durable=True`` but returns the
+        full ack (including the current durable ``cursor``)."""
+        frame: dict = {"type": "subscribe", "query": query,
+                       "name": name, "durable": True}
+        if engine:
+            frame["engine"] = engine
+        if params:
+            frame["params"] = dict(params)
+        if watermarks:
+            frame["watermarks"] = True
+        if resume_from is not None:
+            frame["resume_from"] = int(resume_from)
+        return await self.request(frame)
 
     async def unsubscribe(self, subscription: str) -> dict:
         return await self.request({"type": "unsubscribe",

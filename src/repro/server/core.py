@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.durability.manager import DurabilityManager
 from repro.hub.aio import AsyncAttachment, AsyncStreamHub
 from repro.hub.core import HubClosedError
 from repro.middleware.base import (
@@ -60,6 +61,7 @@ from repro.server.protocol import (
     event_from_wire,
     goodbye_frame,
     match_frame,
+    match_frame_wire,
     stats_frame,
     validate_request,
     watermark_frame,
@@ -67,7 +69,7 @@ from repro.server.protocol import (
 
 __all__ = ["ServerConfig", "ServerBusy", "AuthError",
            "AuthAttachMiddleware", "ClientSession", "ServerCore",
-           "Connection"]
+           "Connection", "DurableOutbox", "DurableSubscription"]
 
 _CLOSE = object()  # outbox sentinel: sender task exits after this
 
@@ -108,6 +110,9 @@ class ServerConfig:
     share: Optional[bool] = None     # cross-query optimizer gate
     drain_timeout: float = 10.0      # seconds to wait for pumps on drain
     middleware: tuple = ()           # extra hub-level middleware
+    wal_dir: Optional[str] = None    # durability: WAL + snapshot directory
+    checkpoint_every: int = 10_000   # ingested events between checkpoints
+    wal_fsync: str = "batch"         # "always" | "batch" | "never"
 
     def authorized(self, token: Optional[str]) -> bool:
         if self.token_check is not None:
@@ -147,6 +152,8 @@ class Subscription:
     __slots__ = ("name", "attachment", "task", "watermarks",
                  "last_watermark", "matches_sent")
 
+    durable = False
+
     def __init__(self, name: str, attachment: AsyncAttachment,
                  watermarks: bool) -> None:
         self.name = name
@@ -155,6 +162,78 @@ class Subscription:
         self.watermarks = watermarks
         self.last_watermark = float("-inf")
         self.matches_sent = 0
+
+
+class DurableOutbox:
+    """Sink of one durable attachment on the *inner* (sync, WAL-logged)
+    hub.  The durability middleware assigns the match's cursor and
+    appends the ``emit`` record just before sink dispatch, so reading
+    ``manager.cursor(name)`` here yields exactly this match's cursor.
+
+    At most one consumer at a time holds the outbox (its pump's
+    asyncio queue); with none connected — or one too slow to keep up —
+    matches are *not* parked: they are already durable in the WAL, and
+    a resuming consumer replays the gap from there by cursor.
+    """
+
+    __slots__ = ("name", "manager", "queue", "attachment",
+                 "delivered", "dropped")
+
+    def __init__(self, name: str, manager: DurabilityManager) -> None:
+        self.name = name
+        self.manager = manager
+        self.queue: Optional[asyncio.Queue] = None
+        self.attachment = None       # the inner sync Attachment
+        self.delivered = 0
+        self.dropped = 0
+
+    def __call__(self, match) -> None:
+        queue = self.queue
+        if queue is None:
+            return
+        cursor = self.manager.cursor(self.name)
+        try:
+            queue.put_nowait((cursor, match))
+        except asyncio.QueueFull:
+            # keep the newest: the consumer detects the cursor gap and
+            # can re-resume from the WAL
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            queue.put_nowait((cursor, match))
+            self.dropped += 1
+        self.delivered += 1
+
+
+class DurableSubscription:
+    """One client's live hold on a durable attachment.
+
+    Unlike :class:`Subscription`, the attachment is *not* torn down on
+    disconnect — it survives on the inner hub (and in the WAL) and the
+    next consumer resumes from its cursor.  ``unsubscribe`` detaches it
+    for real.
+    """
+
+    __slots__ = ("name", "outbox", "task", "watermarks",
+                 "last_watermark", "matches_sent", "resume_from",
+                 "cursor_start", "last_cursor")
+
+    durable = True
+
+    def __init__(self, name: str, outbox: DurableOutbox,
+                 watermarks: bool, resume_from: Optional[int],
+                 cursor_start: int) -> None:
+        self.name = name
+        self.outbox = outbox
+        self.task: Optional[asyncio.Task] = None
+        self.watermarks = watermarks
+        self.last_watermark = float("-inf")
+        self.matches_sent = 0
+        self.resume_from = resume_from
+        self.cursor_start = cursor_start
+        self.last_cursor = resume_from if resume_from is not None else \
+            cursor_start
 
 
 class ClientSession:
@@ -214,10 +293,35 @@ class ServerCore:
             self.ratelimit = RateLimitMiddleware(
                 config.client_rate, burst=config.client_burst,
                 key=lambda ctx: ctx.name or "server")
+        self._next_seq = 0           # auto-assigned event sequence floor
+        self.durability: Optional[DurabilityManager] = None
+        self._durable_outboxes: dict[str, DurableOutbox] = {}
+        inner_hub = None
+        if config.wal_dir is not None:
+            # client subscriptions default non-durable: only explicit
+            # durable/<name> attachments are restored after a crash
+            self.durability = DurabilityManager(
+                config.wal_dir, checkpoint_every=config.checkpoint_every,
+                fsync=config.wal_fsync, default_durable=False)
+            self.durability.extra_provider = \
+                lambda: {"next_seq": self._next_seq}
+            inner_hub = self.durability.start(
+                slack=config.slack, queue_size=config.queue_size,
+                share=config.share, sink_provider=self._durable_sink)
+            self._next_seq = max(
+                int(self.durability.recovered_extra.get("next_seq", 0)),
+                self.durability.max_replayed_seq + 1)
         self.hub = AsyncStreamHub(
             slack=config.slack, queue_size=config.queue_size,
-            share=config.share,
+            share=config.share, hub=inner_hub,
             middleware=[self.auth, self.metrics, *config.middleware])
+        if self.durability is not None:
+            # bind restored durable attachments to their outboxes (the
+            # sink_provider ran before the attachment object existed)
+            for attachment in self.hub._hub.attachments:
+                outbox = self._durable_outboxes.get(attachment.name)
+                if outbox is not None:
+                    outbox.attachment = attachment
         self.clients: dict[str, ClientSession] = {}
         self.draining = False
         self.flushed = False
@@ -225,7 +329,6 @@ class ServerCore:
         self.clients_total = 0
         self.clients_rejected = 0
         self._next_client = 0
-        self._next_seq = 0           # auto-assigned event sequence floor
         self._attaching_client: Optional[ClientSession] = None
         reg = self.metrics.registry
         self._gauge_clients = reg.gauge(
@@ -242,6 +345,14 @@ class ServerCore:
             "server_frames_out_total", "Response frames queued")
         self._counter_matches = reg.counter(
             "server_matches_sent_total", "Match frames queued")
+
+    def _durable_sink(self, record: dict):
+        """Recovery hook: give each restored durable attachment a fresh
+        outbox (no consumer yet; matches stay WAL-only until one
+        resumes)."""
+        outbox = DurableOutbox(record["name"], self.durability)
+        self._durable_outboxes[record["name"]] = outbox
+        return outbox
 
     # -- connection lifecycle ---------------------------------------------
 
@@ -283,7 +394,13 @@ class ServerCore:
                     await sub.task
                 except (asyncio.CancelledError, Exception):
                     pass
-            await sub.attachment.abandon()
+            if sub.durable:
+                # the attachment outlives the consumer: unregister the
+                # queue, keep matching (and WAL-logging) for the next
+                # resume
+                sub.outbox.queue = None
+            else:
+                await sub.attachment.abandon()
         session.subscriptions.clear()
 
     def _client_push_chain(self):
@@ -363,6 +480,9 @@ class ServerCore:
 
     async def _handle_subscribe(self, session: ClientSession,
                                 frame: dict, rid) -> None:
+        if frame.get("durable") or frame.get("resume_from") is not None:
+            await self._handle_subscribe_durable(session, frame, rid)
+            return
         if len(session.subscriptions) >= self.config.max_subscriptions:
             await session.send(error_frame(
                 "limit", f"client is at max_subscriptions="
@@ -395,6 +515,68 @@ class ServerCore:
             "subscribe", rid, subscription=name,
             query=attachment.query.name, engine=engine))
 
+    async def _handle_subscribe_durable(self, session: ClientSession,
+                                        frame: dict, rid) -> None:
+        """Durable subscription: the attachment lives on the *inner*
+        (WAL-logged) hub under the shared ``durable/<name>`` namespace,
+        survives disconnects and server restarts, and every emitted
+        match carries its durable cursor.  ``resume_from: C`` first
+        replays the logged matches with cursor > C from the WAL, then
+        hands over to the live stream — exactly once by cursor."""
+        if self.durability is None:
+            raise ProtocolError(
+                "bad_query", "durable subscriptions need a server WAL "
+                             "directory (serve --wal DIR)")
+        name = frame.get("name")
+        if not name:
+            raise ProtocolError(
+                "bad_query", "durable subscriptions need an explicit "
+                             "'name' (it is the resume key)")
+        if name in session.subscriptions:
+            raise ProtocolError(
+                "limit", f"subscription {name!r} already exists")
+        if len(session.subscriptions) >= self.config.max_subscriptions:
+            raise ProtocolError(
+                "limit", f"client is at max_subscriptions="
+                         f"{self.config.max_subscriptions}")
+        if not session.authenticated:
+            raise AuthError(
+                f"client {session.client_id} is not authenticated")
+        full_name = f"durable/{name}"
+        outbox = self._durable_outboxes.get(full_name)
+        if outbox is None:
+            outbox = DurableOutbox(full_name, self.durability)
+            engine = frame.get("engine") or self.config.engine
+            self.durability.set_durable(True)
+            try:
+                outbox.attachment = self.hub._hub.attach(
+                    frame["query"], engine=engine, name=full_name,
+                    params=frame.get("params"), sink=outbox)
+            except (ValueError, KeyError, TypeError, SyntaxError) as error:
+                raise ProtocolError(
+                    "bad_query", f"subscribe failed: {error}") from None
+            self._durable_outboxes[full_name] = outbox
+        elif outbox.queue is not None:
+            raise ProtocolError(
+                "limit", f"durable subscription {name!r} already has a "
+                         f"consumer")
+        resume_from = frame.get("resume_from")
+        cursor_start = self.durability.cursor(full_name)
+        # register before any await: every match from here on lands in
+        # the queue with cursor > cursor_start, so WAL replay up to
+        # cursor_start + the queue is gapless and duplicate-free
+        outbox.queue = asyncio.Queue(maxsize=self.config.queue_size)
+        sub = DurableSubscription(name, outbox,
+                                  bool(frame.get("watermarks")),
+                                  resume_from, cursor_start)
+        session.subscriptions[name] = sub
+        sub.task = asyncio.ensure_future(self._pump_durable(session, sub))
+        await session.send(ack_frame(
+            "subscribe", rid, subscription=name, durable=True,
+            cursor=cursor_start,
+            engine=outbox.attachment.engine if outbox.attachment
+            else None))
+
     async def _handle_unsubscribe(self, session: ClientSession,
                                   frame: dict, rid) -> None:
         sub = session.subscriptions.pop(frame["subscription"], None)
@@ -402,6 +584,24 @@ class ServerCore:
             await session.send(error_frame(
                 "unknown", f"no subscription "
                            f"{frame['subscription']!r}", rid))
+            return
+        if sub.durable:
+            # durable unsubscribe is the real teardown: detach on the
+            # inner hub (drain flushes trailing windows through the
+            # outbox, WAL-logged), end the pump, drop the outbox
+            outbox = sub.outbox
+            matches = []
+            if outbox.attachment is not None:
+                matches = outbox.attachment.detach(drain=True)
+            if outbox.queue is not None:
+                outbox.queue.put_nowait(None)
+            if sub.task is not None:
+                await sub.task
+            outbox.queue = None
+            self._durable_outboxes.pop(outbox.name, None)
+            await session.send(ack_frame(
+                "unsubscribe", rid, subscription=sub.name,
+                matches_flushed=len(matches)))
             return
         # graceful: trailing windows flush, the pump delivers them and
         # the final watermark, then we ack
@@ -439,6 +639,9 @@ class ServerCore:
             result = await session.push_chain(ctx)
             accepted = 0 if result is None else result
         session.events_shed += len(events) - accepted
+        if self.durability is not None:
+            # between pushes the hub is quiesced: safe snapshot point
+            self.durability.maybe_checkpoint()
         await self._emit_watermarks()
         return accepted
 
@@ -464,6 +667,14 @@ class ServerCore:
             return
         self.flushed = True
         delivered = await self.hub.flush()
+        if self.durability is not None:
+            # flush is end-of-stream: checkpoint the flushed state and
+            # end the durable pumps (their trailing matches are queued
+            # ahead of the sentinel) so consumers see a final watermark
+            self.durability.checkpoint()
+            for outbox in self._durable_outboxes.values():
+                if outbox.queue is not None:
+                    outbox.queue.put_nowait(None)
         await self._emit_watermarks(final=False)
         await session.send(ack_frame("flush", rid, delivered=delivered))
 
@@ -486,6 +697,52 @@ class ServerCore:
                 await session.send(match_frame(sub.name, match))
             await session.send(watermark_frame(
                 sub.name, sub.attachment.watermark, final=True))
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass  # connection torn down mid-send; disconnect() cleans up
+
+    async def _pump_durable(self, session: ClientSession,
+                            sub: DurableSubscription) -> None:
+        """Deliver one durable subscription: first the WAL-replayed
+        resume range ``(resume_from, cursor_start]``, then the live
+        queue, skipping anything at or below the last sent cursor (the
+        two can overlap by at most the registration instant).  Ends on
+        unsubscribe/shutdown (``None`` sentinel) with a final
+        watermark frame."""
+        outbox = sub.outbox
+        try:
+            if sub.resume_from is not None:
+                for cursor, wire in self.durability.read_emits(
+                        outbox.name, after=sub.resume_from,
+                        upto=sub.cursor_start):
+                    sub.matches_sent += 1
+                    session.matches_out += 1
+                    self._counter_matches.inc()
+                    sub.last_cursor = cursor
+                    await session.send(match_frame_wire(
+                        sub.name, wire, cursor=cursor))
+            while True:
+                queue = outbox.queue
+                if queue is None:
+                    return
+                item = await queue.get()
+                if item is None:
+                    break
+                cursor, match = item
+                if cursor <= sub.last_cursor:
+                    continue
+                sub.matches_sent += 1
+                session.matches_out += 1
+                self._counter_matches.inc()
+                sub.last_cursor = cursor
+                await session.send(match_frame(sub.name, match,
+                                               cursor=cursor))
+            await session.send(watermark_frame(
+                sub.name,
+                outbox.attachment.watermark
+                if outbox.attachment is not None else float("-inf"),
+                final=True))
         except asyncio.CancelledError:
             raise
         except (ConnectionError, OSError):
@@ -519,6 +776,7 @@ class ServerCore:
             "events_shed": 0 if self.ratelimit is None
             else self.ratelimit.shed_total,
             "auth_refused": self.auth.refused_total,
+            "durable_subscriptions": len(self._durable_outboxes),
         }
 
     def render_metrics(self) -> str:
@@ -529,6 +787,8 @@ class ServerCore:
             len(s.subscriptions) for s in self.clients.values())))
         self._gauge_draining.set(float(self.draining))
         self.metrics.observe_stats(self.hub.stats())
+        if self.durability is not None:
+            self.metrics.observe_durability(self.durability.stats_dict())
         return self.metrics.render()
 
     # -- graceful drain ----------------------------------------------------
@@ -545,6 +805,17 @@ class ServerCore:
         except Exception:
             self.hub.abort()
         self.flushed = True
+        if self.durability is not None:
+            # the flush's trailing matches are in the queues; end the
+            # durable pumps, then persist the flushed state so a
+            # restart resumes instantly
+            for outbox in self._durable_outboxes.values():
+                if outbox.queue is not None:
+                    outbox.queue.put_nowait(None)
+            try:
+                self.durability.close(checkpoint=True)
+            except Exception:
+                self.durability.close(checkpoint=False)
         pumps = [sub.task
                  for session in self.clients.values()
                  for sub in session.subscriptions.values()

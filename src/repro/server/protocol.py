@@ -60,6 +60,13 @@ from typing import Any, Mapping, Optional
 
 from repro.events.complex_event import ComplexEvent
 from repro.events.event import Event
+from repro.events.wire import (
+    WireError,
+    event_to_wire,
+    match_from_wire,
+    match_to_wire,
+)
+from repro.events.wire import event_from_wire as _event_from_wire
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -71,9 +78,11 @@ __all__ = [
     "event_to_wire",
     "event_from_wire",
     "match_to_wire",
+    "match_from_wire",
     "ack_frame",
     "error_frame",
     "match_frame",
+    "match_frame_wire",
     "watermark_frame",
     "goodbye_frame",
     "stats_frame",
@@ -147,7 +156,13 @@ REQUEST_FIELDS: dict[str, dict[str, tuple[tuple, bool]]] = {
               "client": ((str,), False)},
     "subscribe": {"query": ((str,), True), "name": ((str,), False),
                   "engine": ((str,), False), "params": ((dict,), False),
-                  "watermarks": ((bool,), False)},
+                  "watermarks": ((bool,), False),
+                  # durability: a durable subscription survives its
+                  # client (and server restarts under --wal); the
+                  # server acks it with the current match cursor and
+                  # ``resume_from`` replays the missed suffix
+                  "durable": ((bool,), False),
+                  "resume_from": ((int,), False)},
     "unsubscribe": {"subscription": ((str,), True)},
     "push": {"event": ((dict,), True), "ack": ((bool,), False)},
     "push_many": {"events": ((list,), True)},
@@ -188,12 +203,9 @@ def validate_request(frame: dict) -> str:
 
 
 # -- event / match codec ---------------------------------------------------
-
-def event_to_wire(event: Event) -> dict:
-    return {"seq": event.seq, "etype": event.etype,
-            "timestamp": event.timestamp,
-            "attributes": dict(event.attributes)}
-
+# The codecs live in repro.events.wire (shared with the WAL and the run
+# recorder); this module re-exports them and maps decode failures onto
+# the protocol's error-code taxonomy.
 
 def event_from_wire(obj: Mapping[str, Any],
                     default_seq: Optional[int] = None) -> Event:
@@ -203,34 +215,10 @@ def event_from_wire(obj: Mapping[str, Any],
     sequence number via ``default_seq``); ``timestamp`` defaults to
     ``float(seq)`` mirroring :func:`repro.events.event.make_event`.
     """
-    if not isinstance(obj, Mapping):
-        raise ProtocolError("protocol", "event must be a JSON object")
-    etype = obj.get("etype")
-    if not isinstance(etype, str) or not etype:
-        raise ProtocolError("protocol",
-                            "event needs a non-empty string 'etype'")
-    seq = obj.get("seq", default_seq)
-    if not isinstance(seq, int) or isinstance(seq, bool):
-        raise ProtocolError("protocol", "event 'seq' must be an int")
-    timestamp = obj.get("timestamp", float(seq))
-    if isinstance(timestamp, bool) or \
-            not isinstance(timestamp, (int, float)):
-        raise ProtocolError("protocol", "event 'timestamp' must be a "
-                                        "number")
-    attributes = obj.get("attributes", {})
-    if not isinstance(attributes, dict):
-        raise ProtocolError("protocol", "event 'attributes' must be an "
-                                        "object")
-    return Event(seq=seq, etype=etype, timestamp=float(timestamp),
-                 attributes=attributes)
-
-
-def match_to_wire(match: ComplexEvent) -> dict:
-    return {"query": match.query_name,
-            "window": match.window_id,
-            "seqs": list(match.constituent_seqs),
-            "etypes": [event.etype for event in match.constituents],
-            "attributes": dict(match.attributes)}
+    try:
+        return _event_from_wire(obj, default_seq)
+    except WireError as error:
+        raise ProtocolError("protocol", str(error)) from None
 
 
 # -- response builders -----------------------------------------------------
@@ -251,9 +239,28 @@ def error_frame(code: str, message: str, rid=None) -> dict:
                     rid)
 
 
-def match_frame(subscription: str, match: ComplexEvent) -> dict:
-    return {"type": "match", "subscription": subscription,
-            "match": match_to_wire(match)}
+def match_frame(subscription: str, match: ComplexEvent,
+                cursor: Optional[int] = None) -> dict:
+    frame = {"type": "match", "subscription": subscription,
+             "match": match_to_wire(match)}
+    if cursor is not None:
+        frame["cursor"] = cursor
+    return frame
+
+
+def match_frame_wire(subscription: str, wire: dict,
+                     cursor: Optional[int] = None) -> dict:
+    """A ``match`` frame from an already-encoded wire match (the resume
+    path re-frames matches stored in the WAL without reconstructing
+    :class:`ComplexEvent` objects); any extended-form embedded
+    ``events`` are stripped to keep resumed frames shaped like live
+    ones."""
+    wire = {k: v for k, v in wire.items() if k != "events"}
+    frame = {"type": "match", "subscription": subscription,
+             "match": wire}
+    if cursor is not None:
+        frame["cursor"] = cursor
+    return frame
 
 
 def watermark_frame(subscription: str, watermark: float,

@@ -1,0 +1,202 @@
+"""LIVE/REPLAY/VERIFY run recording: determinism as a testable
+artifact.  A recorded run must replay bit-identically on match
+identities; ``verify_run`` must accept the genuine log and reject any
+injected divergence; the CLI must surface that as its exit code."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.datasets import generate_nyse, save_events_csv
+from repro.durability import (
+    ReplayError,
+    recording_hub,
+    replay_run,
+    verify_run,
+)
+from repro.durability.wal import WalWriter, read_wal
+from repro.patterns.parser import parse_query
+
+BAND_TEXT = """PATTERN (A B)
+DEFINE
+    A AS (A.closePrice > lowerLimit AND A.closePrice < upperLimit),
+    B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit)
+WITHIN 40 events FROM every 20 events"""
+
+WIDE_TEXT = BAND_TEXT.replace("WITHIN 40", "WITHIN 60")
+PARAMS = {"lowerLimit": 49.95, "upperLimit": 50.3}
+EVENTS = generate_nyse(700, n_symbols=12, n_leading=8, seed=41)
+
+
+def record_run(path, *, share=None, engines=("sequential", "spectre"),
+               detach_mid=False):
+    """One LIVE run over the shared workload; returns the live match
+    wires per attachment (cursor order)."""
+    hub, log = recording_hub(path, share=share)
+    live: dict[str, list] = {"band": [], "wide": []}
+    hub.attach(parse_query(BAND_TEXT, name="band", params=PARAMS),
+               engine=engines[0], name="band",
+               sink=lambda ce: live["band"].append(ce))
+    hub.attach(parse_query(WIDE_TEXT, name="wide", params=PARAMS),
+               engine=engines[1], name="wide",
+               sink=lambda ce: live["wide"].append(ce))
+    for index, event in enumerate(EVENTS):
+        if detach_mid and index == 400:
+            for attachment in list(hub._attachments):
+                if attachment.name == "wide":
+                    attachment.detach(drain=False)
+        hub.push(event)
+    hub.close()
+    log.close()
+    return live
+
+
+def test_record_then_replay_bit_identical(tmp_path):
+    path = tmp_path / "run.wal"
+    live = record_run(path)
+    replayed = replay_run(path)
+    for name in ("band", "wide"):
+        want = [list(ce.constituent_seqs) for ce in live[name]]
+        got = [wire["seqs"] for _cursor, wire in replayed[name]]
+        assert got == want, name
+        cursors = [cursor for cursor, _wire in replayed[name]]
+        assert cursors == list(range(1, len(cursors) + 1))
+    assert verify_run(path).ok
+
+
+def test_verify_reports_clean_run(tmp_path):
+    path = tmp_path / "run.wal"
+    live = record_run(path)
+    report = verify_run(path)
+    assert report.ok and not report.divergences
+    assert report.matches_recorded == sum(len(v) for v in live.values())
+    assert report.matches_recorded == report.matches_replayed
+    assert report.attachments == 2
+    assert report.to_dict()["ok"] is True
+
+
+def test_replay_share_override_preserves_identities(tmp_path):
+    """Replaying under the opposite optimizer setting is itself an
+    equivalence check — identities must not move."""
+    path = tmp_path / "run.wal"
+    record_run(path, share=True)
+    assert [w["seqs"] for _c, w in replay_run(path, share=False)["band"]] \
+        == [w["seqs"] for _c, w in replay_run(path, share=True)["band"]]
+
+
+def test_detach_mid_stream_replays_faithfully(tmp_path):
+    path = tmp_path / "run.wal"
+    live = record_run(path, detach_mid=True)
+    replayed = replay_run(path)
+    assert [w["seqs"] for _c, w in replayed.get("wide", [])] == \
+        [list(ce.constituent_seqs) for ce in live["wide"]]
+    assert [w["seqs"] for _c, w in replayed["band"]] == \
+        [list(ce.constituent_seqs) for ce in live["band"]]
+
+
+def _rewrite_log(path, mutate):
+    """Round-trip the run log through ``mutate(records) -> records``."""
+    records = read_wal(path).records
+    records = mutate(records)
+    path.unlink()
+    writer = WalWriter(path, "never")
+    for record in records:
+        writer.append(record)
+    writer.close()
+
+
+def test_verify_detects_forged_emit(tmp_path):
+    path = tmp_path / "run.wal"
+    record_run(path)
+
+    def forge(records):
+        for record in records:
+            if record.get("t") == "emit" and record.get("a") == "band":
+                record["m"]["seqs"] = [9999] + record["m"]["seqs"][1:]
+                break
+        return records
+
+    _rewrite_log(path, forge)
+    report = verify_run(path)
+    assert not report.ok
+    assert any(d["kind"] == "mismatch" for d in report.divergences)
+
+
+def test_verify_detects_missing_and_extra(tmp_path):
+    path = tmp_path / "run.wal"
+    record_run(path)
+
+    def drop_last_emit(records):
+        for index in range(len(records) - 1, -1, -1):
+            if records[index].get("t") == "emit":
+                del records[index]
+                return records
+        return records
+
+    _rewrite_log(path, drop_last_emit)
+    report = verify_run(path)
+    assert not report.ok
+    assert any(d["kind"] == "extra" for d in report.divergences)
+
+    def add_bogus_emit(records):
+        records.append({"t": "emit", "a": "band", "c": 9_999,
+                        "m": {"query": "band", "window": 9_999,
+                              "seqs": [1, 2], "etypes": ["quote", "quote"],
+                              "attributes": {}}})
+        return records
+
+    _rewrite_log(path, add_bogus_emit)
+    report = verify_run(path)
+    assert any(d["kind"] == "missing" for d in report.divergences)
+
+
+def test_replay_rejects_non_run_log(tmp_path):
+    path = tmp_path / "not-a-run.wal"
+    writer = WalWriter(path, "never")
+    writer.append({"t": "push", "events": []})
+    writer.close()
+    with pytest.raises(ReplayError):
+        replay_run(path)
+
+
+def test_cli_record_replay_verify_roundtrip(tmp_path, capsys):
+    data = tmp_path / "quotes.csv"
+    save_events_csv(EVENTS, data)
+    qfile = tmp_path / "band.sql"
+    qfile.write_text(BAND_TEXT)
+    run_log = tmp_path / "run.wal"
+
+    assert cli_main(["record", "--out", str(run_log),
+                     "--query", f"band={qfile}", "--data", str(data),
+                     "--quiet", "--param", "lowerLimit=49.95",
+                     "--param", "upperLimit=50.3"]) == 0
+    recorded = capsys.readouterr().out
+    assert "recorded 700 events" in recorded
+
+    assert cli_main(["replay", "--run", str(run_log)]) == 0
+    assert cli_main(["verify-run", "--run", str(run_log)]) == 0
+    out = capsys.readouterr().out
+    assert "OK: replay identical" in out
+
+    # forge the log: the CLI must exit non-zero and say why
+    def forge(records):
+        for record in records:
+            if record.get("t") == "emit":
+                record["m"]["seqs"] = [123456]
+                break
+        return records
+
+    _rewrite_log(run_log, forge)
+    assert cli_main(["verify-run", "--run", str(run_log)]) == 1
+    assert "DIVERGED" in capsys.readouterr().out
+
+
+def test_run_log_meta_is_first_record(tmp_path):
+    path = tmp_path / "run.wal"
+    record_run(path)
+    first = read_wal(path).records[0]
+    assert first["t"] == "meta" and first["mode"] == "live"
+    assert json.dumps(first["hub"])  # hub config is JSON-able

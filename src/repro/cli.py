@@ -340,6 +340,20 @@ def cmd_serve_network(args: argparse.Namespace) -> int:
     if args.trace is not None:
         trace = TraceMiddleware(capacity=args.trace)
         middleware.append(trace)
+    chaos = None
+    if (args.chaos_drop or args.chaos_dup or args.chaos_delay or
+            args.chaos_sink_error or args.chaos_wal_fail or
+            args.chaos_reset_after):
+        from repro.resilience import ChaosConfig
+        chaos = ChaosConfig(
+            seed=args.chaos_seed,
+            drop_rate=args.chaos_drop,
+            dup_rate=args.chaos_dup,
+            delay_rate=args.chaos_delay,
+            sink_error_rate=args.chaos_sink_error,
+            wal_fail_rate=args.chaos_wal_fail,
+            reset_after=args.chaos_reset_after)
+        print(f"chaos: enabled (seed={args.chaos_seed})", flush=True)
     config = ServerConfig(
         slack=args.slack if args.slack is not None else 0.0,
         engine=args.engine,
@@ -351,7 +365,12 @@ def cmd_serve_network(args: argparse.Namespace) -> int:
         middleware=tuple(middleware),
         wal_dir=args.wal,
         checkpoint_every=args.checkpoint_every,
-        wal_fsync=args.wal_fsync)
+        wal_fsync=args.wal_fsync,
+        keep_segments=args.wal_keep_segments,
+        heartbeat_interval=args.heartbeat,
+        idle_timeout=args.idle_timeout,
+        slow_consumer=args.slow_consumer,
+        chaos=chaos)
     listeners = {
         name: _parse_hostport(spec, f"--{name}") if spec else None
         for name, spec in (("tcp", args.tcp), ("ws", args.ws),
@@ -402,6 +421,20 @@ def cmd_serve_network(args: argparse.Namespace) -> int:
         print(f"durability: {dstats['checkpoints_total']} checkpoints, "
               f"segment {dstats['segment']}, "
               f"wal_bytes={dstats['wal_bytes']}")
+    if core.chaos is not None:
+        cstats = core.chaos.stats()
+        print(f"chaos: dropped={cstats['events_dropped']} "
+              f"duplicated={cstats['events_duplicated']} "
+              f"delayed={cstats['events_delayed']} "
+              f"sink_errors={cstats['sink_errors_injected']} "
+              f"wal_failures={cstats['wal_failures_injected']} "
+              f"resets={core.connections_reset_total}")
+    if core.heartbeats_sent or core.clients_reaped or \
+            core.slow_disconnects or core.frames_dropped_total:
+        print(f"resilience: {core.heartbeats_sent} heartbeats, "
+              f"{core.clients_reaped} idle clients reaped, "
+              f"{core.slow_disconnects} slow consumers dropped, "
+              f"{core.frames_dropped_total} frames shed")
     if trace is not None:
         records = list(trace.records)
         print(f"trace: last {len(records)} interception records")
@@ -566,20 +599,48 @@ def cmd_client(args: argparse.Namespace) -> int:
     pipes straight into ``jq``/the CI smoke script)."""
     import asyncio
 
-    from repro.server.client import ServerClient, ServerError
+    from repro.server.client import (
+        ReconnectingClient,
+        ServerClient,
+        ServerError,
+    )
 
     host, port = _parse_hostport(args.connect, "--connect")
     specs = _parse_query_specs(args.query)
     if not specs:
         raise SystemExit("client needs at least one --query [name=]file")
     params = _parse_params(args.param)
+    if args.reconnect and not (args.durable or
+                               args.resume_from is not None):
+        raise SystemExit("--reconnect needs --durable: gapless resume "
+                         "works off the durable match cursor")
 
     async def _run() -> int:
-        client = await ServerClient.connect(host, port,
-                                            transport=args.transport)
+        if args.reconnect:
+            from repro.resilience import Backoff
+
+            backoff = Backoff(initial=args.reconnect_delay,
+                              max_delay=args.reconnect_max_delay,
+                              max_retries=args.reconnect_max)
+            try:
+                client = await ReconnectingClient.connect(
+                    host, port, transport=args.transport,
+                    token=args.token, client="repro-cli",
+                    backoff=backoff,
+                    on_reconnect=lambda c: print(
+                        f"client: reconnected "
+                        f"(#{c.reconnects})", file=sys.stderr))
+            except ServerError as error:
+                print(f"server refused: {error}", file=sys.stderr)
+                return 1
+        else:
+            client = await ServerClient.connect(host, port,
+                                                transport=args.transport)
         matches = 0
+        end_reason = None  # None = clean break (budget/finals/goodbye)
         try:
-            await client.hello(token=args.token, client="repro-cli")
+            if not args.reconnect:
+                await client.hello(token=args.token, client="repro-cli")
             subscribed: set[str] = set()
             for name, path in specs:
                 text = Path(path).read_text()
@@ -610,7 +671,11 @@ def cmd_client(args: argparse.Namespace) -> int:
             while True:
                 frame = await client.next_frame(timeout=args.timeout)
                 if frame is None:
-                    break  # timeout or connection end
+                    # a dead connection and an idle timeout both
+                    # surface as None — `ended` tells them apart
+                    end_reason = ("disconnect" if client.ended
+                                  else "timeout")
+                    break
                 ftype = frame.get("type")
                 if ftype == "match":
                     print(json.dumps(frame, separators=(",", ":")),
@@ -624,6 +689,7 @@ def cmd_client(args: argparse.Namespace) -> int:
                     if args.flush and finals >= subscribed:
                         break  # every subscription fully drained
                 elif ftype == "goodbye":
+                    end_reason = f"goodbye:{frame.get('reason', '?')}"
                     break
         except ServerError as error:
             print(f"server refused: {error}", file=sys.stderr)
@@ -632,6 +698,20 @@ def cmd_client(args: argparse.Namespace) -> int:
             await client.close()
         print(f"client: {matches} matches from "
               f"{len(specs)} subscriptions", file=sys.stderr)
+        if end_reason == "disconnect":
+            if args.reconnect:
+                print("client: gave up reconnecting", file=sys.stderr)
+            else:
+                print("client: connection ended unexpectedly "
+                      "(use --reconnect to ride out server restarts)",
+                      file=sys.stderr)
+            return 1
+        if end_reason == "timeout":
+            print(f"client: no frame for {args.timeout:g}s, done",
+                  file=sys.stderr)
+        elif end_reason and end_reason.startswith("goodbye:"):
+            print(f"client: server said goodbye "
+                  f"({end_reason.split(':', 1)[1]})", file=sys.stderr)
         return 0
 
     return asyncio.run(_run())
@@ -953,6 +1033,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="WAL fsync policy: always (fsync per "
                             "append), batch (fsync at checkpoints; "
                             "OS-buffered between), never")
+    serve.add_argument("--wal-keep-segments", type=int, default=None,
+                       metavar="K",
+                       help="GC WAL segments superseded by a snapshot, "
+                            "keeping K extra segments of durable-resume "
+                            "history behind the checkpoint (default: "
+                            "keep everything)")
+    serve.add_argument("--heartbeat", type=float, default=None,
+                       metavar="SECONDS",
+                       help="send a ping to every idle client this "
+                            "often (clients answer with pong)")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="disconnect clients silent for this long "
+                            "(goodbye reason 'idle_timeout'; pongs "
+                            "count as traffic)")
+    serve.add_argument("--slow-consumer",
+                       choices=("block", "drop_oldest", "disconnect"),
+                       default="block",
+                       help="policy when a client's send queue fills: "
+                            "block ingestion (default), shed its oldest "
+                            "queued match, or disconnect it with a "
+                            "goodbye")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for all fault injectors (chaos runs "
+                            "are deterministic per seed)")
+    serve.add_argument("--chaos-drop", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos: drop this fraction of pushed events")
+    serve.add_argument("--chaos-dup", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos: duplicate this fraction of events")
+    serve.add_argument("--chaos-delay", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos: hold this fraction of events and "
+                            "release them later (reorders the stream)")
+    serve.add_argument("--chaos-sink-error", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos: make this fraction of sink "
+                            "deliveries raise")
+    serve.add_argument("--chaos-wal-fail", type=float, default=0.0,
+                       metavar="RATE",
+                       help="chaos: fail this fraction of WAL appends "
+                            "transiently (absorbed by write retries)")
+    serve.add_argument("--chaos-reset-after", type=int, default=None,
+                       metavar="N",
+                       help="chaos: abruptly reset a connection every "
+                            "N handled frames")
     serve.set_defaults(func=cmd_serve)
 
     client = commands.add_parser(
@@ -1002,6 +1129,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume a durable subscription: replay "
                              "WAL-logged matches with cursor > CURSOR, "
                              "then continue live (implies --durable)")
+    client.add_argument("--reconnect", action="store_true",
+                        help="auto-reconnect on unexpected disconnect "
+                             "with exponential backoff, re-subscribing "
+                             "durable queries from the last delivered "
+                             "cursor (needs --durable)")
+    client.add_argument("--reconnect-max", type=int, default=None,
+                        metavar="N",
+                        help="give up after N reconnect attempts "
+                             "(default: retry forever)")
+    client.add_argument("--reconnect-delay", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="initial reconnect backoff delay")
+    client.add_argument("--reconnect-max-delay", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="backoff delay cap")
     client.set_defaults(func=cmd_client)
 
     record = commands.add_parser(

@@ -115,12 +115,27 @@ class DurabilityManager:
     def __init__(self, directory: Path | str, *,
                  checkpoint_every: int = 10_000,
                  fsync: str = "batch",
-                 default_durable: bool = True) -> None:
+                 default_durable: bool = True,
+                 keep_segments: Optional[int] = None,
+                 wal_write_retries: int = 2) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.checkpoint_every = int(checkpoint_every)
         self.fsync = fsync
         self.default_durable = default_durable
+        # segment GC: None keeps everything forever; N >= 0 keeps the
+        # newest snapshot plus N superseded segments as safety margin
+        self.keep_segments = keep_segments
+        self.wal_write_retries = int(wal_write_retries)
+        self.wal_write_failures = 0
+        self.segments_gced = 0
+        self.snapshots_gced = 0
+        # highest GC'd cursor per attachment: resumes below it would
+        # silently skip matches whose emit records no longer exist
+        self._resume_floor: dict[str, int] = {}
+        # fault-injection seam: wraps each rotated segment's writer
+        # (see repro.resilience.chaos.FlakyWalWriter)
+        self.wal_writer_wrapper: Optional[Callable] = None
         self.middleware = DurabilityMiddleware(self)
         self._hub: Optional[StreamHub] = None
         self._writer: Optional[WalWriter] = None
@@ -209,12 +224,28 @@ class DurabilityManager:
         return hub
 
     def _open_segment(self) -> None:
-        self._writer = WalWriter(
+        writer = WalWriter(
             segment_path(self.directory, self._segment), self.fsync)
+        if self.wal_writer_wrapper is not None:
+            writer = self.wal_writer_wrapper(writer)
+        self._writer = writer
         if self._writer.records_written == 0 and \
                 self._writer.bytes_written <= 10:
-            self._writer.append({"t": "meta", "segment": self._segment,
-                                 "hub": self._config})
+            self._append({"t": "meta", "segment": self._segment,
+                          "hub": self._config})
+
+    def _append(self, record: dict) -> None:
+        """Append one record, riding out transient write failures:
+        retry up to ``wal_write_retries`` times, then re-raise."""
+        last_error: Optional[OSError] = None
+        for _attempt in range(self.wal_write_retries + 1):
+            try:
+                self._writer.append(record)
+                return
+            except OSError as error:
+                self.wal_write_failures += 1
+                last_error = error
+        raise last_error
 
     def close(self, *, checkpoint: bool = True) -> None:
         """Flush the log to disk (and by default take a final
@@ -238,7 +269,7 @@ class DurabilityManager:
             return
         # packed event rows (see repro.events.wire.pack_event), built
         # inline: this runs once per ingested batch on the hot path
-        self._writer.append(
+        self._append(
             {"t": "push",
              "events": [[e.seq, e.etype, e.timestamp, e.attributes]
                         for e in events]})
@@ -247,7 +278,7 @@ class DurabilityManager:
     def log_flush(self) -> None:
         if self._recovering or self._writer is None or self._closed:
             return
-        self._writer.append({"t": "flush"})
+        self._append({"t": "flush"})
 
     def log_op_end(self) -> None:
         """Per-operation durability boundary: one OS write for the
@@ -267,7 +298,7 @@ class DurabilityManager:
         options = attachment.engine_options
         self._attach_meta[attachment.name] = {"durable": durable,
                                               "pos": position}
-        self._writer.append({
+        self._append({
             "t": "attach", "name": attachment.name,
             "query": query.text,
             "params": [[k, v] for k, v in (query.params or ())],
@@ -282,10 +313,11 @@ class DurabilityManager:
             self._attach_meta.pop(name, None)
             self._cursors.pop(name, None)
             self._emitted.pop(name, None)
+            self._resume_floor.pop(name, None)
         if self._recovering or self._writer is None or self._closed:
             return
-        self._writer.append({"t": "detach", "name": name,
-                             "drain": bool(drain)})
+        self._append({"t": "detach", "name": name,
+                      "drain": bool(drain)})
         self._writer.flush_os()
 
     def set_durable(self, durable: bool) -> None:
@@ -311,18 +343,24 @@ class DurabilityManager:
         if self._writer is not None and not self._closed:
             # the compact match wire, built zero-copy (tuples encode as
             # JSON arrays; the record is serialized immediately)
-            self._writer.append({"t": "emit", "a": name, "c": cursor,
-                                 "m": {"query": match.query_name,
-                                       "window": match.window_id,
-                                       "seqs": key,
-                                       "etypes": [e.etype for e in
-                                                  match.constituents],
-                                       "attributes": match.attributes}})
+            self._append({"t": "emit", "a": name, "c": cursor,
+                          "m": {"query": match.query_name,
+                                "window": match.window_id,
+                                "seqs": key,
+                                "etypes": [e.etype for e in
+                                           match.constituents],
+                                "attributes": match.attributes}})
         return match
 
     def cursor(self, name: str) -> int:
         """Durable cursor of one attachment: matches emitted, ever."""
         return self._cursors.get(name, 0)
+
+    def resume_floor(self, name: str) -> int:
+        """The oldest cursor a subscription may still resume *after*:
+        emit records at or below this cursor were segment-GC'd, so a
+        ``resume_from`` below it cannot be replayed gaplessly."""
+        return self._resume_floor.get(name, 0)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -336,18 +374,28 @@ class DurabilityManager:
 
     def checkpoint(self) -> int:
         """Snapshot the hub and rotate the WAL; returns the snapshot's
-        segment index."""
+        segment index.  With ``keep_segments`` set, segments wholly
+        superseded by the new snapshot (beyond the safety margin) are
+        deleted after the rotation — their emit cursors first folded
+        into the resume floor the snapshot persists."""
         hub = self.hub
         if self._writer is None or self._closed:
             raise RuntimeError("durability log is closed")
         cut = compute_cut(hub)
+        done = self._segment
+        # sync first: batch-mode buffers must be on disk both for the
+        # snapshot to supersede this segment and for the floor scan
+        self._writer.sync()
+        if self.keep_segments is not None:
+            self._absorb_resume_floors(done - self.keep_segments)
         body = build_snapshot(hub, segment=self._segment, cut=cut,
                               emitted=self._emitted,
                               cursors=self._cursors,
                               attach_meta=self._attach_meta,
                               extra=self.extra_provider()
                               if self.extra_provider else {})
-        self._writer.sync()
+        if self._resume_floor:
+            body["resume_floor"] = dict(self._resume_floor)
         self._last_snapshot_bytes = write_snapshot(
             snapshot_path(self.directory, self._segment), body)
         # prune the in-memory emitted ledgers to what the snapshot kept
@@ -358,14 +406,54 @@ class DurabilityManager:
                         if not suffix_seqs.issuperset(k)]:
                 del counter[key]
         hub.trim_retained(cut)
-        done = self._segment
         self._writer.close()
         self._segment += 1
         self._open_segment()
+        if self.keep_segments is not None:
+            self._gc_superseded(done - self.keep_segments, done)
         self.checkpoints_total += 1
         self.events_since_checkpoint = 0
         self._last_checkpoint_monotonic = time.monotonic()
         return done
+
+    def _absorb_resume_floors(self, horizon: int) -> None:
+        """Fold the emit cursors of every segment about to be GC'd
+        (index <= ``horizon``) into the per-attachment resume floor, so
+        the snapshot records how far back a subscription may resume
+        once those records are gone.  Each segment is scanned exactly
+        once: it is deleted in the same checkpoint."""
+        for index, path in list_segments(self.directory):
+            if index > horizon:
+                continue
+            for record in read_wal(path).records:
+                if record.get("t") != "emit":
+                    continue
+                name = record.get("a")
+                cursor = int(record.get("c", 0))
+                if cursor > self._resume_floor.get(name, 0):
+                    self._resume_floor[name] = cursor
+
+    def _gc_superseded(self, horizon: int, done: int) -> None:
+        """Delete segments with index <= ``horizon`` (superseded by
+        snapshot ``done``, beyond the ``keep_segments`` margin) and the
+        snapshots nothing can fall back to once they are gone (a
+        fallback to snapshot J needs every segment > J present)."""
+        for index, path in list_segments(self.directory):
+            if index > horizon or index >= self._segment:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.segments_gced += 1
+        for index, path in list_snapshots(self.directory):
+            if index >= min(horizon, done):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.snapshots_gced += 1
 
     # -- recovery ----------------------------------------------------------
 
@@ -476,6 +564,9 @@ class DurabilityManager:
             self.max_replayed_seq = max(self.max_replayed_seq,
                                         event.seq)
         self.recovered_extra = dict(body.get("extra") or {})
+        for name, floor in (body.get("resume_floor") or {}).items():
+            if int(floor) > self._resume_floor.get(name, 0):
+                self._resume_floor[name] = int(floor)
         if body.get("flushed"):
             hub._flush_raw()
 
@@ -579,8 +670,11 @@ class DurabilityManager:
                    upto: Optional[int] = None
                    ) -> Iterator[tuple[int, dict]]:
         """Yield ``(cursor, wire_match)`` for one attachment's logged
-        emits with ``after < cursor <= upto`` across all segments —
-        the subscription-resume read path."""
+        emits with ``after < cursor <= upto`` across all live segments
+        — the subscription-resume read path.  With segment GC enabled
+        the walk is bounded by ``keep_segments``; callers must refuse
+        ``after`` below :meth:`resume_floor` (GC'd records cannot be
+        yielded, so the stream would silently gap)."""
         for _index, record in iter_records(self.directory):
             if record.get("t") != "emit" or record.get("a") != name:
                 continue
@@ -612,6 +706,11 @@ class DurabilityManager:
             "fsync": self.fsync,
             "cursors": dict(self._cursors),
             "retained_events": len(self.hub._retained or ()),
+            "keep_segments": self.keep_segments,
+            "segments_gced": self.segments_gced,
+            "snapshots_gced": self.snapshots_gced,
+            "resume_floor": dict(self._resume_floor),
+            "wal_write_failures": self.wal_write_failures,
             "recovery": self.recovery_report.to_dict(),
         }
 
@@ -636,13 +735,15 @@ class DurableHub:
 
     def __init__(self, directory: Path | str, *,
                  checkpoint_every: int = 10_000, fsync: str = "batch",
+                 keep_segments: Optional[int] = None,
                  slack: float = 0.0, late_policy: str = "drop",
                  share: Optional[bool] = None, queue_size: int = 1024,
                  overflow: str = "raise", middleware: Iterable = (),
                  restore_filter: Optional[Callable] = None,
                  sink_provider: Optional[Callable] = None) -> None:
         self.manager = DurabilityManager(
-            directory, checkpoint_every=checkpoint_every, fsync=fsync)
+            directory, checkpoint_every=checkpoint_every, fsync=fsync,
+            keep_segments=keep_segments)
         self.hub = self.manager.start(
             slack=slack, late_policy=late_policy, share=share,
             queue_size=queue_size, overflow=overflow,

@@ -1,0 +1,78 @@
+"""Deterministic exponential backoff with jitter and caps.
+
+:class:`Backoff` is a plain schedule object — it never sleeps.  Callers
+ask for the next delay and sleep themselves, which keeps the schedule
+unit-testable and lets the chaos suite assert reconnect behaviour
+without wall-clock flakiness.  With a fixed ``seed`` the jittered
+sequence is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+__all__ = ["Backoff"]
+
+
+class Backoff:
+    """Exponential backoff schedule: ``initial * multiplier**n``,
+    clamped to ``max_delay``, with symmetric ``jitter`` (a fraction:
+    ``0.1`` perturbs each delay by up to ±10%).
+
+    ``max_retries=None`` retries forever; otherwise :meth:`next_delay`
+    raises :class:`StopIteration` once the budget is spent.
+    """
+
+    def __init__(self, *, initial: float = 0.2, multiplier: float = 2.0,
+                 max_delay: float = 5.0, max_retries: Optional[int] = None,
+                 jitter: float = 0.1, seed: Optional[int] = None) -> None:
+        if initial <= 0:
+            raise ValueError("initial delay must be positive")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.initial = initial
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.max_retries = max_retries
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self.attempts = 0
+
+    def reset(self) -> None:
+        """Forget past failures — call after a successful reconnect so
+        the next outage starts from ``initial`` again."""
+        self.attempts = 0
+
+    def next_delay(self) -> float:
+        """The delay to sleep before the next attempt.
+
+        Raises :class:`StopIteration` when ``max_retries`` attempts
+        have already been handed out.
+        """
+        if self.max_retries is not None and self.attempts >= self.max_retries:
+            raise StopIteration(f"retry budget exhausted "
+                                f"({self.max_retries} attempts)")
+        base = min(self.initial * (self.multiplier ** self.attempts),
+                   self.max_delay)
+        self.attempts += 1
+        if self.jitter:
+            base *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return base
+
+    def delays(self) -> Iterator[float]:
+        """Iterate the remaining schedule (stops at ``max_retries``)."""
+        while True:
+            try:
+                yield self.next_delay()
+            except StopIteration:
+                return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Backoff(initial={self.initial}, "
+                f"multiplier={self.multiplier}, "
+                f"max_delay={self.max_delay}, "
+                f"max_retries={self.max_retries}, "
+                f"attempts={self.attempts})")

@@ -31,7 +31,11 @@ from repro.server.http import HTTPServer
 from repro.server.tcp import TCPServer
 from repro.server.ws import WSServer
 from repro.server.runner import ServeRuntime, run_server
-from repro.server.client import ServerClient, ServerError
+from repro.server.client import (
+    ReconnectingClient,
+    ServerClient,
+    ServerError,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -50,4 +54,5 @@ __all__ = [
     "run_server",
     "ServerClient",
     "ServerError",
+    "ReconnectingClient",
 ]

@@ -41,7 +41,7 @@ from repro.server.protocol import (
     event_to_wire,
 )
 
-__all__ = ["ServerError", "ServerClient"]
+__all__ = ["ServerError", "ServerClient", "ReconnectingClient"]
 
 
 class ServerError(RuntimeError):
@@ -63,6 +63,10 @@ class ServerClient:
         self.transport = transport
         self.client_id: Optional[str] = None
         self.closed = False
+        #: True once the connection has really ended (EOF / reset / a
+        #: protocol failure in the read loop) — lets callers tell a
+        #: dead connection apart from a ``next_frame`` timeout.
+        self.ended = False
         self._ids = itertools.count(1)
         self._pending: dict[Any, asyncio.Future] = {}
         self._stream: asyncio.Queue = asyncio.Queue()
@@ -131,6 +135,11 @@ class ServerClient:
                     break
                 frame = decode_frame(raw)
                 rid = frame.get("id")
+                if frame.get("type") == "ping" and rid is None:
+                    # server heartbeat: answer right here so liveness
+                    # never depends on the consumer draining frames
+                    await self._send({"type": "pong"})
+                    continue
                 if rid is not None and rid in self._pending:
                     self._pending.pop(rid).set_result(frame)
                 else:
@@ -139,6 +148,7 @@ class ServerClient:
                 asyncio.IncompleteReadError):
             pass
         finally:
+            self.ended = True
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(
@@ -270,3 +280,182 @@ class ServerClient:
             if frame is None:
                 return
             yield frame
+
+
+class ReconnectingClient:
+    """A self-healing tail over :class:`ServerClient`.
+
+    Wraps one durable-subscription consumer and survives server
+    restarts: when the connection dies unexpectedly it reconnects on a
+    :class:`~repro.resilience.backoff.Backoff` schedule, replays the
+    ``hello`` and every registered durable subscription, and resumes
+    each one from the last match cursor it delivered — so the stream
+    seen through :meth:`next_frame` is gapless and duplicate-free
+    across any number of server deaths (``python -m repro client
+    --reconnect`` and the chaos suite both ride on this).
+
+    Only *durable* subscriptions are re-established; plain ones have no
+    cursor to resume from, so a reconnecting consumer must subscribe
+    with ``durable=True``.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 transport: str = "tcp",
+                 token: Optional[str] = None,
+                 client: str = "",
+                 backoff: Optional["Backoff"] = None,
+                 on_reconnect=None) -> None:
+        from repro.resilience.backoff import Backoff
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self._token = token
+        self._label = client
+        self._backoff = backoff if backoff is not None else Backoff()
+        self._on_reconnect = on_reconnect
+        self.client: Optional[ServerClient] = None
+        self.closed = False
+        self.gave_up = False
+        self.reconnects = 0
+        # name -> subscribe kwargs, name -> last delivered cursor
+        self._durable: dict[str, dict] = {}
+        self._cursors: dict[str, int] = {}
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      transport: str = "tcp",
+                      token: Optional[str] = None,
+                      client: str = "",
+                      backoff: Optional["Backoff"] = None,
+                      on_reconnect=None) -> "ReconnectingClient":
+        self = cls(host, port, transport=transport, token=token,
+                   client=client, backoff=backoff,
+                   on_reconnect=on_reconnect)
+        self.client = await ServerClient.connect(host, port, transport)
+        await self.client.hello(token=token, client=client)
+        return self
+
+    async def close(self) -> None:
+        self.closed = True
+        if self.client is not None:
+            await self.client.close()
+
+    async def __aenter__(self) -> "ReconnectingClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def ended(self) -> bool:
+        """True once no more frames will ever arrive (closed, or the
+        retry budget ran out)."""
+        return self.closed or self.gave_up
+
+    def cursor(self, name: str) -> int:
+        """Last durable cursor delivered for subscription ``name``."""
+        return self._cursors.get(name, 0)
+
+    async def subscribe_durable(self, query: str, *, name: str,
+                                engine: Optional[str] = None,
+                                params: Optional[Mapping[str, Any]] = None,
+                                resume_from: Optional[int] = None,
+                                watermarks: bool = False) -> dict:
+        """Durable subscribe, remembered for automatic re-subscribe.
+
+        Without ``resume_from`` the tail starts at the server's current
+        cursor (the ack's ``cursor``); either way the wrapper tracks
+        every delivered match cursor so a reconnect resumes exactly
+        where the stream broke.
+        """
+        spec = {"query": query, "engine": engine,
+                "params": dict(params) if params else None,
+                "watermarks": watermarks}
+        ack = await self.client.subscribe_durable(
+            query, name=name, engine=engine, params=params,
+            resume_from=resume_from, watermarks=watermarks)
+        self._durable[name] = spec
+        self._cursors[name] = (resume_from if resume_from is not None
+                               else int(ack.get("cursor") or 0))
+        return ack
+
+    # pushes are NOT retried — they are not idempotent (a batch that
+    # died mid-flight may be partially ingested); only the durable
+    # *consuming* side is safe to replay, so these just delegate
+    async def push_many(self, events: list[Event]) -> dict:
+        return await self.client.push_many(events)
+
+    async def push_raw(self, objs: list[dict]) -> dict:
+        return await self.client.push_raw(objs)
+
+    async def flush(self) -> dict:
+        return await self.client.flush()
+
+    async def stats(self) -> dict:
+        return await self.client.stats()
+
+    async def next_frame(self,
+                         timeout: Optional[float] = None
+                         ) -> Optional[dict]:
+        """Like :meth:`ServerClient.next_frame`, but a dead connection
+        triggers reconnect-and-resume instead of returning ``None``.
+        ``None`` still means *timeout* (connection alive) or a final
+        give-up (``ended`` is then True)."""
+        while True:
+            frame = await self.client.next_frame(timeout)
+            if frame is not None:
+                if frame.get("type") == "match":
+                    cursor = frame.get("cursor")
+                    if cursor is not None:
+                        self._cursors[frame.get("subscription")] = cursor
+                return frame
+            if self.closed or not self.client.ended:
+                return None  # deliberate close, or just a timeout
+            if not await self._reconnect():
+                return None
+
+    async def frames(self) -> AsyncIterator[dict]:
+        """Iterate frames across reconnects until close/give-up."""
+        while True:
+            frame = await self.next_frame()
+            if frame is None:
+                return
+            yield frame
+
+    async def _reconnect(self) -> bool:
+        if self.client is not None:
+            await self.client.close()
+        while not self.closed:
+            try:
+                delay = self._backoff.next_delay()
+            except StopIteration:
+                break
+            await asyncio.sleep(delay)
+            if self.closed:
+                break
+            try:
+                client = await ServerClient.connect(
+                    self.host, self.port, self.transport)
+            except (ConnectionError, OSError):
+                continue  # server still down
+            try:
+                await client.hello(token=self._token, client=self._label)
+                for name, spec in self._durable.items():
+                    await client.subscribe_durable(
+                        spec["query"], name=name, engine=spec["engine"],
+                        params=spec["params"],
+                        resume_from=self._cursors.get(name, 0),
+                        watermarks=spec["watermarks"])
+            except (ConnectionError, OSError, ServerError,
+                    ProtocolError, asyncio.IncompleteReadError):
+                # up but not ready (draining, WAL still recovering...)
+                await client.close()
+                continue
+            self.client = client
+            self.reconnects += 1
+            self._backoff.reset()
+            if self._on_reconnect is not None:
+                self._on_reconnect(self)
+            return True
+        self.gave_up = True
+        return False

@@ -50,6 +50,7 @@ from repro.middleware.base import (
 )
 from repro.middleware.metrics import MetricsMiddleware
 from repro.middleware.ratelimit import RateLimitExceeded, RateLimitMiddleware
+from repro.resilience.chaos import ChaosMiddleware
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -62,6 +63,7 @@ from repro.server.protocol import (
     goodbye_frame,
     match_frame,
     match_frame_wire,
+    ping_frame,
     stats_frame,
     validate_request,
     watermark_frame,
@@ -113,6 +115,18 @@ class ServerConfig:
     wal_dir: Optional[str] = None    # durability: WAL + snapshot directory
     checkpoint_every: int = 10_000   # ingested events between checkpoints
     wal_fsync: str = "batch"         # "always" | "batch" | "never"
+    keep_segments: Optional[int] = None  # WAL segment GC margin (None=all)
+    # liveness: ping every heartbeat_interval seconds; reap clients
+    # whose last inbound frame (pongs count) is idle_timeout old.
+    # Enable the heartbeat at < idle_timeout or quiet-but-alive
+    # clients get reaped with their subscriptions.
+    heartbeat_interval: Optional[float] = None
+    idle_timeout: Optional[float] = None
+    # what to do when a client's outbox is full and a match/watermark
+    # frame arrives: "block" the pump (today's behaviour), drop the
+    # oldest queued frame, or disconnect with goodbye("slow_consumer")
+    slow_consumer: str = "block"
+    chaos: Optional[object] = None   # ChaosConfig — seeded fault injection
 
     def authorized(self, token: Optional[str]) -> bool:
         if self.token_check is not None:
@@ -253,23 +267,62 @@ class ClientSession:
         self.outbox: asyncio.Queue = asyncio.Queue(
             maxsize=core.config.send_queue)
         self._sub_counter = 0
+        # liveness clock: any inbound frame (pongs included) refreshes
+        # it; the reaper compares it against idle_timeout
+        self.last_recv = time.monotonic()
+        self.last_ping = self.last_recv
+        self.connection = None           # back-ref set by Connection.run
         # counters surfaced by the stats frame / metrics endpoint
         self.frames_in = 0
         self.frames_out = 0
         self.events_in = 0
         self.events_shed = 0
         self.matches_out = 0
+        self.frames_dropped = 0
         # per-client ingestion chain: the shared rate limiter keyed by
         # this client's id (None when no client_rate is configured)
         self.push_chain = core._client_push_chain()
 
     async def send(self, frame: dict) -> None:
-        """Queue one frame for the sender task (bounded: a slow
-        consumer backpressures whoever produces frames for it)."""
+        """Queue one frame for the sender task.
+
+        Control frames (acks, errors, goodbyes, pings) always use the
+        bounded blocking put.  For stream frames (``match`` /
+        ``watermark``) the configured slow-consumer policy decides what
+        a full outbox means: ``block`` backpressures the pump (the
+        default), ``drop_oldest`` evicts the oldest queued frame (a
+        durable consumer re-resumes the gap by cursor), ``disconnect``
+        sheds the client with a typed goodbye.
+        """
         if self.closed:
             return
-        self.frames_out += 1
-        await self.outbox.put(frame)
+        policy = self.core.config.slow_consumer
+        if policy == "block" or frame.get("type") not in ("match",
+                                                          "watermark"):
+            self.frames_out += 1
+            await self.outbox.put(frame)
+            return
+        try:
+            self.outbox.put_nowait(frame)
+            self.frames_out += 1
+            return
+        except asyncio.QueueFull:
+            pass
+        if policy == "drop_oldest":
+            try:
+                self.outbox.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            self.frames_dropped += 1
+            self.core.frames_dropped_total += 1
+            try:
+                self.outbox.put_nowait(frame)
+                self.frames_out += 1
+            except asyncio.QueueFull:
+                self.frames_dropped += 1
+                self.core.frames_dropped_total += 1
+        else:  # "disconnect"
+            self.core._shed_slow_consumer(self)
 
     async def end_outbox(self) -> None:
         """Let the sender task flush what is queued, then exit."""
@@ -285,6 +338,11 @@ class ServerCore:
 
     def __init__(self, config: ServerConfig,
                  ratelimit: Optional[RateLimitMiddleware] = None) -> None:
+        if config.slow_consumer not in ("block", "drop_oldest",
+                                        "disconnect"):
+            raise ValueError(
+                f"slow_consumer must be 'block', 'drop_oldest' or "
+                f"'disconnect', got {config.slow_consumer!r}")
         self.config = config
         self.metrics = MetricsMiddleware()
         self.auth = AuthAttachMiddleware(self)
@@ -293,6 +351,17 @@ class ServerCore:
             self.ratelimit = RateLimitMiddleware(
                 config.client_rate, burst=config.client_burst,
                 key=lambda ctx: ctx.name or "server")
+        # seeded fault injection (the chaos suite's entry point): the
+        # event faults ride the ingestion chain, connection resets are
+        # consulted by the connection driver, WAL faults wrap the
+        # segment writer — all from one ChaosConfig seed
+        self.chaos: Optional[ChaosMiddleware] = None
+        self.connection_chaos = None
+        if config.chaos is not None:
+            self.chaos = ChaosMiddleware(config.chaos)
+            if config.chaos.reset_after is not None or \
+                    config.chaos.reset_rate:
+                self.connection_chaos = self.chaos.connection_chaos()
         self._next_seq = 0           # auto-assigned event sequence floor
         self.durability: Optional[DurabilityManager] = None
         self._durable_outboxes: dict[str, DurableOutbox] = {}
@@ -302,19 +371,32 @@ class ServerCore:
             # durable/<name> attachments are restored after a crash
             self.durability = DurabilityManager(
                 config.wal_dir, checkpoint_every=config.checkpoint_every,
-                fsync=config.wal_fsync, default_durable=False)
+                fsync=config.wal_fsync, default_durable=False,
+                keep_segments=config.keep_segments)
             self.durability.extra_provider = \
                 lambda: {"next_seq": self._next_seq}
+            if self.chaos is not None and config.chaos.wal_fail_rate:
+                self.durability.wal_writer_wrapper = \
+                    self.chaos.wrap_wal_writer
             inner_hub = self.durability.start(
                 slack=config.slack, queue_size=config.queue_size,
-                share=config.share, sink_provider=self._durable_sink)
+                share=config.share, sink_provider=self._durable_sink,
+                # chaos sits outside the durability middleware so the
+                # WAL journals the post-fault stream (recovery parity)
+                middleware=[self.chaos] if self.chaos is not None
+                else ())
             self._next_seq = max(
                 int(self.durability.recovered_extra.get("next_seq", 0)),
                 self.durability.max_replayed_seq + 1)
+        facade_middleware = [self.auth, self.metrics, *config.middleware]
+        if self.chaos is not None and inner_hub is None:
+            # no WAL: inject at the async facade instead (innermost, so
+            # metrics still count the pre-fault stream)
+            facade_middleware.append(self.chaos)
         self.hub = AsyncStreamHub(
             slack=config.slack, queue_size=config.queue_size,
             share=config.share, hub=inner_hub,
-            middleware=[self.auth, self.metrics, *config.middleware])
+            middleware=facade_middleware)
         if self.durability is not None:
             # bind restored durable attachments to their outboxes (the
             # sink_provider ran before the attachment object existed)
@@ -330,6 +412,13 @@ class ServerCore:
         self.clients_rejected = 0
         self._next_client = 0
         self._attaching_client: Optional[ClientSession] = None
+        # resilience counters + the lazily-started liveness loop
+        self._liveness_task: Optional[asyncio.Task] = None
+        self.heartbeats_sent = 0
+        self.clients_reaped = 0
+        self.slow_disconnects = 0
+        self.frames_dropped_total = 0
+        self.connections_reset_total = 0
         reg = self.metrics.registry
         self._gauge_clients = reg.gauge(
             "server_clients_connected", "Currently connected clients")
@@ -371,6 +460,13 @@ class ServerCore:
         self.clients[client_id] = session
         self.clients_total += 1
         self._counter_clients.inc()
+        if self._liveness_task is None and (
+                self.config.heartbeat_interval is not None
+                or self.config.idle_timeout is not None):
+            # started lazily so a core built outside a running loop
+            # (tests, the stdin serve path) never needs one
+            self._liveness_task = asyncio.ensure_future(
+                self._liveness_loop())
         return session
 
     async def disconnect(self, session: ClientSession,
@@ -409,6 +505,86 @@ class ServerCore:
         stack = MiddlewareStack([self.ratelimit])
         return stack.async_chain("on_push_many", self._ingest_terminal)
 
+    # -- liveness: heartbeat + idle reaper ---------------------------------
+
+    async def _liveness_loop(self) -> None:
+        """Periodic sweep: ping sessions nearing their heartbeat due
+        time, reap sessions idle past ``idle_timeout`` (their last
+        inbound frame — any frame, pongs included — is that old)."""
+        config = self.config
+        ticks = [t for t in (config.heartbeat_interval,
+                             (config.idle_timeout or 0.0) / 3.0) if t]
+        tick = max(min(ticks), 0.01)
+        while not self.draining:
+            await asyncio.sleep(tick)
+            now = time.monotonic()
+            for session in list(self.clients.values()):
+                if session.closed:
+                    continue
+                if config.idle_timeout is not None and \
+                        now - session.last_recv > config.idle_timeout:
+                    self.clients_reaped += 1
+                    self._enqueue_goodbye(session, "idle_timeout")
+                    asyncio.ensure_future(
+                        self._reap(session, "idle_timeout"))
+                elif config.heartbeat_interval is not None and \
+                        now - session.last_ping >= \
+                        config.heartbeat_interval:
+                    session.last_ping = now
+                    self.heartbeats_sent += 1
+                    try:
+                        session.outbox.put_nowait(ping_frame())
+                        session.frames_out += 1
+                    except asyncio.QueueFull:
+                        pass  # a full outbox is the idle reaper's job
+
+    def _enqueue_goodbye(self, session: ClientSession,
+                         reason: str) -> None:
+        try:
+            session.outbox.put_nowait(goodbye_frame(reason))
+            session.frames_out += 1
+        except asyncio.QueueFull:
+            pass  # best effort: the close itself is the signal
+
+    def _shed_slow_consumer(self, session: ClientSession) -> None:
+        """``slow_consumer="disconnect"``: a stream frame found the
+        outbox full.  Shed the client — typed goodbye (evicting one
+        queued frame to make room), then async teardown — without
+        blocking the pump that tried to send."""
+        if session.closed:
+            return
+        self.slow_disconnects += 1
+        try:
+            session.outbox.get_nowait()
+        except asyncio.QueueEmpty:
+            pass
+        self._enqueue_goodbye(session, "slow_consumer")
+        asyncio.ensure_future(self._reap(session, "slow_consumer"))
+
+    async def _reap(self, session: ClientSession, reason: str) -> None:
+        """Tear a dead/shed client down server-side: detach its
+        subscriptions, end its sender, close its transport (which
+        unblocks the connection's read loop)."""
+        await self.disconnect(session, reason)
+        try:
+            session.outbox.put_nowait(_CLOSE)
+        except asyncio.QueueFull:
+            try:
+                session.outbox.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            try:
+                session.outbox.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                pass
+        await asyncio.sleep(0)  # one tick for the sender to flush
+        connection = session.connection
+        if connection is not None:
+            try:
+                await connection.close_transport()
+            except (ConnectionError, OSError):
+                pass
+
     # -- frame handling ----------------------------------------------------
 
     async def handle_frame(self, session: ClientSession,
@@ -416,6 +592,7 @@ class ServerCore:
         """Dispatch one validated-on-entry frame; return ``False`` when
         the connection must close (protocol/auth violations)."""
         session.frames_in += 1
+        session.last_recv = time.monotonic()
         self._counter_frames_in.inc()
         rid = frame.get("id")
         try:
@@ -425,6 +602,8 @@ class ServerCore:
             return False
         if rtype == "hello":
             return await self._handle_hello(session, frame, rid)
+        if rtype == "pong":
+            return True  # liveness refresh only; legal pre-hello too
         if not session.greeted:
             await session.send(error_frame(
                 "protocol", "first frame must be 'hello'", rid))
@@ -561,6 +740,14 @@ class ServerCore:
                 "limit", f"durable subscription {name!r} already has a "
                          f"consumer")
         resume_from = frame.get("resume_from")
+        if resume_from is not None:
+            floor = self.durability.resume_floor(full_name)
+            if resume_from < floor:
+                raise ProtocolError(
+                    "unknown",
+                    f"resume_from={resume_from} is below the WAL GC "
+                    f"horizon (cursor {floor}); resume from {floor} or "
+                    f"later")
         cursor_start = self.durability.cursor(full_name)
         # register before any await: every match from here on lands in
         # the queue with cursor > cursor_start, so WAL replay up to
@@ -764,7 +951,7 @@ class ServerCore:
     # -- observability -----------------------------------------------------
 
     def server_stats(self) -> dict:
-        return {
+        stats = {
             "clients_connected": len(self.clients),
             "clients_total": self.clients_total,
             "clients_rejected": self.clients_rejected,
@@ -777,7 +964,15 @@ class ServerCore:
             else self.ratelimit.shed_total,
             "auth_refused": self.auth.refused_total,
             "durable_subscriptions": len(self._durable_outboxes),
+            "heartbeats_sent": self.heartbeats_sent,
+            "clients_reaped": self.clients_reaped,
+            "slow_disconnects": self.slow_disconnects,
+            "frames_dropped": self.frames_dropped_total,
+            "connections_reset": self.connections_reset_total,
         }
+        if self.chaos is not None:
+            stats["chaos"] = self.chaos.stats()
+        return stats
 
     def render_metrics(self) -> str:
         """The ``/metrics`` exposition: the middleware's live counters,
@@ -789,6 +984,15 @@ class ServerCore:
         self.metrics.observe_stats(self.hub.stats())
         if self.durability is not None:
             self.metrics.observe_durability(self.durability.stats_dict())
+        if self.chaos is not None:
+            self.metrics.observe_stats(self.chaos.stats(), prefix="chaos")
+        self.metrics.observe_stats(
+            {"heartbeats_sent": self.heartbeats_sent,
+             "clients_reaped": self.clients_reaped,
+             "slow_disconnects": self.slow_disconnects,
+             "frames_dropped": self.frames_dropped_total,
+             "connections_reset": self.connections_reset_total},
+            prefix="resilience")
         return self.metrics.render()
 
     # -- graceful drain ----------------------------------------------------
@@ -800,6 +1004,9 @@ class ServerCore:
         if self.draining:
             return
         self.draining = True
+        if self._liveness_task is not None:
+            self._liveness_task.cancel()
+            self._liveness_task = None
         try:
             await self.hub.aclose()   # flush + detach; pumps end cleanly
         except Exception:
@@ -827,15 +1034,26 @@ class ServerCore:
                 task.cancel()
         for session in list(self.clients.values()):
             session.subscriptions.clear()
-            try:
-                await session.send(goodbye_frame(reason))
-            except (ConnectionError, OSError):
-                pass
+            # best-effort goodbye: a slow consumer's full outbox must
+            # not stall the whole shutdown behind one blocked put
+            self._enqueue_goodbye(session, reason)
             session.closed = True
             try:
                 session.outbox.put_nowait(_CLOSE)
             except asyncio.QueueFull:
                 pass  # sender still draining; connection close ends it
+        # actively close the transports so clients blocked on a read
+        # see EOF now instead of waiting for their own next send (the
+        # auto-reconnect wrapper detects the restart through this);
+        # a short grace first lets each sender flush the goodbye
+        await asyncio.sleep(0.05)
+        for session in list(self.clients.values()):
+            connection = session.connection
+            if connection is not None:
+                try:
+                    await connection.close_transport()
+                except (ConnectionError, OSError):
+                    pass
 
 
 class Connection:
@@ -879,6 +1097,7 @@ class Connection:
             await self.close_transport()
             return
         self.session = session
+        session.connection = self  # lets the idle reaper close us
         sender = asyncio.ensure_future(self._sender(session))
         try:
             while True:
@@ -898,6 +1117,13 @@ class Connection:
                                                    str(error)))
                     break
                 if not await core.handle_frame(session, frame):
+                    break
+                chaos = core.connection_chaos
+                if chaos is not None and chaos.should_reset():
+                    # injected reset: kill the transport with no
+                    # goodbye — the client sees a dead socket
+                    core.connections_reset_total += 1
+                    await self.close_transport()
                     break
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             pass

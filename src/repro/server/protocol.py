@@ -27,6 +27,8 @@ Request frames (client → server)
                 subscription emit, then the hub accepts no more events.
 ``stats``       Snapshot request; answered with a ``stats`` frame.
 ``ping``        Liveness probe; acked (``op: "ping"``).
+``pong``        Reply to a server ``ping``; refreshes the client's
+                liveness clock, no response.
 ==============  ========================================================
 
 Response frames (server → client)
@@ -43,8 +45,12 @@ Response frames (server → client)
                 the subscription's last frame (flush/unsubscribe).
 ``stats``       ``hub`` (the :meth:`HubStats.to_dict` snapshot) +
                 ``server`` (clients/subscriptions/uptime counters).
-``goodbye``     Graceful shutdown notice (``reason``); the server
-                closes the connection after sending it.
+``goodbye``     Graceful shutdown notice (``reason``: ``"shutdown"``,
+                ``"idle_timeout"``, ``"slow_consumer"``, ...); the
+                server closes the connection after sending it.
+``ping``        Server-side liveness probe (``--heartbeat``); clients
+                answer with a ``pong`` request.  :class:`ServerClient`
+                replies automatically and never surfaces the frame.
 ==============  ========================================================
 
 The codec is *typed*: :func:`validate_request` checks every field
@@ -85,6 +91,7 @@ __all__ = [
     "match_frame_wire",
     "watermark_frame",
     "goodbye_frame",
+    "ping_frame",
     "stats_frame",
 ]
 
@@ -169,6 +176,7 @@ REQUEST_FIELDS: dict[str, dict[str, tuple[tuple, bool]]] = {
     "flush": {},
     "stats": {},
     "ping": {},
+    "pong": {},
 }
 
 
@@ -277,6 +285,11 @@ def watermark_frame(subscription: str, watermark: float,
 
 def goodbye_frame(reason: str) -> dict:
     return {"type": "goodbye", "reason": reason}
+
+
+def ping_frame() -> dict:
+    """Server → client liveness probe (the heartbeat loop)."""
+    return {"type": "ping"}
 
 
 def stats_frame(hub: dict, server: dict, rid=None) -> dict:

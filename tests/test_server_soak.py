@@ -1,0 +1,218 @@
+"""Quick-mode soak: ~200 concurrent idle subscribers ride heartbeats
+past the idle timeout, drain a pushed stream to the final watermark,
+and disconnect without leaking a single attachment — plus the liveness
+reaper and both non-blocking slow-consumer policies in isolation."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import pipeline
+from repro.events import make_event
+from repro.patterns.parser import parse_query
+from repro.server import ServerClient, ServerConfig, ServerCore, TCPServer
+
+ABC_TEXT = "PATTERN (A B C)\nWITHIN 8 events FROM every 4 events\n"
+
+SOAK_CLIENTS = 200
+
+
+def abc_stream(n, seed=7):
+    rng = random.Random(seed)
+    return [make_event(i, rng.choice("ABCX")) for i in range(n)]
+
+
+async def wait_until(predicate, timeout=5.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        assert asyncio.get_event_loop().time() < deadline, \
+            "condition never became true"
+        await asyncio.sleep(0.01)
+
+
+def test_soak_idle_subscribers_survive_heartbeats_then_drain():
+    """Subscribers that say nothing for >2x the idle timeout stay
+    alive purely on server pings + client auto-pongs, then every one
+    of them drains the stream; teardown leaks nothing."""
+    events = abc_stream(40, seed=1)
+    expected = pipeline(parse_query(ABC_TEXT, name="alone")) \
+        .engine("sequential").run(events)
+    expected_seqs = [list(ce.constituent_seqs)
+                     for ce in expected.complex_events]
+
+    async def scenario():
+        core = ServerCore(ServerConfig(engine="sequential",
+                                       heartbeat_interval=0.05,
+                                       idle_timeout=0.4,
+                                       max_clients=SOAK_CLIENTS + 8))
+        tcp = TCPServer(core, "127.0.0.1", 0)
+        await tcp.start()
+        clients = []
+        try:
+            async def open_one():
+                client = await ServerClient.connect("127.0.0.1",
+                                                    tcp.port)
+                await client.hello()
+                await client.subscribe(ABC_TEXT)
+                return client
+
+            clients = list(await asyncio.gather(
+                *[open_one() for _ in range(SOAK_CLIENTS)]))
+            assert len(core.clients) == SOAK_CLIENTS
+
+            # idle well past the timeout: only the heartbeat/pong
+            # exchange keeps these sessions off the reaper's list
+            await asyncio.sleep(0.9)
+            assert core.clients_reaped == 0
+            assert len(core.clients) == SOAK_CLIENTS
+            assert not any(client.ended for client in clients)
+            assert core.heartbeats_sent >= SOAK_CLIENTS
+
+            pusher = await ServerClient.connect("127.0.0.1", tcp.port)
+            await pusher.hello()
+            await pusher.push_many(events)
+            await pusher.flush()
+            await pusher.close()
+
+            async def drain(client):
+                seqs = []
+                async for frame in client.frames():
+                    if frame["type"] == "match":
+                        seqs.append(frame["match"]["seqs"])
+                    elif frame["type"] == "watermark" and \
+                            frame.get("final"):
+                        return seqs
+                raise AssertionError("stream ended before the final "
+                                     "watermark")
+
+            drained = await asyncio.wait_for(
+                asyncio.gather(*[drain(client) for client in clients]),
+                timeout=30.0)
+            assert all(seqs == expected_seqs for seqs in drained)
+
+            await asyncio.gather(*[client.close()
+                                   for client in clients])
+            clients = []
+            await wait_until(lambda: not core.clients)
+            assert core.hub.stats().attachments_live == 0
+            assert core.hub._attachments == []
+            assert core.clients_reaped == 0
+        finally:
+            for client in clients:
+                await client.close()
+            await tcp.stop()
+            await core.shutdown("soak-teardown")
+
+    asyncio.run(scenario())
+
+
+def test_idle_client_is_reaped_with_typed_goodbye():
+    """No heartbeat configured: a silent client crosses the idle
+    timeout and the reaper disconnects it with goodbye(idle_timeout)."""
+    async def scenario():
+        core = ServerCore(ServerConfig(engine="sequential",
+                                       idle_timeout=0.2))
+        tcp = TCPServer(core, "127.0.0.1", 0)
+        await tcp.start()
+        try:
+            client = await ServerClient.connect("127.0.0.1", tcp.port)
+            await client.hello()
+            await client.subscribe(ABC_TEXT)
+
+            async def listen():
+                reasons = []
+                async for frame in client.frames():
+                    if frame["type"] == "goodbye":
+                        reasons.append(frame["reason"])
+                return reasons
+
+            reasons = await asyncio.wait_for(listen(), timeout=5.0)
+            assert reasons == ["idle_timeout"]
+            await wait_until(lambda: not core.clients)
+            assert core.clients_reaped == 1
+            assert core.hub.stats().attachments_live == 0
+            await client.close()
+        finally:
+            await tcp.stop()
+            await core.shutdown("test-teardown")
+
+    asyncio.run(scenario())
+
+
+class TestSlowConsumerPolicies:
+    """ClientSession.send() policy behavior in isolation: no sender
+    task drains the outbox, so stream frames hit a full queue."""
+
+    def test_drop_oldest_evicts_and_counts(self):
+        async def scenario():
+            core = ServerCore(ServerConfig(engine="sequential",
+                                           slow_consumer="drop_oldest",
+                                           send_queue=4))
+            session = core.connect("peer", "tcp")
+            for cursor in range(10):
+                await session.send({"type": "match", "cursor": cursor})
+            assert session.frames_dropped == 6
+            assert core.frames_dropped_total == 6
+            queued = []
+            while True:
+                try:
+                    queued.append(session.outbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            # the *newest* frames survive; a durable consumer re-reads
+            # the dropped ones by cursor after noticing the gap
+            assert [frame["cursor"] for frame in queued] == [6, 7, 8, 9]
+            await core.shutdown("test-teardown")
+
+        asyncio.run(scenario())
+
+    def test_disconnect_sheds_with_typed_goodbye(self):
+        async def scenario():
+            core = ServerCore(ServerConfig(engine="sequential",
+                                           slow_consumer="disconnect",
+                                           send_queue=2))
+            session = core.connect("peer", "tcp")
+            for cursor in range(3):   # third stream frame finds it full
+                await session.send({"type": "match", "cursor": cursor})
+            assert core.slow_disconnects == 1
+            await asyncio.sleep(0.05)  # let the async reap run
+            assert session.closed
+            assert session.client_id not in core.clients
+            queued = []
+            while True:
+                try:
+                    queued.append(session.outbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            assert any(isinstance(frame, dict)
+                       and frame.get("type") == "goodbye"
+                       and frame.get("reason") == "slow_consumer"
+                       for frame in queued)
+            await core.shutdown("test-teardown")
+
+        asyncio.run(scenario())
+
+    def test_block_policy_backpressures_instead(self):
+        async def scenario():
+            core = ServerCore(ServerConfig(engine="sequential",
+                                           slow_consumer="block",
+                                           send_queue=2))
+            session = core.connect("peer", "tcp")
+            await session.send({"type": "match", "cursor": 0})
+            await session.send({"type": "match", "cursor": 1})
+            blocked = asyncio.ensure_future(
+                session.send({"type": "match", "cursor": 2}))
+            await asyncio.sleep(0.05)
+            assert not blocked.done(), "block policy must backpressure"
+            session.outbox.get_nowait()     # the consumer catches up
+            await asyncio.wait_for(blocked, timeout=1.0)
+            assert session.frames_dropped == 0
+            assert core.slow_disconnects == 0
+            await core.shutdown("test-teardown")
+
+        asyncio.run(scenario())
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServerCore(ServerConfig(slow_consumer="shrug"))

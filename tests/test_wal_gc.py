@@ -1,0 +1,144 @@
+"""WAL segment GC: checkpoints retire superseded segments (bounding
+disk), recovery over a GC'd directory is unaffected, and durable
+resumes below the GC horizon are rejected with the floor to resume
+from instead of silently skipping matches."""
+
+import asyncio
+
+import pytest
+
+from repro.datasets import generate_nyse
+from repro.durability import DurableHub
+from repro.hub import StreamHub
+from repro.patterns.parser import parse_query
+from repro.server import ServerConfig
+from repro.server.client import ServerClient, ServerError
+from repro.server.runner import ServeRuntime
+
+BAND_TEXT = """PATTERN (A B)
+DEFINE
+    A AS (A.closePrice > lowerLimit AND A.closePrice < upperLimit),
+    B AS (B.closePrice > lowerLimit AND B.closePrice < upperLimit)
+WITHIN 40 events FROM every 20 events"""
+
+PARAMS = {"lowerLimit": 49.95, "upperLimit": 50.3}
+EVENTS = generate_nyse(900, n_symbols=12, n_leading=8, seed=47)
+
+
+def band_query(name="band"):
+    return parse_query(BAND_TEXT, name=name, params=PARAMS)
+
+
+def reference_seqs():
+    matches = []
+    hub = StreamHub()
+    hub.attach(band_query(), engine="sequential", name="band",
+               sink=lambda ce: matches.append(list(ce.constituent_seqs)))
+    hub.push_many(EVENTS)
+    hub.close()
+    return matches
+
+
+def test_checkpoint_gc_bounds_segments_and_recovery_survives(tmp_path):
+    reference = reference_seqs()
+    hub = DurableHub(tmp_path, checkpoint_every=100, keep_segments=1,
+                     fsync="never")
+    hub.attach(band_query(), engine="sequential", name="band")
+    for event in EVENTS:
+        hub.push(event)
+    hub.close()
+
+    manager = hub.manager
+    assert manager.segments_gced > 0, "checkpoints never GC'd anything"
+    segments = sorted(tmp_path.glob("wal-*.log"))
+    # 900 events at checkpoint_every=100 wrote ~10 segments; with
+    # keep_segments=1 only the margin plus the active tail remain
+    assert len(segments) <= manager.keep_segments + 3, \
+        f"disk not bounded: {[s.name for s in segments]}"
+    assert manager.cursor("band") == len(reference)
+
+    recovered = DurableHub(tmp_path, fsync="never")
+    assert recovered.recovery_report.recovered
+    assert recovered.manager.cursor("band") == len(reference)
+    floor = recovered.manager.resume_floor("band")
+    assert 0 < floor < len(reference), \
+        "GC should have retired some (not all) emit records"
+    # everything after the floor is still replayable, gap-free
+    emits = list(recovered.manager.read_emits("band", after=floor))
+    assert [cursor for cursor, _wire in emits] == \
+        list(range(floor + 1, len(reference) + 1))
+    assert [wire["seqs"] for _cursor, wire in emits] == reference[floor:]
+    recovered.close()
+
+
+def test_keep_everything_by_default(tmp_path):
+    hub = DurableHub(tmp_path, checkpoint_every=100, fsync="never")
+    hub.attach(band_query(), engine="sequential", name="band")
+    for event in EVENTS[:400]:
+        hub.push(event)
+    hub.close()
+    assert hub.manager.segments_gced == 0
+    assert hub.manager.resume_floor("band") == 0
+    # the full emit log is replayable from the beginning
+    emits = list(hub.manager.read_emits("band"))
+    assert [cursor for cursor, _wire in emits] == \
+        list(range(1, hub.manager.cursor("band") + 1))
+
+
+def test_server_rejects_resume_below_gc_horizon(tmp_path):
+    """A durable subscriber that comes back asking for cursors whose
+    emit records were GC'd gets a typed error naming the floor —
+    resuming from the floor itself works and is gap-free above it."""
+
+    async def scenario():
+        # keep one margin segment so the newest emits stay replayable
+        # (the horizon sits between 0 and the head)
+        config = ServerConfig(engine="sequential", wal_dir=str(tmp_path),
+                              checkpoint_every=50, keep_segments=1)
+        runtime = ServeRuntime(config, tcp=("127.0.0.1", 0), quiet=True)
+        await runtime.start()
+        port = runtime.tcp.port
+        try:
+            # register the durable attachment, then go away while the
+            # stream (and the GC) runs without a consumer
+            client = await ServerClient.connect("127.0.0.1", port)
+            await client.hello()
+            await client.subscribe_durable(BAND_TEXT, name="band",
+                                           params=PARAMS)
+            await client.close()
+
+            async with await ServerClient.connect("127.0.0.1",
+                                                  port) as pusher:
+                await pusher.hello()
+                for start in range(0, len(EVENTS), 100):
+                    await pusher.push_many(EVENTS[start:start + 100])
+                await pusher.flush()
+
+            durability = runtime.core.durability
+            floor = durability.resume_floor("durable/band")
+            total = durability.cursor("durable/band")
+            assert 0 < floor < total, "GC horizon never moved"
+
+            late = await ServerClient.connect("127.0.0.1", port)
+            await late.hello()
+            with pytest.raises(ServerError, match="GC horizon"):
+                await late.subscribe_durable(BAND_TEXT, name="band",
+                                             params=PARAMS,
+                                             resume_from=0)
+            # the floor itself is the advertised safe resume point
+            await late.subscribe_durable(BAND_TEXT, name="band",
+                                         params=PARAMS,
+                                         resume_from=floor)
+            cursors = []
+            frames = late.frames().__aiter__()
+            while len(cursors) < total - floor:
+                frame = await asyncio.wait_for(frames.__anext__(),
+                                               timeout=5.0)
+                if frame["type"] == "match":
+                    cursors.append(frame["cursor"])
+            assert cursors == list(range(floor + 1, total + 1))
+            await late.close()
+        finally:
+            await runtime.shutdown("test-teardown")
+
+    asyncio.run(scenario())
